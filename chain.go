@@ -1,0 +1,124 @@
+package ldpjoin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+)
+
+// ChainProtocol estimates chain (multi-way) joins of the form
+//
+//	T_0(A_0) ⋈ T_1(A_0, A_1) ⋈ ... ⋈ T_{n-1}(A_{n-2}, A_{n-1}) ⋈ T_n(A_{n-1})
+//
+// under LDP, per §VI of the paper. Each join attribute A_i gets its own
+// public hash family; the two end tables use plain LDPJoinSketch and each
+// middle table a doubly Hadamard-encoded matrix sketch.
+type ChainProtocol struct {
+	cfg   Config
+	endP  core.Params
+	midP  core.MatrixParams
+	fams  []*hashing.Family
+	attrs int
+}
+
+// NewChainProtocol creates the protocol for a chain with the given number
+// of join attributes (a 3-way chain has 2, a 4-way chain 3; at least 2).
+func NewChainProtocol(cfg Config, attrs int) (*ChainProtocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	if attrs < 2 {
+		return nil, fmt.Errorf("ldpjoin: a chain needs at least 2 join attributes, got %d", attrs)
+	}
+	endP := cfg.params()
+	fams := make([]*hashing.Family, attrs)
+	for i := range fams {
+		fams[i] = hashing.NewFamily(cfg.Seed+int64(i)*0x9e37, cfg.K, cfg.M)
+	}
+	return &ChainProtocol{
+		cfg:   cfg,
+		endP:  endP,
+		midP:  core.MatrixParams{K: cfg.K, M1: cfg.M, M2: cfg.M, Epsilon: cfg.Epsilon},
+		fams:  fams,
+		attrs: attrs,
+	}, nil
+}
+
+// Attributes returns the number of join attributes.
+func (cp *ChainProtocol) Attributes() int { return cp.attrs }
+
+// BuildEnd sketches a single-attribute end table over join attribute
+// attr (0 for the leftmost, Attributes()-1 for the rightmost).
+func (cp *ChainProtocol) BuildEnd(attr int, values []uint64, seed int64) (*Sketch, error) {
+	if attr != 0 && attr != cp.attrs-1 {
+		return nil, fmt.Errorf("ldpjoin: end tables join on the first or last attribute, got %d", attr)
+	}
+	agg := core.NewAggregator(cp.endP, cp.fams[attr])
+	agg.CollectColumn(values, rand.New(rand.NewSource(seed)))
+	return &Sketch{sk: agg.Finalize()}, nil
+}
+
+// MatrixSketch is a finalized middle-table sketch.
+type MatrixSketch struct {
+	ms *core.MatrixSketch
+}
+
+// N returns the number of tuples summarized.
+func (m *MatrixSketch) N() float64 { return m.ms.N() }
+
+// BuildMid sketches the middle table joining attribute leftAttr (its A
+// column) to leftAttr+1 (its B column).
+func (cp *ChainProtocol) BuildMid(leftAttr int, a, b []uint64, seed int64) (*MatrixSketch, error) {
+	if leftAttr < 0 || leftAttr+1 >= cp.attrs {
+		return nil, fmt.Errorf("ldpjoin: middle table attribute %d out of range", leftAttr)
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ldpjoin: middle table columns of unequal length %d and %d", len(a), len(b))
+	}
+	agg := core.NewMatrixAggregator(cp.midP, cp.fams[leftAttr], cp.fams[leftAttr+1])
+	agg.CollectTable(a, b, rand.New(rand.NewSource(seed)))
+	return &MatrixSketch{ms: agg.Finalize()}, nil
+}
+
+// Estimate computes the chain join size from the end sketches and the
+// middle sketches in chain order (Eq 27 generalized; median over the k
+// replicas). len(mids) must equal Attributes()-1.
+func (cp *ChainProtocol) Estimate(left *Sketch, mids []*MatrixSketch, right *Sketch) (float64, error) {
+	if len(mids) != cp.attrs-1 {
+		return 0, fmt.Errorf("ldpjoin: chain with %d attributes needs %d middle tables, got %d",
+			cp.attrs, cp.attrs-1, len(mids))
+	}
+	cms := make([]*core.MatrixSketch, len(mids))
+	for i, m := range mids {
+		cms[i] = m.ms
+	}
+	return core.ChainEstimate(left.sk, cms, right.sk), nil
+}
+
+// BuildClosing sketches the table that closes a 3-cycle: its A column
+// joins the protocol's last attribute and its B column the first, as in
+// T3(C, A) for the cycle T1(A,B) ⋈ T2(B,C) ⋈ T3(C,A). The protocol must
+// have exactly 3 attributes.
+func (cp *ChainProtocol) BuildClosing(a, b []uint64, seed int64) (*MatrixSketch, error) {
+	if cp.attrs != 3 {
+		return nil, fmt.Errorf("ldpjoin: cycles need a 3-attribute protocol, got %d", cp.attrs)
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ldpjoin: closing table columns of unequal length %d and %d", len(a), len(b))
+	}
+	agg := core.NewMatrixAggregator(cp.midP, cp.fams[2], cp.fams[0])
+	agg.CollectTable(a, b, rand.New(rand.NewSource(seed)))
+	return &MatrixSketch{ms: agg.Finalize()}, nil
+}
+
+// EstimateCycle computes the 3-cycle join size
+// T1(A0,A1) ⋈ T2(A1,A2) ⋈ T3(A2,A0) from sketches built with BuildMid(0),
+// BuildMid(1) and BuildClosing (§VI's "uncomplicated cyclic joins").
+func (cp *ChainProtocol) EstimateCycle(m1, m2, closing *MatrixSketch) (float64, error) {
+	if cp.attrs != 3 {
+		return 0, fmt.Errorf("ldpjoin: cycles need a 3-attribute protocol, got %d", cp.attrs)
+	}
+	return core.CycleEstimate(m1.ms, m2.ms, closing.ms), nil
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run fig5 -scale small
+//	experiments -run all -scale tiny -csv out/
+//
+// Each artifact is printed as an aligned text table; with -csv DIR the
+// raw series are also written as CSV files for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ldpjoin/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (table2, fig5..fig15) or 'all'")
+	scaleName := flag.String("scale", "small", "workload scale: tiny|small|medium|large|paper")
+	csvDir := flag.String("csv", "", "directory to also write CSV series into")
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = []string{*run}
+	}
+	for _, id := range ids {
+		runner, err := experiments.Get(id)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		tables := runner(sc)
+		for _, tab := range tables {
+			if err := tab.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, tab); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.CSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Command ldpjoind runs the LDP aggregation server over HTTP.
+//
+// Client gateways POST perturbed report streams into named columns; once
+// a column is finalized the server answers join-size and frequency
+// queries and exports sketches. See internal/service for the API.
+//
+// Usage:
+//
+//	ldpjoind -addr :8080 -k 18 -m 1024 -eps 4 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	k := flag.Int("k", 18, "sketch depth (rows)")
+	m := flag.Int("m", 1024, "sketch width (columns, power of two)")
+	eps := flag.Float64("eps", 4, "privacy budget epsilon")
+	seed := flag.Int64("seed", 1, "public hash seed (shared with clients)")
+	flag.Parse()
+
+	srv, err := service.New(core.Params{K: *k, M: *m, Epsilon: *eps}, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ldpjoind listening on %s (k=%d, m=%d, ε=%g, seed=%d)\n", *addr, *k, *m, *eps, *seed)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

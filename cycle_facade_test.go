@@ -1,0 +1,62 @@
+package ldpjoin_test
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin"
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+func TestCycleFacadeEndToEnd(t *testing.T) {
+	cfg := ldpjoin.Config{K: 9, M: 128, Epsilon: 8, Seed: 61}
+	cp, err := ldpjoin.NewChainProtocol(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, domain = 50000, 100
+	gen := func(seed int64) []uint64 { return dataset.Zipf(seed, n, domain, 1.4) }
+	t1 := join.PairTable{A: gen(1), B: gen(2)}
+	t2 := join.PairTable{A: gen(3), B: gen(4)}
+	t3 := join.PairTable{A: gen(5), B: gen(6)}
+	truth := join.CycleSize(t1, t2, t3)
+	if truth <= 0 {
+		t.Fatal("degenerate cycle fixture")
+	}
+
+	m1, err := cp.BuildMid(0, t1.A, t1.B, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cp.BuildMid(1, t2.A, t2.B, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closing, err := cp.BuildClosing(t3.A, t3.B, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cp.EstimateCycle(m1, m2, closing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(est-truth) / truth; re > 1.0 {
+		t.Fatalf("cycle facade RE = %.3f (est %.4g truth %.4g)", re, est, truth)
+	}
+}
+
+func TestCycleFacadeErrors(t *testing.T) {
+	cfg := ldpjoin.Config{K: 2, M: 32, Epsilon: 2, Seed: 1}
+	two, _ := ldpjoin.NewChainProtocol(cfg, 2)
+	if _, err := two.BuildClosing([]uint64{1}, []uint64{1}, 1); err == nil {
+		t.Fatal("closing table on a 2-attribute protocol accepted")
+	}
+	if _, err := two.EstimateCycle(nil, nil, nil); err == nil {
+		t.Fatal("cycle estimate on a 2-attribute protocol accepted")
+	}
+	three, _ := ldpjoin.NewChainProtocol(cfg, 3)
+	if _, err := three.BuildClosing([]uint64{1, 2}, []uint64{1}, 1); err == nil {
+		t.Fatal("ragged closing table accepted")
+	}
+}

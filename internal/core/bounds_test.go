@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+	"ldpjoin/internal/ldp"
+)
+
+// TestTheorem5ErrorBound checks the paper's error bound: with k = 4·log(1/δ)
+// rows, Pr[|Est − J| ≥ (4/√m)·(F1+ (k·c²−1)/2)²-style bound] ≤ δ. The
+// bound is loose, so the test asserts the failure *rate* over repeated
+// protocol runs stays at or below δ with margin.
+func TestTheorem5ErrorBound(t *testing.T) {
+	const delta = 0.05
+	k := int(math.Ceil(4 * math.Log(1/delta))) // 12
+	p := Params{K: k, M: 256, Epsilon: 2}
+	da := dataset.Zipf(1, 5000, 500, 1.3)
+	db := dataset.Zipf(2, 5000, 500, 1.3)
+	truth := join.Size(da, db)
+
+	ceps := ldp.CEpsilon(p.Epsilon)
+	half := (float64(p.K)*ceps*ceps - 1) / 2
+	bound := 4 / math.Sqrt(float64(p.M)) *
+		math.Abs(float64(len(da))+half) * math.Abs(float64(len(db))+half)
+
+	const trials = 60
+	fails := 0
+	for i := 0; i < trials; i++ {
+		fam := p.NewFamily(int64(3000 + i))
+		aggA := NewAggregator(p, fam)
+		aggA.CollectColumn(da, newTestRNG(int64(2*i)))
+		aggB := NewAggregator(p, fam)
+		aggB.CollectColumn(db, newTestRNG(int64(2*i+1)))
+		if math.Abs(aggA.Finalize().JoinSize(aggB.Finalize())-truth) >= bound {
+			fails++
+		}
+	}
+	// Allow up to 2·δ empirical failure rate (binomial noise over 60
+	// trials); in practice the bound is so loose that fails is 0.
+	if float64(fails)/trials > 2*delta {
+		t.Fatalf("error bound violated in %d/%d trials (δ=%g)", fails, trials, delta)
+	}
+}
+
+// TestPerturbPropertyShape uses testing/quick over the input space: every
+// client output must be structurally valid regardless of the value.
+func TestPerturbPropertyShape(t *testing.T) {
+	p := Params{K: 7, M: 64, Epsilon: 1.5}
+	fam := p.NewFamily(5)
+	rng := newTestRNG(6)
+	f := func(d uint64) bool {
+		r := Perturb(d, p, fam, rng)
+		return (r.Y == 1 || r.Y == -1) && int(r.Row) < p.K && int(r.Col) < p.M
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFAPPropertyShape: same structural validity for FAP in both modes,
+// arbitrary FI membership.
+func TestFAPPropertyShape(t *testing.T) {
+	p := Params{K: 7, M: 64, Epsilon: 1.5}
+	fam := p.NewFamily(7)
+	fi := NewFISet([]uint64{0, 1, 2, 3})
+	rng := newTestRNG(8)
+	f := func(d uint64, high bool) bool {
+		mode := ModeLow
+		if high {
+			mode = ModeHigh
+		}
+		r := FAPPerturb(d%8, mode, fi, p, fam, rng)
+		return (r.Y == 1 || r.Y == -1) && int(r.Row) < p.K && int(r.Col) < p.M
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchLinearityProperty: the sketch of a concatenated population
+// equals the cell-wise sum of the parts' sketches (before finalization
+// this is Merge; after finalization linearity survives the transform).
+func TestSketchLinearityProperty(t *testing.T) {
+	p := Params{K: 3, M: 32, Epsilon: 2}
+	fam := p.NewFamily(9)
+	f := func(seedA, seedB int64, nA, nB uint8) bool {
+		da := dataset.Zipf(seedA, int(nA)+10, 50, 1.2)
+		db := dataset.Zipf(seedB, int(nB)+10, 50, 1.2)
+
+		aggAll := NewAggregator(p, fam)
+		aggAll.CollectColumn(da, newTestRNG(seedA+100))
+		aggAll.CollectColumn(db, newTestRNG(seedB+200))
+		skAll := aggAll.Finalize()
+
+		aggA := NewAggregator(p, fam)
+		aggA.CollectColumn(da, newTestRNG(seedA+100))
+		aggB := NewAggregator(p, fam)
+		aggB.CollectColumn(db, newTestRNG(seedB+200))
+		skA, skB := aggA.Finalize(), aggB.Finalize()
+
+		// The debias scale multiplies raw integer counts before the
+		// transform, so the two computations round differently at the
+		// last bit; compare within floating-point slack.
+		for j := 0; j < p.K; j++ {
+			for x := 0; x < p.M; x++ {
+				sum := skA.Row(j)[x] + skB.Row(j)[x]
+				if d := skAll.Row(j)[x] - sum; d > 1e-6 || d < -1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalRoundTripProperty: marshal/unmarshal is the identity on
+// sketches built from arbitrary small populations.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	p := Params{K: 3, M: 32, Epsilon: 2}
+	fam := p.NewFamily(11)
+	f := func(seed int64, n uint8) bool {
+		agg := NewAggregator(p, fam)
+		agg.CollectColumn(dataset.Zipf(seed, int(n)+5, 40, 1.1), newTestRNG(seed))
+		sk := agg.Finalize()
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalSketch(data)
+		if err != nil || got.N() != sk.N() {
+			return false
+		}
+		for j := 0; j < p.K; j++ {
+			for x := 0; x < p.M; x++ {
+				if got.Row(j)[x] != sk.Row(j)[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+	"ldpjoin/internal/sketch"
+)
+
+func cycleFixture(seed int64, n int, domain uint64) (t1, t2, t3 join.PairTable) {
+	gen := func(off int64) []uint64 { return dataset.Zipf(seed+off, n, domain, 1.4) }
+	t1 = join.PairTable{A: gen(0), B: gen(1)}
+	t2 = join.PairTable{A: gen(2), B: gen(3)}
+	t3 = join.PairTable{A: gen(4), B: gen(5)}
+	return
+}
+
+// TestCompassCycleMatchesExact checks the non-private cyclic estimator
+// against the exact 3-cycle join size.
+func TestCompassCycleMatchesExact(t *testing.T) {
+	const n, domain = 40000, 100
+	t1, t2, t3 := cycleFixture(1, n, domain)
+	truth := join.CycleSize(t1, t2, t3)
+	if truth <= 0 {
+		t.Fatal("degenerate cycle fixture")
+	}
+	const k, m = 9, 128
+	famA := hashing.NewFamily(10, k, m)
+	famB := hashing.NewFamily(11, k, m)
+	famC := hashing.NewFamily(12, k, m)
+	m1 := sketch.NewCompassMatrix(famA, famB)
+	m1.UpdateAll(t1.A, t1.B)
+	m2 := sketch.NewCompassMatrix(famB, famC)
+	m2.UpdateAll(t2.A, t2.B)
+	m3 := sketch.NewCompassMatrix(famC, famA)
+	m3.UpdateAll(t3.A, t3.B)
+	est := sketch.CompassCycle(m1, m2, m3)
+	if re := math.Abs(est-truth) / truth; re > 0.3 {
+		t.Fatalf("COMPASS cycle RE = %.3f (est %.4g truth %.4g)", re, est, truth)
+	}
+}
+
+// TestCycleEstimateLDP checks the LDP cyclic estimator end to end at a
+// generous budget.
+func TestCycleEstimateLDP(t *testing.T) {
+	const n, domain = 60000, 100
+	t1, t2, t3 := cycleFixture(7, n, domain)
+	truth := join.CycleSize(t1, t2, t3)
+	const k, m = 9, 128
+	p := MatrixParams{K: k, M1: m, M2: m, Epsilon: 8}
+	famA := hashing.NewFamily(20, k, m)
+	famB := hashing.NewFamily(21, k, m)
+	famC := hashing.NewFamily(22, k, m)
+	rng := newTestRNG(23)
+	agg1 := NewMatrixAggregator(p, famA, famB)
+	agg1.CollectTable(t1.A, t1.B, rng)
+	agg2 := NewMatrixAggregator(p, famB, famC)
+	agg2.CollectTable(t2.A, t2.B, rng)
+	agg3 := NewMatrixAggregator(p, famC, famA)
+	agg3.CollectTable(t3.A, t3.B, rng)
+	est := CycleEstimate(agg1.Finalize(), agg2.Finalize(), agg3.Finalize())
+	if re := math.Abs(est-truth) / truth; re > 1.0 {
+		t.Fatalf("LDP cycle RE = %.3f (est %.4g truth %.4g)", re, est, truth)
+	}
+}
+
+func TestCycleEstimatePanics(t *testing.T) {
+	const k, m = 2, 16
+	p := MatrixParams{K: k, M1: m, M2: m, Epsilon: 2}
+	famA := hashing.NewFamily(1, k, m)
+	famB := hashing.NewFamily(2, k, m)
+	famC := hashing.NewFamily(3, k, m)
+	m1 := NewMatrixAggregator(p, famA, famB).Finalize()
+	m2 := NewMatrixAggregator(p, famB, famC).Finalize()
+	bad := NewMatrixAggregator(p, famC, famB).Finalize() // closes on famB, not famA
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for broken cycle families")
+		}
+	}()
+	CycleEstimate(m1, m2, bad)
+}

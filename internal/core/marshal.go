@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sketch serialization lets a server persist finalized sketches (a data
+// catalog stores one per column and answers join queries much later) or
+// ship them between aggregators. The format is versioned and
+// self-describing:
+//
+//	magic "LJS1" | k u32 | m u32 | epsilon f64 | seed i64 | n f64 |
+//	k·m cells f64
+//
+// All values big-endian. The hash family is reconstructed from the seed,
+// so a sketch unmarshals into a fully queryable object; combining two
+// sketches still requires equal (k, m, epsilon, seed), which Unmarshal
+// restores faithfully.
+
+var sketchMagic = [4]byte{'L', 'J', 'S', '1'}
+
+// ErrBadSketchEncoding is returned when the byte stream is not a valid
+// sketch encoding.
+var ErrBadSketchEncoding = errors.New("core: bad sketch encoding")
+
+// MarshalBinary encodes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4+4+8+8+8+8*s.params.K*s.params.M)
+	buf = append(buf, sketchMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.params.K))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.params.M))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.params.Epsilon))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.fam.Seed()))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.n))
+	for _, row := range s.rows {
+		for _, cell := range row {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(cell))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalSketch decodes a sketch produced by MarshalBinary,
+// reconstructing its hash family from the embedded seed.
+func UnmarshalSketch(data []byte) (*Sketch, error) {
+	const headerLen = 4 + 4 + 4 + 8 + 8 + 8
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrBadSketchEncoding, len(data))
+	}
+	if [4]byte(data[:4]) != sketchMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSketchEncoding)
+	}
+	k := int(binary.BigEndian.Uint32(data[4:8]))
+	m := int(binary.BigEndian.Uint32(data[8:12]))
+	eps := math.Float64frombits(binary.BigEndian.Uint64(data[12:20]))
+	seed := int64(binary.BigEndian.Uint64(data[20:28]))
+	n := math.Float64frombits(binary.BigEndian.Uint64(data[28:36]))
+	p := Params{K: k, M: m, Epsilon: eps}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSketchEncoding, err)
+	}
+	want := headerLen + 8*k*m
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: %d bytes, want %d for a %dx%d sketch", ErrBadSketchEncoding, len(data), want, k, m)
+	}
+	if n < 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+		return nil, fmt.Errorf("%w: invalid report count %v", ErrBadSketchEncoding, n)
+	}
+	rows := make([][]float64, k)
+	off := headerLen
+	for j := range rows {
+		rows[j] = make([]float64, m)
+		for x := range rows[j] {
+			rows[j][x] = math.Float64frombits(binary.BigEndian.Uint64(data[off : off+8]))
+			off += 8
+		}
+	}
+	return &Sketch{params: p, fam: p.NewFamily(seed), rows: rows, n: n}, nil
+}

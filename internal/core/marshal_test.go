@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+)
+
+func buildTestSketch(t *testing.T, seed int64) *Sketch {
+	t.Helper()
+	p := Params{K: 5, M: 128, Epsilon: 3}
+	fam := p.NewFamily(seed)
+	agg := NewAggregator(p, fam)
+	agg.CollectColumn(dataset.Zipf(seed, 20000, 1000, 1.3), newTestRNG(seed))
+	return agg.Finalize()
+}
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	sk := buildTestSketch(t, 7)
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSketch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params() != sk.Params() || got.N() != sk.N() {
+		t.Fatalf("metadata mismatch: %+v n=%g", got.Params(), got.N())
+	}
+	for j := 0; j < sk.Params().K; j++ {
+		for x := 0; x < sk.Params().M; x++ {
+			if got.Row(j)[x] != sk.Row(j)[x] {
+				t.Fatalf("cell [%d,%d] mismatch", j, x)
+			}
+		}
+	}
+	// The reconstructed family must answer identically.
+	for d := uint64(0); d < 500; d++ {
+		if got.Frequency(d) != sk.Frequency(d) {
+			t.Fatalf("frequency of %d differs after round trip", d)
+		}
+	}
+}
+
+// TestUnmarshaledSketchJoins verifies the headline use case: a persisted
+// sketch joins against a freshly built one.
+func TestUnmarshaledSketchJoins(t *testing.T) {
+	p := Params{K: 5, M: 128, Epsilon: 3}
+	fam := p.NewFamily(9)
+	aggA := NewAggregator(p, fam)
+	aggA.CollectColumn(dataset.Zipf(1, 20000, 1000, 1.3), newTestRNG(2))
+	aggB := NewAggregator(p, fam)
+	aggB.CollectColumn(dataset.Zipf(3, 20000, 1000, 1.3), newTestRNG(4))
+	skA, skB := aggA.Finalize(), aggB.Finalize()
+	want := skA.JoinSize(skB)
+
+	data, err := skA.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalSketch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.JoinSize(skB); got != want {
+		t.Fatalf("restored join %g != original %g", got, want)
+	}
+}
+
+func TestUnmarshalSketchErrors(t *testing.T) {
+	sk := buildTestSketch(t, 11)
+	good, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:10],
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"truncated":   good[:len(good)-8],
+		"extra bytes": append(append([]byte(nil), good...), 0),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalSketch(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// Corrupt params (k = 0).
+	bad := append([]byte(nil), good...)
+	bad[4], bad[5], bad[6], bad[7] = 0, 0, 0, 0
+	if _, err := UnmarshalSketch(bad); err == nil {
+		t.Error("zero-k encoding accepted")
+	}
+
+	// Corrupt count (NaN).
+	bad = append([]byte(nil), good...)
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		bad[28+i] = byte(nan >> (56 - 8*i))
+	}
+	if _, err := UnmarshalSketch(bad); err == nil {
+		t.Error("NaN count accepted")
+	}
+}
+
+func TestSameFamilyBySeed(t *testing.T) {
+	p := Params{K: 3, M: 64, Epsilon: 2}
+	a := p.NewFamily(5)
+	b := p.NewFamily(5)
+	c := p.NewFamily(6)
+	if !sameFamily(a, b) {
+		t.Fatal("equal-seed families should be interchangeable")
+	}
+	if sameFamily(a, c) {
+		t.Fatal("different seeds should not be interchangeable")
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+
+	"ldpjoin/internal/hadamard"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/ldp"
+	"ldpjoin/internal/sketch"
+)
+
+// MatrixReport is the message a client holding a two-attribute tuple
+// sends in the multiway extension (§VI): one perturbed coefficient of the
+// doubly Hadamard-transformed encoding, the sampled replica j, and the
+// sampled coordinates (l1, l2).
+type MatrixReport struct {
+	Y   int8
+	Row uint32
+	L1  uint32
+	L2  uint32
+}
+
+// MatrixParams configures a two-attribute (middle) table sketch: K
+// replicas of an M1×M2 matrix, budget Epsilon per tuple.
+type MatrixParams struct {
+	K       int
+	M1, M2  int
+	Epsilon float64
+}
+
+func (p MatrixParams) mustValidate() {
+	if p.K <= 0 {
+		panic("core: matrix sketch depth K must be positive")
+	}
+	if !hadamard.IsPowerOfTwo(p.M1) || !hadamard.IsPowerOfTwo(p.M2) {
+		panic("core: matrix sketch dims must be powers of two")
+	}
+	if !(p.Epsilon > 0) {
+		panic("core: privacy budget epsilon must be positive")
+	}
+}
+
+// PerturbTuple is the client side for a middle table T(A, B): it encodes
+// the tuple as H_{m1}[h_A(a), l1]·ξ_A(a)ξ_B(b)·H_{m2}[l2, h_B(b)] at
+// uniformly sampled (j, l1, l2) and flips the sign with probability
+// 1/(e^ε+1). Like Perturb, it is O(1) thanks to the Hadamard entry oracle.
+func PerturbTuple(a, b uint64, p MatrixParams, famA, famB *hashing.Family, rng *rand.Rand) MatrixReport {
+	j := rng.Intn(p.K)
+	l1 := rng.Intn(p.M1)
+	l2 := rng.Intn(p.M2)
+	w := hadamard.Entry(famA.Bucket(j, a), l1) *
+		famA.Sign(j, a) * famB.Sign(j, b) *
+		hadamard.Entry(l2, famB.Bucket(j, b))
+	bit := ldp.SampleBit(rng, p.Epsilon)
+	return MatrixReport{Y: bit * int8(w), Row: uint32(j), L1: uint32(l1), L2: uint32(l2)}
+}
+
+// MatrixAggregator is the server side for a middle table: it accumulates
+// k·c_ε·y at [j, l1, l2] and restores each replica with the 2-dim
+// Hadamard transform M̃ = H^T·M·H^T.
+type MatrixAggregator struct {
+	params MatrixParams
+	famA   *hashing.Family
+	famB   *hashing.Family
+	scale  float64
+	mats   [][]float64 // K matrices, M1×M2 row-major
+	n      float64
+	done   bool
+}
+
+// NewMatrixAggregator creates an empty aggregator. famA (the left join
+// attribute) must have M = M1, famB M = M2, and both must have K replicas.
+func NewMatrixAggregator(p MatrixParams, famA, famB *hashing.Family) *MatrixAggregator {
+	p.mustValidate()
+	if famA.K() != p.K || famB.K() != p.K || famA.M() != p.M1 || famB.M() != p.M2 {
+		panic("core: matrix families do not match params")
+	}
+	mats := make([][]float64, p.K)
+	for j := range mats {
+		mats[j] = make([]float64, p.M1*p.M2)
+	}
+	return &MatrixAggregator{
+		params: p,
+		famA:   famA,
+		famB:   famB,
+		scale:  float64(p.K) * ldp.CEpsilon(p.Epsilon),
+		mats:   mats,
+	}
+}
+
+// Add ingests one tuple report (the constant debias scale is applied at
+// Finalize, keeping cell contents integral so merges would be exact).
+func (ma *MatrixAggregator) Add(r MatrixReport) {
+	if ma.done {
+		panic("core: MatrixAggregator.Add after Finalize")
+	}
+	ma.mats[r.Row][int(r.L1)*ma.params.M2+int(r.L2)] += float64(r.Y)
+	ma.n++
+}
+
+// CollectTable simulates the protocol for a whole two-column table.
+func (ma *MatrixAggregator) CollectTable(a, b []uint64, rng *rand.Rand) {
+	if len(a) != len(b) {
+		panic("core: CollectTable with mismatched columns")
+	}
+	for i := range a {
+		ma.Add(PerturbTuple(a[i], b[i], ma.params, ma.famA, ma.famB, rng))
+	}
+}
+
+// Finalize restores every replica out of the double Hadamard domain and
+// returns the matrix sketch.
+func (ma *MatrixAggregator) Finalize() *MatrixSketch {
+	if ma.done {
+		panic("core: MatrixAggregator.Finalize called twice")
+	}
+	ma.done = true
+	m1, m2 := ma.params.M1, ma.params.M2
+	col := make([]float64, m1)
+	for _, mat := range ma.mats {
+		for i := range mat {
+			mat[i] *= ma.scale
+		}
+		// Transform along l2 (each row), then along l1 (each column):
+		// H^T·M·H^T with symmetric H.
+		for x := 0; x < m1; x++ {
+			hadamard.Transform(mat[x*m2 : (x+1)*m2])
+		}
+		for y := 0; y < m2; y++ {
+			for x := 0; x < m1; x++ {
+				col[x] = mat[x*m2+y]
+			}
+			hadamard.Transform(col)
+			for x := 0; x < m1; x++ {
+				mat[x*m2+y] = col[x]
+			}
+		}
+	}
+	return &MatrixSketch{params: ma.params, famA: ma.famA, famB: ma.famB, mats: ma.mats, n: ma.n}
+}
+
+// MatrixSketch is the finalized two-attribute sketch: replica j holds, in
+// expectation, the COMPASS counter matrix of the table (tuple (a,b)
+// contributes ξ_A(a)ξ_B(b) at [h_A(a), h_B(b)]).
+type MatrixSketch struct {
+	params MatrixParams
+	famA   *hashing.Family
+	famB   *hashing.Family
+	mats   [][]float64
+	n      float64
+}
+
+// K returns the number of replicas.
+func (ms *MatrixSketch) K() int { return ms.params.K }
+
+// N returns the number of tuples summarized.
+func (ms *MatrixSketch) N() float64 { return ms.n }
+
+// Mat returns replica j, row-major M1×M2 (not a copy).
+func (ms *MatrixSketch) Mat(j int) []float64 { return ms.mats[j] }
+
+// VecMat returns v × M_j: out[y] = Σ_x v[x]·M_j[x, y].
+func (ms *MatrixSketch) VecMat(j int, v []float64) []float64 {
+	m1, m2 := ms.params.M1, ms.params.M2
+	if len(v) != m1 {
+		panic("core: VecMat dimension mismatch")
+	}
+	out := make([]float64, m2)
+	mat := ms.mats[j]
+	for x := 0; x < m1; x++ {
+		vx := v[x]
+		if vx == 0 {
+			continue
+		}
+		row := mat[x*m2 : (x+1)*m2]
+		for y, c := range row {
+			out[y] += vx * c
+		}
+	}
+	return out
+}
+
+// CycleEstimate estimates the size of the 3-cycle join
+// T1(A,B) ⋈ T2(B,C) ⋈ T3(C,A) from LDP matrix sketches — the
+// "uncomplicated cyclic joins" §VI says the encoding handles. Per
+// replica j the estimator is the trace of the sketch product,
+// Σ_{l1,l2,l3} M1_j[l1,l2]·M2_j[l2,l3]·M3_j[l3,l1], and the final
+// estimate is the median over replicas. Adjacent sketches must share
+// their attribute families (m1's B side with m2's A side, and so on
+// around the cycle).
+func CycleEstimate(m1, m2, m3 *MatrixSketch) float64 {
+	k := m1.params.K
+	if m2.params.K != k || m3.params.K != k {
+		panic("core: cycle sketches disagree on K")
+	}
+	if m1.famB != m2.famA || m2.famB != m3.famA || m3.famB != m1.famA {
+		panic("core: cycle sketches do not share attribute families")
+	}
+	mA, mB := m1.params.M1, m1.params.M2
+	mC := m2.params.M2
+	ests := make([]float64, k)
+	prod := make([]float64, mA*mC)
+	for j := 0; j < k; j++ {
+		// prod = M1_j × M2_j (mA×mC).
+		for i := range prod {
+			prod[i] = 0
+		}
+		a1 := m1.mats[j]
+		a2 := m2.mats[j]
+		for x := 0; x < mA; x++ {
+			row1 := a1[x*mB : (x+1)*mB]
+			out := prod[x*mC : (x+1)*mC]
+			for y, v := range row1 {
+				if v == 0 {
+					continue
+				}
+				row2 := a2[y*mC : (y+1)*mC]
+				for z, w := range row2 {
+					out[z] += v * w
+				}
+			}
+		}
+		// trace(prod × M3_j): Σ_{x,z} prod[x,z]·M3[z,x].
+		a3 := m3.mats[j]
+		var tr float64
+		for x := 0; x < mA; x++ {
+			for z := 0; z < mC; z++ {
+				tr += prod[x*mC+z] * a3[z*mA+x]
+			}
+		}
+		ests[j] = tr
+	}
+	return sketch.Median(ests)
+}
+
+// ChainEstimate estimates the size of the chain join
+// left(A0) ⋈ mids[0](A0,A1) ⋈ ... ⋈ right(A_n) from LDP sketches (Eq 27
+// generalized to a chain, median over the k replicas). The end tables use
+// plain LDPJoinSketch; each middle table a MatrixSketch. The left sketch
+// must share its family with mids[0]'s A side, and so on down the chain;
+// K must agree everywhere.
+func ChainEstimate(left *Sketch, mids []*MatrixSketch, right *Sketch) float64 {
+	k := left.params.K
+	if right.params.K != k {
+		panic("core: chain ends disagree on K")
+	}
+	for _, m := range mids {
+		if m.params.K != k {
+			panic("core: chain matrix disagrees on K")
+		}
+	}
+	ests := make([]float64, k)
+	for j := 0; j < k; j++ {
+		v := left.Row(j)
+		for _, m := range mids {
+			v = m.VecMat(j, v)
+		}
+		ests[j] = sketch.Dot(v, right.Row(j))
+	}
+	return sketch.Median(ests)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ldpjoin/internal/hashing"
+)
+
+// CollectParallel builds an LDPJoinSketch over a column using several
+// goroutines: the column is cut into fixed contiguous shards, each shard
+// simulates its clients with a seed derived from (seed, shard index), and
+// the partial aggregators are merged before finalization. Because shard
+// boundaries and shard seeds are functions of (len(data), seed, workers)
+// only, the result is deterministic and independent of goroutine
+// scheduling: CollectParallel(…, w) equals a sequential build that uses
+// the same per-shard seeds. workers ≤ 0 selects GOMAXPROCS.
+func CollectParallel(p Params, fam *hashing.Family, data []uint64, seed int64, workers int) *Sketch {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(data) {
+		workers = len(data)
+	}
+	if workers <= 1 {
+		agg := NewAggregator(p, fam)
+		agg.CollectColumn(data, rand.New(rand.NewSource(seed)))
+		return agg.Finalize()
+	}
+
+	parts := make([]*Aggregator, workers)
+	var wg sync.WaitGroup
+	chunk := (len(data) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			agg := NewAggregator(p, fam)
+			state := uint64(seed) ^ (uint64(w)+1)*0x9e3779b97f4a7c15
+			agg.CollectColumn(data[lo:hi], rand.New(rand.NewSource(int64(hashing.SplitMix64(&state)))))
+			parts[w] = agg
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var total *Aggregator
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if total == nil {
+			total = part
+			continue
+		}
+		total.Merge(part)
+	}
+	return total.Finalize()
+}

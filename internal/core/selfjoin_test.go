@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+// TestSelfJoinSizeAcrossConfigs locks the self-product debias formula
+// n·(m·k·c_ε²−1): the F2 estimate must land near the truth for several
+// (k, m, ε) combinations, which fails for any mis-scaled bias.
+func TestSelfJoinSizeAcrossConfigs(t *testing.T) {
+	data := dataset.Zipf(6, 100000, 5000, 1.3)
+	truth := join.F2(data)
+	for _, cfg := range []Params{
+		{K: 9, M: 1024, Epsilon: 6},
+		{K: 9, M: 256, Epsilon: 2},
+		{K: 4, M: 512, Epsilon: 4},
+		{K: 18, M: 2048, Epsilon: 10},
+	} {
+		fam := cfg.NewFamily(77)
+		agg := NewAggregator(cfg, fam)
+		agg.CollectColumn(data, newTestRNG(78))
+		est := agg.Finalize().SelfJoinSize()
+		if re := math.Abs(est-truth) / truth; re > 0.35 {
+			t.Errorf("%+v: F2 RE = %.3f (est %.4g truth %.4g)", cfg, re, est, truth)
+		}
+	}
+}
+
+// TestJoinSizeMeanCloseToMedianOnCleanData: with no heavy collisions the
+// mean and median row aggregations should roughly agree.
+func TestJoinSizeMeanCloseToMedianOnCleanData(t *testing.T) {
+	p := Params{K: 9, M: 1024, Epsilon: 6}
+	fam := p.NewFamily(5)
+	da := dataset.Zipf(1, 80000, 4000, 1.3)
+	db := dataset.Zipf(2, 80000, 4000, 1.3)
+	aggA := NewAggregator(p, fam)
+	aggA.CollectColumn(da, newTestRNG(3))
+	aggB := NewAggregator(p, fam)
+	aggB.CollectColumn(db, newTestRNG(4))
+	skA, skB := aggA.Finalize(), aggB.Finalize()
+	med := skA.JoinSize(skB)
+	mean := skA.JoinSizeMean(skB)
+	truth := join.Size(da, db)
+	if math.Abs(mean-med) > 0.5*truth {
+		t.Fatalf("mean %.4g and median %.4g wildly disagree (truth %.4g)", mean, med, truth)
+	}
+}
+
+func TestJoinSizeMeanPanicsAcrossFamilies(t *testing.T) {
+	p := Params{K: 2, M: 16, Epsilon: 1}
+	a := NewAggregator(p, p.NewFamily(1)).Finalize()
+	b := NewAggregator(p, p.NewFamily(2)).Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.JoinSizeMean(b)
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+
+	"ldpjoin/internal/hadamard"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/ldp"
+	"ldpjoin/internal/sketch"
+)
+
+// Aggregator is the server side of LDPJoinSketch construction (Algorithm
+// 2, PriSk): it accumulates the perturbed coefficients at the sampled
+// coordinates of each report and, once all reports are in, applies the
+// k·c_ε debias scale and restores the sketch out of the Hadamard domain.
+// Deferring the constant scale from Add (where Algorithm 2 writes it) to
+// Finalize is algebraically identical — the sketch is linear — and keeps
+// cell contents integral, so merging partial aggregators is exact and
+// order-independent. Aggregators over the same family may be merged before
+// finalization, which is what the parallel builder exploits.
+type Aggregator struct {
+	params Params
+	fam    *hashing.Family
+	scale  float64 // k·c_ε, the debias factor of Algorithm 2
+	rows   [][]float64
+	n      float64
+	done   bool
+}
+
+// NewAggregator creates an empty aggregator. The family must match the
+// parameters (same K and M).
+func NewAggregator(p Params, fam *hashing.Family) *Aggregator {
+	p.mustValidate()
+	if fam.K() != p.K || fam.M() != p.M {
+		panic("core: hash family does not match params")
+	}
+	rows := make([][]float64, p.K)
+	for j := range rows {
+		rows[j] = make([]float64, p.M)
+	}
+	return &Aggregator{
+		params: p,
+		fam:    fam,
+		scale:  float64(p.K) * ldp.CEpsilon(p.Epsilon),
+		rows:   rows,
+	}
+}
+
+// Add ingests one perturbed report (Algorithm 2, line 4; the constant
+// debias scale is applied at Finalize).
+func (a *Aggregator) Add(r Report) {
+	if a.done {
+		panic("core: Aggregator.Add after Finalize")
+	}
+	a.rows[r.Row][r.Col] += float64(r.Y)
+	a.n++
+}
+
+// CollectColumn simulates the full protocol for a column of private
+// values: each value is perturbed client-side and the report ingested.
+func (a *Aggregator) CollectColumn(data []uint64, rng *rand.Rand) {
+	for _, d := range data {
+		a.Add(Perturb(d, a.params, a.fam, rng))
+	}
+}
+
+// Merge folds other (not yet finalized, same family) into a.
+func (a *Aggregator) Merge(other *Aggregator) {
+	if a.done || other.done {
+		panic("core: Merge after Finalize")
+	}
+	if !sameFamily(a.fam, other.fam) {
+		panic("core: Merge across hash families")
+	}
+	for j := range a.rows {
+		for x, v := range other.rows[j] {
+			a.rows[j][x] += v
+		}
+	}
+	a.n += other.n
+}
+
+// N returns the number of reports ingested so far.
+func (a *Aggregator) N() float64 { return a.n }
+
+// Finalize applies the k·c_ε debias scale (Algorithm 2, line 4) and
+// restores the sketch (line 6: M ← M × H_m^T; with H symmetric this is a
+// row-wise Walsh–Hadamard transform). The aggregator cannot be used
+// afterwards.
+func (a *Aggregator) Finalize() *Sketch {
+	if a.done {
+		panic("core: Finalize called twice")
+	}
+	a.done = true
+	for j := range a.rows {
+		for x := range a.rows[j] {
+			a.rows[j][x] *= a.scale
+		}
+		hadamard.Transform(a.rows[j])
+	}
+	return &Sketch{params: a.params, fam: a.fam, rows: a.rows, n: a.n}
+}
+
+// sameFamily reports whether two hash families are interchangeable:
+// either the same object or derived from the same (seed, k, m), which by
+// construction yields identical hash functions. Serialization relies on
+// this: an unmarshaled sketch carries a reconstructed family.
+func sameFamily(a, b *hashing.Family) bool {
+	return a == b || (a.Seed() == b.Seed() && a.K() == b.K() && a.M() == b.M())
+}
+
+// Sketch is a finalized LDPJoinSketch: in expectation cell [j, h_j(d)]
+// holds Σ_{d(i)=d} ξ_j(d) plus uniform cross-talk (Theorem 2), exactly as
+// in a fast-AGMS sketch, which is why fast-AGMS estimators apply
+// unchanged.
+type Sketch struct {
+	params Params
+	fam    *hashing.Family
+	rows   [][]float64
+	n      float64
+}
+
+// Params returns the protocol parameters the sketch was built with.
+func (s *Sketch) Params() Params { return s.params }
+
+// Family returns the hash family the sketch was built with.
+func (s *Sketch) Family() *hashing.Family { return s.fam }
+
+// N returns the number of reports summarized.
+func (s *Sketch) N() float64 { return s.n }
+
+// Row returns row j (not a copy).
+func (s *Sketch) Row(j int) []float64 { return s.rows[j] }
+
+// Compatible reports whether the two sketches can be combined: equal
+// parameters and interchangeable hash families.
+func (s *Sketch) Compatible(other *Sketch) bool {
+	return s.params == other.params && sameFamily(s.fam, other.fam)
+}
+
+// JoinSize estimates |A ⋈ B| between the populations behind s and other
+// (Eq 5): the median over rows of the row inner products. Both sketches
+// must share the hash family.
+func (s *Sketch) JoinSize(other *Sketch) float64 {
+	if !sameFamily(s.fam, other.fam) {
+		panic("core: JoinSize across hash families")
+	}
+	ests := make([]float64, s.params.K)
+	for j := range s.rows {
+		ests[j] = sketch.Dot(s.rows[j], other.rows[j])
+	}
+	return sketch.Median(ests)
+}
+
+// JoinSizeMean is the ablation variant of JoinSize that averages the row
+// estimators instead of taking their median. The mean has the same
+// expectation but no resistance to collision spikes; the ablation bench
+// quantifies the difference.
+func (s *Sketch) JoinSizeMean(other *Sketch) float64 {
+	if !sameFamily(s.fam, other.fam) {
+		panic("core: JoinSizeMean across hash families")
+	}
+	ests := make([]float64, s.params.K)
+	for j := range s.rows {
+		ests[j] = sketch.Dot(s.rows[j], other.rows[j])
+	}
+	return sketch.Mean(ests)
+}
+
+// SelfJoinSize estimates the second frequency moment F2 = Σ_d f(d)² of
+// the population behind the sketch. The naive self product is inflated by
+// the protocol's own noise energy: each report contributes (k·c_ε)² at
+// one sampled coordinate, which the restoring transform spreads across
+// all m cells of its row, adding m·k·c_ε² per report in expectation
+// (verified empirically across (k, m, ε) in the tests; the cross-product
+// JoinSize needs no such correction because the two sketches' noises are
+// independent and zero-mean). The bias n·(m·k·c_ε²−1) is subtracted
+// before the row median.
+func (s *Sketch) SelfJoinSize() float64 {
+	ceps := ldp.CEpsilon(s.params.Epsilon)
+	bias := (float64(s.params.M)*float64(s.params.K)*ceps*ceps - 1) * s.n
+	ests := make([]float64, s.params.K)
+	for j := range s.rows {
+		ests[j] = sketch.Dot(s.rows[j], s.rows[j]) - bias
+	}
+	return sketch.Median(ests)
+}
+
+// Frequency estimates f(d) as mean_j M[j, h_j(d)]·ξ_j(d) (Theorem 7). The
+// estimate is unbiased, but its error is heavy-tailed: a collision with a
+// heavy item in a single row shifts the mean by f_heavy/k. Use
+// FrequencyMedian when robustness matters more than unbiasedness.
+func (s *Sketch) Frequency(d uint64) float64 {
+	var sum float64
+	for j := range s.rows {
+		sum += s.rows[j][s.fam.Bucket(j, d)] * float64(s.fam.Sign(j, d))
+	}
+	return sum / float64(s.params.K)
+}
+
+// FrequencyMedian estimates f(d) as median_j M[j, h_j(d)]·ξ_j(d) — the
+// standard fast-AGMS/CountSketch estimator. Unlike the Theorem 7 mean it
+// shrugs off single-row heavy-item collisions, which is essential when
+// thresholding estimates over a large domain (phase 1 of LDPJoinSketch+):
+// thresholding the mean harvests exactly the values whose estimate was
+// inflated by a collision spike and floods FI with false positives.
+func (s *Sketch) FrequencyMedian(d uint64) float64 {
+	ests := make([]float64, s.params.K)
+	for j := range s.rows {
+		ests[j] = s.rows[j][s.fam.Bucket(j, d)] * float64(s.fam.Sign(j, d))
+	}
+	return sketch.Median(ests)
+}
+
+// FrequentItems scans [0, domain) and returns the values whose estimated
+// frequency exceeds threshold — the server side of LDPJoinSketch+ phase 1.
+// useMean selects the Theorem 7 mean estimator (the paper's literal
+// reading); the default median is the robust choice (see FrequencyMedian).
+func (s *Sketch) FrequentItems(domain uint64, threshold float64, useMean bool) []uint64 {
+	var out []uint64
+	est := s.FrequencyMedian
+	if useMean {
+		est = s.Frequency
+	}
+	for d := uint64(0); d < domain; d++ {
+		if est(d) > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MinusConstant returns a copy of the sketch with c subtracted from every
+// cell. JoinEst (Algorithm 5) uses it to remove the uniform |NT|/m
+// contribution of non-target values (Theorem 8).
+func (s *Sketch) MinusConstant(c float64) *Sketch {
+	rows := make([][]float64, len(s.rows))
+	for j := range rows {
+		rows[j] = make([]float64, len(s.rows[j]))
+		for x, v := range s.rows[j] {
+			rows[j][x] = v - c
+		}
+	}
+	return &Sketch{params: s.params, fam: s.fam, rows: rows, n: s.n}
+}

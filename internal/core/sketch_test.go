@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+func TestAggregatorCounts(t *testing.T) {
+	p := testParams()
+	fam := p.NewFamily(1)
+	agg := NewAggregator(p, fam)
+	rng := rand.New(rand.NewSource(1))
+	agg.CollectColumn([]uint64{1, 2, 3}, rng)
+	if agg.N() != 3 {
+		t.Fatalf("N = %g, want 3", agg.N())
+	}
+	sk := agg.Finalize()
+	if sk.N() != 3 {
+		t.Fatalf("sketch N = %g, want 3", sk.N())
+	}
+	if sk.Params() != p || sk.Family() != fam {
+		t.Fatal("sketch metadata lost")
+	}
+}
+
+func TestAggregatorLifecyclePanics(t *testing.T) {
+	p := testParams()
+	fam := p.NewFamily(1)
+	func() {
+		agg := NewAggregator(p, fam)
+		agg.Finalize()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: Add after Finalize")
+			}
+		}()
+		agg.Add(Report{})
+	}()
+	func() {
+		agg := NewAggregator(p, fam)
+		agg.Finalize()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: double Finalize")
+			}
+		}()
+		agg.Finalize()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: family mismatch")
+			}
+		}()
+		NewAggregator(p, Params{K: 2, M: 8, Epsilon: 1}.NewFamily(1))
+	}()
+	func() {
+		a := NewAggregator(p, fam)
+		b := NewAggregator(p, p.NewFamily(99))
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: merge across families")
+			}
+		}()
+		a.Merge(b)
+	}()
+}
+
+// TestFrequencyUnbiased is Theorem 7 as a test: the mean of the frequency
+// estimator across independent protocol runs converges on the truth.
+func TestFrequencyUnbiased(t *testing.T) {
+	p := Params{K: 4, M: 64, Epsilon: 2}
+	data := dataset.Zipf(1, 3000, 100, 1.5)
+	truth := join.Frequencies(data)
+	const trials = 150
+	var sum float64
+	for i := 0; i < trials; i++ {
+		fam := p.NewFamily(int64(1000 + i))
+		agg := NewAggregator(p, fam)
+		agg.CollectColumn(data, rand.New(rand.NewSource(int64(i))))
+		sum += agg.Finalize().Frequency(0)
+	}
+	mean := sum / trials
+	want := float64(truth[0])
+	// Per-trial std ≈ c_ε·sqrt(k·n) ≈ 190; mean over 150 trials ≈ 16.
+	if math.Abs(mean-want) > 80 {
+		t.Fatalf("mean frequency estimate %.1f vs truth %.0f", mean, want)
+	}
+}
+
+// TestJoinSizeUnbiased is Theorem 3 as a test: the mean of single-row
+// join estimators across independent runs converges on the true join
+// size.
+func TestJoinSizeUnbiased(t *testing.T) {
+	p := Params{K: 1, M: 64, Epsilon: 2}
+	da := dataset.Zipf(2, 2000, 200, 1.5)
+	db := dataset.Zipf(3, 2000, 200, 1.5)
+	truth := join.Size(da, db)
+	const trials = 300
+	var sum float64
+	for i := 0; i < trials; i++ {
+		fam := p.NewFamily(int64(2000 + i))
+		aggA := NewAggregator(p, fam)
+		aggA.CollectColumn(da, rand.New(rand.NewSource(int64(2*i))))
+		aggB := NewAggregator(p, fam)
+		aggB.CollectColumn(db, rand.New(rand.NewSource(int64(2*i+1))))
+		sum += aggA.Finalize().JoinSize(aggB.Finalize())
+	}
+	mean := sum / trials
+	if re := math.Abs(mean-truth) / truth; re > 0.15 {
+		t.Fatalf("mean join estimate %.0f vs truth %.0f (RE %.3f)", mean, truth, re)
+	}
+}
+
+// TestJoinSizeEndToEnd runs the full protocol at realistic parameters and
+// checks the headline behaviour: the private estimate lands close to the
+// truth on skewed data.
+func TestJoinSizeEndToEnd(t *testing.T) {
+	p := Params{K: 9, M: 1024, Epsilon: 4}
+	fam := p.NewFamily(5)
+	da := dataset.Zipf(6, 100000, 10000, 1.5)
+	db := dataset.Zipf(7, 100000, 10000, 1.5)
+	truth := join.Size(da, db)
+	rng := rand.New(rand.NewSource(8))
+	aggA := NewAggregator(p, fam)
+	aggA.CollectColumn(da, rng)
+	aggB := NewAggregator(p, fam)
+	aggB.CollectColumn(db, rng)
+	est := aggA.Finalize().JoinSize(aggB.Finalize())
+	if re := math.Abs(est-truth) / truth; re > 0.3 {
+		t.Fatalf("end-to-end RE = %.3f (est %.0f truth %.0f)", re, est, truth)
+	}
+}
+
+func TestMergeEqualsSequential(t *testing.T) {
+	p := testParams()
+	fam := p.NewFamily(9)
+	da := dataset.Zipf(10, 2000, 100, 1.2)
+
+	// One aggregator over the whole column.
+	whole := NewAggregator(p, fam)
+	whole.CollectColumn(da[:1000], rand.New(rand.NewSource(100)))
+	whole.CollectColumn(da[1000:], rand.New(rand.NewSource(101)))
+	skWhole := whole.Finalize()
+
+	// Two aggregators with the same per-part seeds, merged.
+	p1 := NewAggregator(p, fam)
+	p1.CollectColumn(da[:1000], rand.New(rand.NewSource(100)))
+	p2 := NewAggregator(p, fam)
+	p2.CollectColumn(da[1000:], rand.New(rand.NewSource(101)))
+	p1.Merge(p2)
+	skMerged := p1.Finalize()
+
+	for j := 0; j < p.K; j++ {
+		for x := 0; x < p.M; x++ {
+			if skWhole.Row(j)[x] != skMerged.Row(j)[x] {
+				t.Fatalf("merged sketch differs at [%d,%d]", j, x)
+			}
+		}
+	}
+}
+
+func TestMinusConstant(t *testing.T) {
+	p := testParams()
+	fam := p.NewFamily(11)
+	agg := NewAggregator(p, fam)
+	agg.CollectColumn([]uint64{1, 2, 3, 4}, rand.New(rand.NewSource(1)))
+	sk := agg.Finalize()
+	shifted := sk.MinusConstant(2.5)
+	for j := 0; j < p.K; j++ {
+		for x := 0; x < p.M; x++ {
+			if got, want := shifted.Row(j)[x], sk.Row(j)[x]-2.5; got != want {
+				t.Fatalf("[%d,%d] = %g, want %g", j, x, got, want)
+			}
+		}
+	}
+	// The original must be untouched.
+	if shifted.Row(0)[0] == sk.Row(0)[0] {
+		t.Fatal("MinusConstant mutated or aliased the original")
+	}
+}
+
+func TestFrequentItemsFindsHeavyHitters(t *testing.T) {
+	p := Params{K: 9, M: 2048, Epsilon: 4}
+	fam := p.NewFamily(13)
+	data := dataset.Zipf(14, 100000, 1000, 1.5)
+	truth := join.Frequencies(data)
+	agg := NewAggregator(p, fam)
+	agg.CollectColumn(data, rand.New(rand.NewSource(15)))
+	sk := agg.Finalize()
+	fi := sk.FrequentItems(1000, 0.02*float64(len(data)), false)
+	got := NewFISet(fi)
+	// Every value above 4% truly frequent must be found; with the robust
+	// median estimator nothing under a quarter of the threshold may sneak
+	// in.
+	for d, c := range truth {
+		share := float64(c) / float64(len(data))
+		if share > 0.04 && !got.Contains(d) {
+			t.Errorf("missed clearly frequent value %d (share %.3f)", d, share)
+		}
+		if share < 0.005 && got.Contains(d) {
+			t.Errorf("false frequent value %d (share %.4f)", d, share)
+		}
+	}
+
+	// The mean-based variant (the paper's literal Theorem 7 reading) may
+	// collect collision-spike false positives but must still recall the
+	// heavy values.
+	meanFI := NewFISet(sk.FrequentItems(1000, 0.02*float64(len(data)), true))
+	for d, c := range truth {
+		if share := float64(c) / float64(len(data)); share > 0.04 && !meanFI.Contains(d) {
+			t.Errorf("mean variant missed frequent value %d (share %.3f)", d, share)
+		}
+	}
+}
+
+func TestJoinSizePanicsAcrossFamilies(t *testing.T) {
+	p := testParams()
+	a := NewAggregator(p, p.NewFamily(1)).Finalize()
+	b := NewAggregator(p, p.NewFamily(2)).Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.JoinSize(b)
+}
+
+func TestCollectParallelDeterministicAndAccurate(t *testing.T) {
+	p := Params{K: 9, M: 512, Epsilon: 4}
+	fam := p.NewFamily(20)
+	da := dataset.Zipf(21, 50000, 5000, 1.5)
+	db := dataset.Zipf(22, 50000, 5000, 1.5)
+
+	s1 := CollectParallel(p, fam, da, 99, 4)
+	s2 := CollectParallel(p, fam, da, 99, 4)
+	for j := 0; j < p.K; j++ {
+		for x := 0; x < p.M; x++ {
+			if s1.Row(j)[x] != s2.Row(j)[x] {
+				t.Fatal("parallel build is not deterministic")
+			}
+		}
+	}
+	if s1.N() != 50000 {
+		t.Fatalf("parallel N = %g, want 50000", s1.N())
+	}
+
+	sb := CollectParallel(p, fam, db, 77, 4)
+	truth := join.Size(da, db)
+	if re := math.Abs(s1.JoinSize(sb)-truth) / truth; re > 0.4 {
+		t.Fatalf("parallel-built join RE = %.3f", re)
+	}
+
+	// Degenerate worker counts must still work.
+	s3 := CollectParallel(p, fam, da[:10], 1, 64)
+	if s3.N() != 10 {
+		t.Fatalf("tiny parallel N = %g", s3.N())
+	}
+	s4 := CollectParallel(p, fam, da[:100], 1, 0) // auto workers
+	if s4.N() != 100 {
+		t.Fatalf("auto-worker N = %g", s4.N())
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "math/rand"
+
+// newTestRNG returns a deterministic RNG for test fixtures.
+func newTestRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,76 @@
+package dataset
+
+import "math/rand"
+
+// Alias is a Walker alias-method sampler: O(n) setup, O(1) per sample.
+// It draws indices i with probability proportional to the construction
+// weights, which is how the Zipf and simulacrum generators turn a
+// rank-frequency profile into a stream of join-attribute values.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds a sampler over the given non-negative weights. At least
+// one weight must be positive.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("dataset: alias table needs at least one weight")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("dataset: negative alias weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dataset: alias weights sum to zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1 // numerical leftovers
+	}
+	return a
+}
+
+// Sample draws one index using rng.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }

@@ -1,0 +1,249 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	counts := make([]float64, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(counts[i]-want)/want > 0.05 {
+			t.Fatalf("outcome %d: %g draws, want ≈ %g", i, counts[i], want)
+		}
+	}
+	if a.N() != 4 {
+		t.Fatalf("N = %d, want 4", a.N())
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	a := NewAlias([]float64{0, 5, 0})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if a.Sample(rng) != 1 {
+			t.Fatal("degenerate alias sampled an impossible outcome")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for weights %v", weights)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestZipfDeterministicAndInRange(t *testing.T) {
+	a := Zipf(42, 5000, 1000, 1.3)
+	b := Zipf(42, 5000, 1000, 1.3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+		if a[i] >= 1000 {
+			t.Fatalf("value %d out of domain", a[i])
+		}
+	}
+	c := Zipf(43, 5000, 1000, 1.3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfSkewMonotone(t *testing.T) {
+	// Higher alpha concentrates mass on the top ranks.
+	low := TopShare(Zipf(1, 50000, 10000, 1.1), 10)
+	high := TopShare(Zipf(1, 50000, 10000, 2.0), 10)
+	if high <= low {
+		t.Fatalf("top-10 share did not grow with skew: α=1.1 → %.3f, α=2.0 → %.3f", low, high)
+	}
+}
+
+func TestZipfRankOrder(t *testing.T) {
+	data := Zipf(7, 200000, 100, 1.5)
+	freq := make([]int, 100)
+	for _, d := range data {
+		freq[d]++
+	}
+	// Rank 0 should dominate rank 10 which should dominate rank 90.
+	if !(freq[0] > freq[10] && freq[10] > freq[90]) {
+		t.Fatalf("rank frequencies not decreasing: f0=%d f10=%d f90=%d", freq[0], freq[10], freq[90])
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	const domain = 1000
+	data := Gaussian(11, 100000, domain)
+	var mean float64
+	for _, d := range data {
+		if d >= domain {
+			t.Fatalf("value %d out of domain", d)
+		}
+		mean += float64(d)
+	}
+	mean /= float64(len(data))
+	if math.Abs(mean-domain/2) > 10 {
+		t.Fatalf("gaussian mean %.1f far from %d", mean, domain/2)
+	}
+	// Center decile should hold far more mass than the tails.
+	center, tail := 0, 0
+	for _, d := range data {
+		if d >= 450 && d < 550 {
+			center++
+		}
+		if d < 100 || d >= 900 {
+			tail++
+		}
+	}
+	if center < 10*tail {
+		t.Fatalf("gaussian not peaked: center=%d tail=%d", center, tail)
+	}
+}
+
+func TestSpecsMatchTableII(t *testing.T) {
+	want := map[string]struct {
+		domain uint64
+		size   int
+	}{
+		"gaussian":  {75_949, 40_000_000},
+		"movielens": {83_239, 67_664_324},
+		"tpcds":     {18_000, 5_760_808},
+		"twitter":   {77_072, 4_841_532},
+		"facebook":  {4_039, 352_936},
+	}
+	for name, w := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Domain != w.domain || s.FullSize != w.size {
+			t.Errorf("%s: got (domain=%d,size=%d), want (%d,%d)", name, s.Domain, s.FullSize, w.domain, w.size)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName should fail for unknown dataset")
+	}
+}
+
+func TestSpecScaling(t *testing.T) {
+	s, _ := ByName("movielens")
+	if got := s.Size(0.001); got != 67664 {
+		t.Fatalf("scaled size = %d, want 67664", got)
+	}
+	if got := s.Size(1e-9); got != 1000 {
+		t.Fatalf("size floor = %d, want 1000", got)
+	}
+	if got := s.Size(5.0); got != s.FullSize {
+		t.Fatalf("size cap = %d, want %d", got, s.FullSize)
+	}
+	if got := s.DomainAt(1.0); got != s.Domain {
+		t.Fatalf("full-scale domain = %d, want %d", got, s.Domain)
+	}
+	if got := s.DomainAt(0.01); got != 832 {
+		t.Fatalf("scaled domain = %d, want 832", got)
+	}
+	if got := s.DomainAt(1e-9); got != 256 {
+		t.Fatalf("domain floor = %d, want 256", got)
+	}
+	fb, _ := ByName("facebook")
+	if got := fb.DomainAt(0.01); got != fb.Domain {
+		t.Fatalf("facebook domain should not scale, got %d", got)
+	}
+}
+
+func TestGenerateRespectsDomainProperty(t *testing.T) {
+	f := func(seedRaw int64, pick uint8) bool {
+		all := Specs()
+		s := all[int(pick)%len(all)]
+		data := s.Generate(seedRaw, 0.0001)
+		domain := s.DomainAt(0.0001)
+		for _, d := range data {
+			if d >= domain {
+				return false
+			}
+		}
+		return len(data) >= 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairIndependentButDeterministic(t *testing.T) {
+	s := ZipfSpec(1.5)
+	a1, b1 := s.Pair(9, 0.0001)
+	a2, b2 := s.Pair(9, 0.0001)
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatal("Pair is not deterministic")
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Pair columns should be independent draws")
+	}
+}
+
+func TestZipfSpecName(t *testing.T) {
+	if got := ZipfSpec(1.7).Name; got != "zipf1.7" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if got := Distinct([]uint64{1, 1, 2, 3, 3, 3}); got != 3 {
+		t.Fatalf("Distinct = %d, want 3", got)
+	}
+	if got := Distinct(nil); got != 0 {
+		t.Fatalf("Distinct(nil) = %d, want 0", got)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	data := []uint64{1, 1, 1, 2, 2, 3}
+	if got := TopShare(data, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TopShare(1) = %g, want 0.5", got)
+	}
+	if got := TopShare(data, 10); got != 1 {
+		t.Fatalf("TopShare beyond distinct = %g, want 1", got)
+	}
+	if got := TopShare(nil, 3); got != 0 {
+		t.Fatalf("TopShare(nil) = %g, want 0", got)
+	}
+}
+
+func BenchmarkZipfGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Zipf(int64(i), 100000, 30000, 1.5)
+	}
+}

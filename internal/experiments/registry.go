@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact (a figure may span several
+// tables, e.g. Fig 8's four datasets).
+type Runner func(Scale) []*Table
+
+// registry maps experiment ids to runners; ids match the paper's
+// artifact numbering.
+var registry = map[string]Runner{
+	"table2": Table2,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+}
+
+// order lists ids in presentation order.
+var order = []string{
+	"table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+}
+
+// IDs returns all experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// Get resolves an experiment id.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+	}
+	return r, nil
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+	"ldpjoin/internal/metrics"
+)
+
+// seedFor derives a stable per-dataset seed from its name.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// taskFor materializes one dataset pair at the given scale with the exact
+// join size attached.
+func taskFor(spec dataset.Spec, sc Scale) JoinTask {
+	a, b := spec.Pair(seedFor(spec.Name), sc.Frac)
+	return JoinTask{A: a, B: b, Domain: spec.DomainAt(sc.Frac), Truth: join.Size(a, b)}
+}
+
+// parallelFor runs f(0..n-1) on up to GOMAXPROCS goroutines. Work items
+// must be independent; determinism comes from per-item seeds.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// averageErrors runs a method sc.Rounds times on a task and returns the
+// mean AE and RE.
+func averageErrors(m JoinMethod, task JoinTask, p MethodParams, sc Scale, baseSeed int64) (ae, re float64) {
+	var acc metrics.Accumulator
+	for r := 0; r < sc.Rounds; r++ {
+		res := m.Run(task, p, baseSeed+int64(r)*7919)
+		acc.Add(task.Truth, res.Estimate)
+	}
+	return acc.AE(), acc.RE()
+}
+
+// fig5Datasets is the Fig 5 lineup.
+func fig5Datasets() []dataset.Spec {
+	out := make([]dataset.Spec, 0, 6)
+	for _, name := range []string{"zipf1.1", "gaussian", "movielens", "tpcds", "twitter", "facebook"} {
+		s, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Table2 reproduces Table II (dataset inventory), extended with the
+// realized statistics of the scaled replicas actually used.
+func Table2(sc Scale) []*Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Information of Datasets (published vs scaled replica)",
+		Columns: []string{"dataset", "domain", "size", "scaled_domain", "scaled_size", "distinct", "top10_share"},
+		Notes:   []string{sc.note()},
+	}
+	for _, spec := range fig5Datasets() {
+		data := spec.Generate(seedFor(spec.Name), sc.Frac)
+		t.AddRow(
+			spec.Name,
+			fmt.Sprintf("%d", spec.Domain),
+			fmt.Sprintf("%d", spec.FullSize),
+			fmt.Sprintf("%d", spec.DomainAt(sc.Frac)),
+			fmt.Sprintf("%d", len(data)),
+			fmt.Sprintf("%d", dataset.Distinct(data)),
+			fmtG(dataset.TopShare(data, 10)),
+		)
+	}
+	return []*Table{t}
+}
+
+// Fig5 reproduces Fig 5: relative error of join size estimation on the
+// six datasets with ε=4, k=18, m=1024.
+func Fig5(sc Scale) []*Table {
+	specs := fig5Datasets()
+	methods := AllMethods()
+	p := defaultParams()
+
+	res := make([][]float64, len(specs))
+	parallelFor(len(specs), func(i int) {
+		task := taskFor(specs[i], sc)
+		res[i] = make([]float64, len(methods))
+		for j, m := range methods {
+			_, re := averageErrors(m, task, p, sc, seedFor(specs[i].Name+m.Name))
+			res[i][j] = re
+		}
+	})
+
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Accuracy of join size estimation (RE; ε=4, k=18, m=1024)",
+		Columns: append([]string{"dataset"}, methodNames(methods)...),
+		Notes:   []string{sc.note()},
+	}
+	for i, spec := range specs {
+		row := []string{spec.Name}
+		for j := range methods {
+			row = append(row, fmtG(res[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig6 reproduces Fig 6: AE against server-side space cost on Zipf(2.0)
+// with ε=10, r=0.1, θ=0.001 (clamped to the noise floor at reduced
+// scale). Each sketch method sweeps its width m, reporting its own space.
+func Fig6(sc Scale) []*Table {
+	spec := dataset.ZipfSpec(2.0)
+	task := taskFor(spec, sc)
+	p := defaultParams()
+	p.Epsilon = 10
+	p.SampleRate = 0.1
+	p.Theta = 0.001
+	methods := []JoinMethod{MethodHCMS(), MethodLDPJoinSketch(), MethodPlus()}
+	ms := []int{512, 1024, 2048, 4096}
+
+	type cell struct {
+		space float64
+		ae    float64
+	}
+	res := make([][]cell, len(methods))
+	for i := range res {
+		res[i] = make([]cell, len(ms))
+	}
+	parallelFor(len(methods)*len(ms), func(idx int) {
+		i, j := idx/len(ms), idx%len(ms)
+		pm := p
+		pm.M = ms[j]
+		var acc metrics.Accumulator
+		var space float64
+		for r := 0; r < sc.Rounds; r++ {
+			out := methods[i].Run(task, pm, seedFor(methods[i].Name)+int64(ms[j])+int64(r)*7919)
+			acc.Add(task.Truth, out.Estimate)
+			space = out.Space
+		}
+		res[i][j] = cell{space: space, ae: acc.AE()}
+	})
+
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Impact of space cost (Zipf α=2.0; ε=10, k=18, r=0.1, θ=0.001)",
+		Columns: []string{"method", "m", "space_KB", "AE"},
+		Notes:   []string{sc.note(), "space is the total server sketch footprint for both attributes; LDPJoinSketch+ includes both phases"},
+	}
+	for i, m := range methods {
+		for j, mm := range ms {
+			t.AddRow(m.Name, fmt.Sprintf("%d", mm), fmtG(res[i][j].space/1024), fmtG(res[i][j].ae))
+		}
+	}
+	return []*Table{t}
+}
+
+// Fig7 reproduces Fig 7: total client→server communication on Zipf(1.1)
+// and MovieLens with ε=4, k=18, m=1024. Communication is a closed-form
+// property of each mechanism, so no protocol rounds are needed.
+func Fig7(sc Scale) []*Table {
+	p := defaultParams()
+	methods := []JoinMethod{MethodKRR(), MethodHCMS(), MethodFLH(), MethodLDPJoinSketch()}
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Communication cost in bits (ε=4, k=18, m=1024)",
+		Columns: append([]string{"dataset"}, methodNames(methods)...),
+		Notes:   []string{sc.note()},
+	}
+	for _, name := range []string{"zipf1.1", "movielens"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		task := taskFor(spec, sc)
+		row := []string{spec.Name}
+		for _, m := range methods {
+			out := m.Run(task, p, seedFor(name+m.Name))
+			row = append(row, fmtG(out.CommBits))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig12 reproduces Fig 12: RE against the Zipf skewness parameter α with
+// ε=4, k=18, m=1024.
+func Fig12(sc Scale) []*Table {
+	alphas := []float64{1.1, 1.3, 1.5, 1.7, 1.9}
+	methods := AllMethods()
+	p := defaultParams()
+
+	res := make([][]float64, len(alphas))
+	parallelFor(len(alphas), func(i int) {
+		task := taskFor(dataset.ZipfSpec(alphas[i]), sc)
+		res[i] = make([]float64, len(methods))
+		for j, m := range methods {
+			_, re := averageErrors(m, task, p, sc, seedFor(m.Name)+int64(i))
+			res[i][j] = re
+		}
+	})
+
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Impact of skewness (RE; Zipf, ε=4, k=18, m=1024)",
+		Columns: append([]string{"alpha"}, methodNames(methods)...),
+		Notes:   []string{sc.note()},
+	}
+	for i, a := range alphas {
+		row := []string{fmtG(a)}
+		for j := range methods {
+			row = append(row, fmtG(res[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig13 reproduces Fig 13: offline (collection + construction) and online
+// (query) running time per method. Runs are sequential so timings are not
+// distorted by contention.
+func Fig13(sc Scale) []*Table {
+	methods := AllMethods()
+	p := defaultParams()
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Efficiency: offline/online running time (seconds; ε=4, k=18, m=1024)",
+		Columns: []string{"dataset", "method", "offline_s", "online_s"},
+		Notes:   []string{sc.note(), "offline = perturb+collect+construct; online = join estimation"},
+	}
+	for _, name := range []string{"zipf1.1", "gaussian", "twitter"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		task := taskFor(spec, sc)
+		for _, m := range methods {
+			out := m.Run(task, p, seedFor(name+m.Name))
+			t.AddRow(spec.Name, m.Name, fmtG(out.Offline.Seconds()), fmtG(out.Online.Seconds()))
+		}
+	}
+	return []*Table{t}
+}
+
+func methodNames(ms []JoinMethod) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFig6Tiny exercises the space-cost sweep: every row must carry a
+// positive space figure and a finite AE, and space must grow with m for
+// each method.
+func TestFig6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tab := Fig6(ScaleTiny)[0]
+	if len(tab.Rows) != 3*4 {
+		t.Fatalf("fig6 rows = %d, want 12", len(tab.Rows))
+	}
+	var prevMethod string
+	prevSpace := 0.0
+	for _, row := range tab.Rows {
+		space := parseCell(t, row[2])
+		ae := parseCell(t, row[3])
+		if space <= 0 || math.IsNaN(ae) || ae < 0 {
+			t.Fatalf("row %v has invalid cells", row)
+		}
+		if row[0] == prevMethod && space <= prevSpace {
+			t.Fatalf("%s: space did not grow with m", row[0])
+		}
+		prevMethod, prevSpace = row[0], space
+	}
+}
+
+// TestFig8Tiny exercises the ε sweep on all four datasets and checks the
+// core shape on the skewed dataset: LDPJoinSketch improves by orders of
+// magnitude from ε=0.1 to ε=10.
+func TestFig8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tabs := Fig8(ScaleTiny)
+	if len(tabs) != 4 {
+		t.Fatalf("fig8 produced %d tables, want 4", len(tabs))
+	}
+	zipf := tabs[0]
+	idx := -1
+	for i, c := range zipf.Columns {
+		if c == "LDPJoinSketch" {
+			idx = i
+		}
+	}
+	first := parseCell(t, zipf.Rows[0][idx])
+	last := parseCell(t, zipf.Rows[len(zipf.Rows)-1][idx])
+	if !(last < first/10) {
+		t.Fatalf("LDPJoinSketch AE did not fall with ε: %.3g → %.3g", first, last)
+	}
+}
+
+// TestFig9Tiny exercises both sketch-size sweeps; Apple-HCMS must improve
+// with m (the paper's monotone curve).
+func TestFig9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tabs := Fig9(ScaleTiny)
+	if len(tabs) != 8 {
+		t.Fatalf("fig9 produced %d tables, want 8", len(tabs))
+	}
+	mt := tabs[0] // fig9m-zipf1.1
+	idx := -1
+	for i, c := range mt.Columns {
+		if c == "Apple-HCMS" {
+			idx = i
+		}
+	}
+	first := parseCell(t, mt.Rows[0][idx])
+	last := parseCell(t, mt.Rows[len(mt.Rows)-1][idx])
+	if !(last < first) {
+		t.Fatalf("Apple-HCMS AE did not fall with m: %.3g → %.3g", first, last)
+	}
+}
+
+// TestFig12Tiny checks the skewness sweep: the non-private anchor's RE
+// must be tiny everywhere, and every cell finite.
+func TestFig12Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tab := Fig12(ScaleTiny)[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("fig12 rows = %d", len(tab.Rows))
+	}
+	idx := -1
+	for i, c := range tab.Columns {
+		if c == "FAGMS" {
+			idx = i
+		}
+	}
+	for _, row := range tab.Rows {
+		if v := parseCell(t, row[idx]); v > 0.2 {
+			t.Fatalf("alpha=%s: FAGMS RE %.3g implausibly large", row[0], v)
+		}
+	}
+}
+
+// TestFig14Tiny checks the frequency-estimation sweep: LDPJoinSketch and
+// Apple-HCMS must track each other within a small factor (the paper's
+// "same accuracy level" claim), and MSE must fall from ε=0.1 to ε=2.
+func TestFig14Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tabs := Fig14(ScaleTiny)
+	if len(tabs) != 2 {
+		t.Fatalf("fig14 produced %d tables", len(tabs))
+	}
+	tab := tabs[0]
+	var iSketch, iHCMS int
+	for i, c := range tab.Columns {
+		switch c {
+		case "LDPJoinSketch":
+			iSketch = i
+		case "Apple-HCMS":
+			iHCMS = i
+		}
+	}
+	for _, row := range tab.Rows {
+		sk := parseCell(t, row[iSketch])
+		hc := parseCell(t, row[iHCMS])
+		if sk > 3*hc+1 || hc > 3*sk+1 {
+			t.Fatalf("ε=%s: LDPJoinSketch MSE %.3g and HCMS %.3g diverge", row[0], sk, hc)
+		}
+	}
+	first := parseCell(t, tab.Rows[0][iSketch])
+	third := parseCell(t, tab.Rows[2][iSketch])
+	if !(third < first) {
+		t.Fatalf("MSE did not fall with ε: %.3g → %.3g", first, third)
+	}
+}
+
+// TestFig15Tiny runs the full multiway table once.
+func TestFig15Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tab := Fig15(ScaleTiny)[0]
+	if len(tab.Rows) != 11 {
+		t.Fatalf("fig15 rows = %d", len(tab.Rows))
+	}
+	// The non-private COMPASS anchors must be accurate at every ε.
+	var iC3 int
+	for i, c := range tab.Columns {
+		if c == "Compass(3way)" {
+			iC3 = i
+		}
+	}
+	for _, row := range tab.Rows {
+		if v := parseCell(t, row[iC3]); v > 0.2 {
+			t.Fatalf("ε=%s: COMPASS RE %.3g implausibly large", row[0], v)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+	"ldpjoin/internal/ldp"
+	"ldpjoin/internal/metrics"
+)
+
+// epsSweep is the privacy-budget grid of Figs 8, 14 and 15.
+var epsSweep = []float64{0.1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+// Fig8 reproduces Fig 8: AE against the privacy budget ε on four
+// datasets with k=18, m=1024.
+func Fig8(sc Scale) []*Table {
+	names := []string{"zipf1.5", "gaussian", "movielens", "twitter"}
+	methods := AllMethods()
+	var tables []*Table
+	for _, name := range names {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		task := taskFor(spec, sc)
+		res := make([][]float64, len(epsSweep))
+		parallelFor(len(epsSweep), func(i int) {
+			p := defaultParams()
+			p.Epsilon = epsSweep[i]
+			res[i] = make([]float64, len(methods))
+			for j, m := range methods {
+				ae, _ := averageErrors(m, task, p, sc, seedFor(name+m.Name)+int64(i))
+				res[i][j] = ae
+			}
+		})
+		t := &Table{
+			ID:      "fig8-" + name,
+			Title:   fmt.Sprintf("Impact of ε on %s (AE; k=18, m=1024)", name),
+			Columns: append([]string{"epsilon"}, methodNames(methods)...),
+			Notes:   []string{sc.note()},
+		}
+		for i, eps := range epsSweep {
+			row := []string{fmtG(eps)}
+			for j := range methods {
+				row = append(row, fmtG(res[i][j]))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig9 reproduces Fig 9: AE against sketch width m (k=18 fixed) and
+// against sketch depth k (m=1024 fixed), ε=10, on four datasets, for the
+// sketch-based methods.
+func Fig9(sc Scale) []*Table {
+	names := []string{"zipf1.1", "zipf2.0", "movielens", "twitter"}
+	methods := SketchMethods()
+	mSweep := []int{512, 1024, 2048, 4096, 8192}
+	kSweep := []int{9, 12, 18, 21, 28, 30, 36}
+
+	var tables []*Table
+	for _, name := range names {
+		var spec dataset.Spec
+		var err error
+		spec, err = dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		task := taskFor(spec, sc)
+
+		mt := &Table{
+			ID:      "fig9m-" + name,
+			Title:   fmt.Sprintf("Impact of m on %s (AE; k=18, ε=10)", name),
+			Columns: append([]string{"m"}, methodNames(methods)...),
+			Notes:   []string{sc.note()},
+		}
+		mRes := make([][]float64, len(mSweep))
+		parallelFor(len(mSweep), func(i int) {
+			p := defaultParams()
+			p.Epsilon = 10
+			p.M = mSweep[i]
+			mRes[i] = make([]float64, len(methods))
+			for j, m := range methods {
+				ae, _ := averageErrors(m, task, p, sc, seedFor(name+m.Name)+int64(i))
+				mRes[i][j] = ae
+			}
+		})
+		for i, mm := range mSweep {
+			row := []string{fmt.Sprintf("%d", mm)}
+			for j := range methods {
+				row = append(row, fmtG(mRes[i][j]))
+			}
+			mt.AddRow(row...)
+		}
+		tables = append(tables, mt)
+
+		kt := &Table{
+			ID:      "fig9k-" + name,
+			Title:   fmt.Sprintf("Impact of k on %s (AE; m=1024, ε=10)", name),
+			Columns: append([]string{"k"}, methodNames(methods)...),
+			Notes:   []string{sc.note()},
+		}
+		kRes := make([][]float64, len(kSweep))
+		parallelFor(len(kSweep), func(i int) {
+			p := defaultParams()
+			p.Epsilon = 10
+			p.K = kSweep[i]
+			kRes[i] = make([]float64, len(methods))
+			for j, m := range methods {
+				ae, _ := averageErrors(m, task, p, sc, seedFor(name+m.Name)+int64(100+i))
+				kRes[i][j] = ae
+			}
+		})
+		for i, kk := range kSweep {
+			row := []string{fmt.Sprintf("%d", kk)}
+			for j := range methods {
+				row = append(row, fmtG(kRes[i][j]))
+			}
+			kt.AddRow(row...)
+		}
+		tables = append(tables, kt)
+	}
+	return tables
+}
+
+// Fig10 reproduces Fig 10: AE of LDPJoinSketch+ against the phase-1
+// sampling rate r on Zipf(1.1) with ε=4, k=18, m=1024.
+func Fig10(sc Scale) []*Table {
+	task := taskFor(dataset.ZipfSpec(1.1), sc)
+	rates := []float64{0.10, 0.15, 0.20, 0.25, 0.30}
+	plus := MethodPlus()
+	res := make([]float64, len(rates))
+	parallelFor(len(rates), func(i int) {
+		p := defaultParams()
+		p.SampleRate = rates[i]
+		ae, _ := averageErrors(plus, task, p, sc, 4200+int64(i))
+		res[i] = ae
+	})
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Impact of sampling rate r (LDPJoinSketch+, Zipf α=1.1; ε=4)",
+		Columns: []string{"r", "AE"},
+		Notes:   []string{sc.note()},
+	}
+	for i, r := range rates {
+		t.AddRow(fmtG(r), fmtG(res[i]))
+	}
+	return []*Table{t}
+}
+
+// Fig11 reproduces Fig 11: AE of LDPJoinSketch+ against the
+// frequent-item threshold θ on Zipf(1.1) with ε=4. Unlike the other
+// runners, θ is NOT clamped to the noise floor here — the figure's whole
+// point is the degradation on both sides of the sweet spot.
+func Fig11(sc Scale) []*Table {
+	task := taskFor(dataset.ZipfSpec(1.1), sc)
+	thetas := []float64{5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1}
+	res := make([]float64, len(thetas))
+	parallelFor(len(thetas), func(i int) {
+		var acc metrics.Accumulator
+		for r := 0; r < sc.Rounds; r++ {
+			opt := core.PlusOptions{
+				Params:     core.Params{K: 18, M: 1024, Epsilon: 4},
+				SampleRate: 0.1,
+				Theta:      thetas[i],
+				Seed:       8800 + int64(i)*31 + int64(r),
+			}
+			out := core.EstimateJoinPlus(task.A, task.B, task.Domain, opt)
+			acc.Add(task.Truth, out.Estimate)
+		}
+		res[i] = acc.AE()
+	})
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Impact of threshold θ (LDPJoinSketch+, Zipf α=1.1; ε=4, r=0.1)",
+		Columns: []string{"theta", "AE"},
+		Notes:   []string{sc.note(), "θ is deliberately unclamped: both tails of the sweep degrade, as in the paper"},
+	}
+	for i, th := range thetas {
+		t.AddRow(fmtG(th), fmtG(res[i]))
+	}
+	return []*Table{t}
+}
+
+// Fig14 reproduces Fig 14: frequency-estimation MSE against ε on
+// Zipf(1.5) and MovieLens for the frequency-capable mechanisms.
+func Fig14(sc Scale) []*Table {
+	var tables []*Table
+	for _, name := range []string{"zipf1.5", "movielens"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		data := spec.Generate(seedFor(spec.Name), sc.Frac)
+		domain := spec.DomainAt(sc.Frac)
+		truth := join.Frequencies(data)
+
+		methodsF := []string{"k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch"}
+		res := make([][]float64, len(epsSweep))
+		parallelFor(len(epsSweep), func(i int) {
+			eps := epsSweep[i]
+			res[i] = make([]float64, len(methodsF))
+			for r := 0; r < sc.Rounds; r++ {
+				seed := seedFor(name) + int64(i)*97 + int64(r)
+				res[i][0] += krrMSE(data, domain, eps, truth, seed)
+				res[i][1] += hcmsMSE(data, domain, eps, truth, seed)
+				res[i][2] += flhMSE(data, domain, eps, truth, seed)
+				res[i][3] += coreMSE(data, domain, eps, truth, seed)
+			}
+			for j := range res[i] {
+				res[i][j] /= float64(sc.Rounds)
+			}
+		})
+		t := &Table{
+			ID:      "fig14-" + name,
+			Title:   fmt.Sprintf("Frequency estimation on %s (MSE over the domain; k=18, m=1024)", name),
+			Columns: append([]string{"epsilon"}, methodsF...),
+			Notes:   []string{sc.note()},
+		}
+		for i, eps := range epsSweep {
+			row := []string{fmtG(eps)}
+			for j := range methodsF {
+				row = append(row, fmtG(res[i][j]))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func krrMSE(data []uint64, domain uint64, eps float64, truth map[uint64]int64, seed int64) float64 {
+	k := ldp.NewKRR(domain, eps)
+	k.Collect(data, rand.New(rand.NewSource(seed)))
+	var mse metrics.MSEAccumulator
+	for d := uint64(0); d < domain; d++ {
+		mse.Add(float64(truth[d]), k.Frequency(d))
+	}
+	return mse.Value()
+}
+
+func hcmsMSE(data []uint64, domain uint64, eps float64, truth map[uint64]int64, seed int64) float64 {
+	fam := hashing.NewFamily(seed, 18, 1024)
+	h := ldp.NewHCMS(fam, eps)
+	h.Collect(data, rand.New(rand.NewSource(seed)))
+	h.Finalize()
+	var mse metrics.MSEAccumulator
+	for d := uint64(0); d < domain; d++ {
+		mse.Add(float64(truth[d]), h.Frequency(d))
+	}
+	return mse.Value()
+}
+
+func flhMSE(data []uint64, domain uint64, eps float64, truth map[uint64]int64, seed int64) float64 {
+	f := ldp.NewFLH(seed, 512, eps)
+	f.Collect(data, rand.New(rand.NewSource(seed)))
+	var mse metrics.MSEAccumulator
+	for d := uint64(0); d < domain; d++ {
+		mse.Add(float64(truth[d]), f.Frequency(d))
+	}
+	return mse.Value()
+}
+
+func coreMSE(data []uint64, domain uint64, eps float64, truth map[uint64]int64, seed int64) float64 {
+	p := core.Params{K: 18, M: 1024, Epsilon: eps}
+	fam := p.NewFamily(seed)
+	agg := core.NewAggregator(p, fam)
+	agg.CollectColumn(data, rand.New(rand.NewSource(seed)))
+	sk := agg.Finalize()
+	var mse metrics.MSEAccumulator
+	for d := uint64(0); d < domain; d++ {
+		mse.Add(float64(truth[d]), sk.Frequency(d))
+	}
+	return mse.Value()
+}
+
+// ZipfTask builds a task over a Zipf spec; the ablation benches use it to
+// reach a workload directly, outside the Fig runners.
+func ZipfTask(alpha float64, sc Scale) JoinTask {
+	return taskFor(dataset.ZipfSpec(alpha), sc)
+}

@@ -1,0 +1,58 @@
+// Package hadamard implements the Hadamard transform used by the paper's
+// client-side encoding (Algorithm 1) and the server-side sketch
+// restoration (Algorithm 2).
+//
+// The order-m Hadamard matrix (m a power of two) is defined recursively by
+// H_1 = [1], H_m = [[H_{m/2}, H_{m/2}], [H_{m/2}, -H_{m/2}]]. Its entries
+// admit the closed form H_m[i][j] = (-1)^popcount(i AND j), which lets a
+// client compute a single sampled coordinate of v × H_m in O(1) without
+// materializing anything — the trick that makes LDPJoinSketch clients
+// constant time. The server restores whole sketch rows with the O(m log m)
+// fast Walsh–Hadamard transform.
+package hadamard
+
+import "math/bits"
+
+// Entry returns H_m[i][j] = (-1)^popcount(i & j) for the implicit
+// power-of-two order; the order does not appear because the closed form is
+// order-independent as long as i, j are in range.
+func Entry(i, j int) int {
+	if bits.OnesCount64(uint64(i)&uint64(j))&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Transform applies the in-place fast Walsh–Hadamard transform to v, i.e.
+// v ← v × H_m with m = len(v). The length must be a power of two. The
+// transform is its own inverse up to a factor m: Transform(Transform(v)) =
+// m·v — which is exactly why Algorithm 2 multiplies by H_m^T (= H_m) to
+// restore the sketch.
+func Transform(v []float64) {
+	n := len(v)
+	if !IsPowerOfTwo(n) {
+		panic("hadamard: length must be a power of two")
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := v[j], v[j+h]
+				v[j], v[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// Row writes the i-th row of H_m into dst (len(dst) = m). It is the
+// reference implementation used by tests and the literal (materializing)
+// client; production paths use Entry directly.
+func Row(i int, dst []float64) {
+	for j := range dst {
+		dst[j] = float64(Entry(i, j))
+	}
+}

@@ -1,0 +1,170 @@
+package hadamard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveTransform multiplies v by H_m the slow way using Entry.
+func naiveTransform(v []float64) []float64 {
+	n := len(v)
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += v[i] * float64(Entry(i, j))
+		}
+		out[j] = s
+	}
+	return out
+}
+
+func TestEntryMatchesRecursiveDefinition(t *testing.T) {
+	// Build H_8 by the recursive doubling definition and compare entries.
+	const m = 8
+	h := [][]int{{1}}
+	for len(h) < m {
+		n := len(h)
+		next := make([][]int, 2*n)
+		for i := range next {
+			next[i] = make([]int, 2*n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[i][j] = h[i][j]
+				next[i][j+n] = h[i][j]
+				next[i+n][j] = h[i][j]
+				next[i+n][j+n] = -h[i][j]
+			}
+		}
+		h = next
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if Entry(i, j) != h[i][j] {
+				t.Fatalf("Entry(%d,%d) = %d, want %d", i, j, Entry(i, j), h[i][j])
+			}
+		}
+	}
+}
+
+func TestEntrySymmetry(t *testing.T) {
+	f := func(i, j uint16) bool {
+		return Entry(int(i), int(j)) == Entry(int(j), int(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := naiveTransform(v)
+		got := append([]float64(nil), v...)
+		Transform(got)
+		for i := range want {
+			if diff := got[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("n=%d: Transform[%d]=%g, naive=%g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTransformInvolution checks H·H = m·I, the identity Algorithm 2 relies
+// on to restore the sketch.
+func TestTransformInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 128
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	w := append([]float64(nil), v...)
+	Transform(w)
+	Transform(w)
+	for i := range v {
+		if diff := w[i] - float64(n)*v[i]; diff > 1e-8 || diff < -1e-8 {
+			t.Fatalf("involution failed at %d: got %g want %g", i, w[i], float64(n)*v[i])
+		}
+	}
+}
+
+// TestOrthogonalRows checks that distinct rows of H_m are orthogonal and
+// each row has squared norm m — the property behind E[H[h,L]^2] = 1 in the
+// debiasing proofs.
+func TestOrthogonalRows(t *testing.T) {
+	const m = 64
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			dot := 0
+			for l := 0; l < m; l++ {
+				dot += Entry(i, l) * Entry(j, l)
+			}
+			want := 0
+			if i == j {
+				want = m
+			}
+			if dot != want {
+				t.Fatalf("row dot(%d,%d) = %d, want %d", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestTransformPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non power-of-two length")
+		}
+	}()
+	Transform(make([]float64, 3))
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want bool
+	}{{0, false}, {1, true}, {2, true}, {3, false}, {4, true}, {1023, false}, {1024, true}, {-4, false}} {
+		if got := IsPowerOfTwo(c.n); got != c.want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRowMatchesEntry(t *testing.T) {
+	const m = 32
+	dst := make([]float64, m)
+	for i := 0; i < m; i++ {
+		Row(i, dst)
+		for j := 0; j < m; j++ {
+			if dst[j] != float64(Entry(i, j)) {
+				t.Fatalf("Row(%d)[%d] = %g, want %d", i, j, dst[j], Entry(i, j))
+			}
+		}
+	}
+}
+
+func BenchmarkTransform1024(b *testing.B) {
+	v := make([]float64, 1024)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(v)
+	}
+}
+
+func BenchmarkEntry(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Entry(i&1023, (i>>2)&1023)
+	}
+	_ = sink
+}

@@ -1,0 +1,172 @@
+// Package hashing provides the k-wise independent hash families that every
+// sketch in this repository is built on.
+//
+// The sketches of the paper (fast-AGMS, LDPJoinSketch, HCMS, ...) require,
+// for each sketch row j, a pair of hash functions:
+//
+//   - a bucket function h_j: D -> [0, m-1] that selects a counter, and
+//   - a sign function ξ_j: D -> {-1, +1} drawn from a 4-wise independent
+//     family (4-wise independence is what makes the variance analysis of
+//     the inner-product estimator go through).
+//
+// Both are realized as degree-3 polynomials over the Mersenne prime field
+// GF(2^61-1), which is the textbook construction for 4-wise independence
+// and is fast: reduction modulo 2^61-1 needs only shifts and adds.
+package hashing
+
+import (
+	"math/bits"
+)
+
+// MersennePrime61 is the field modulus 2^61 - 1 used by all polynomial
+// hashes in this package.
+const MersennePrime61 = (uint64(1) << 61) - 1
+
+// mulMod returns a*b mod 2^61-1 for a, b < 2^61-1.
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// The 128-bit product is hi*2^64 + lo. Since 2^64 ≡ 2^3 (mod 2^61-1)
+	// and hi < 2^58 (because a, b < 2^61), hi<<3 does not overflow.
+	r := (lo & MersennePrime61) + (lo >> 61) + (hi << 3)
+	r = (r & MersennePrime61) + (r >> 61)
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// addMod returns a+b mod 2^61-1 for a, b < 2^61-1.
+func addMod(a, b uint64) uint64 {
+	r := a + b
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// SplitMix64 advances the splitmix64 state and returns the next value.
+// It is the seeding PRNG used throughout the repository to derive
+// independent sub-seeds from a master seed deterministically.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PolyHash is a degree-3 polynomial hash over GF(2^61-1), giving a 4-wise
+// independent family. The zero value is not usable; construct with
+// NewPolyHash.
+type PolyHash struct {
+	// c holds the polynomial coefficients c0 + c1*x + c2*x^2 + c3*x^3.
+	c [4]uint64
+}
+
+// NewPolyHash draws a random member of the 4-wise independent family using
+// the given splitmix64 state. The leading coefficient is forced non-zero so
+// the polynomial has full degree.
+func NewPolyHash(state *uint64) PolyHash {
+	var p PolyHash
+	for i := range p.c {
+		p.c[i] = SplitMix64(state) % MersennePrime61
+	}
+	if p.c[3] == 0 {
+		p.c[3] = 1
+	}
+	return p
+}
+
+// Eval evaluates the polynomial at x, returning a value uniform in
+// [0, 2^61-1) over the choice of coefficients.
+func (p PolyHash) Eval(x uint64) uint64 {
+	x %= MersennePrime61
+	// Horner's rule: ((c3*x + c2)*x + c1)*x + c0.
+	r := p.c[3]
+	r = addMod(mulMod(r, x), p.c[2])
+	r = addMod(mulMod(r, x), p.c[1])
+	r = addMod(mulMod(r, x), p.c[0])
+	return r
+}
+
+// Pair bundles the (h_j, ξ_j) hash pair for one sketch row: Bucket plays
+// h_j and Sign plays ξ_j. The two are drawn independently.
+type Pair struct {
+	bucket PolyHash
+	sign   PolyHash
+	m      uint64
+}
+
+// NewPair draws an independent (bucket, sign) pair with bucket range
+// [0, m). m must be positive.
+func NewPair(state *uint64, m int) Pair {
+	if m <= 0 {
+		panic("hashing: bucket range m must be positive")
+	}
+	return Pair{
+		bucket: NewPolyHash(state),
+		sign:   NewPolyHash(state),
+		m:      uint64(m),
+	}
+}
+
+// Bucket returns h(d) in [0, m).
+func (p Pair) Bucket(d uint64) int {
+	return int(p.bucket.Eval(d) % p.m)
+}
+
+// Sign returns ξ(d) in {-1, +1}.
+func (p Pair) Sign(d uint64) int {
+	// The low bit of a uniform value in [0, 2^61-1) is unbiased up to
+	// O(2^-61), far below anything measurable.
+	if p.sign.Eval(d)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// M returns the bucket range.
+func (p Pair) M() int { return int(p.m) }
+
+// Family is the ordered collection of k (h_j, ξ_j) pairs shared by the two
+// endpoints of a join: sketches can only be combined when built from the
+// same Family, exactly as the paper requires the same hash functions on
+// both attributes.
+type Family struct {
+	pairs []Pair
+	seed  int64
+	m     int
+}
+
+// NewFamily derives k independent pairs with bucket range [0, m) from the
+// master seed. The derivation is deterministic: equal (seed, k, m) yields
+// an identical family.
+func NewFamily(seed int64, k, m int) *Family {
+	if k <= 0 {
+		panic("hashing: family size k must be positive")
+	}
+	state := uint64(seed) ^ 0x9e3779b97f4a7c15
+	pairs := make([]Pair, k)
+	for j := range pairs {
+		pairs[j] = NewPair(&state, m)
+	}
+	return &Family{pairs: pairs, seed: seed, m: m}
+}
+
+// K returns the number of rows (hash pairs).
+func (f *Family) K() int { return len(f.pairs) }
+
+// M returns the bucket range shared by all pairs.
+func (f *Family) M() int { return f.m }
+
+// Seed returns the master seed the family was derived from.
+func (f *Family) Seed() int64 { return f.seed }
+
+// Pair returns the j-th (h_j, ξ_j) pair.
+func (f *Family) Pair(j int) Pair { return f.pairs[j] }
+
+// Bucket returns h_j(d).
+func (f *Family) Bucket(j int, d uint64) int { return f.pairs[j].Bucket(d) }
+
+// Sign returns ξ_j(d).
+func (f *Family) Sign(j int, d uint64) int { return f.pairs[j].Sign(d) }

@@ -1,0 +1,239 @@
+package hashing
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModMatchesBigIntSemantics(t *testing.T) {
+	// Cross-check fast Mersenne reduction against 128-bit long division.
+	cases := [][2]uint64{
+		{0, 0},
+		{1, 1},
+		{MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61 - 1, 2},
+		{123456789, 987654321},
+		{1 << 60, 1 << 60},
+		{MersennePrime61 / 2, MersennePrime61 / 3},
+	}
+	for _, c := range cases {
+		got := mulMod(c[0], c[1])
+		hi, lo := bits.Mul64(c[0], c[1])
+		_, want := bits.Div64(hi%MersennePrime61, lo, MersennePrime61)
+		if got != want {
+			t.Errorf("mulMod(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestMulModPropertyAgainstDiv64(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		hi, lo := bits.Mul64(a, b)
+		_, want := bits.Div64(hi%MersennePrime61, lo, MersennePrime61)
+		return mulMod(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddModStaysInField(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		r := addMod(a, b)
+		return r < MersennePrime61 && r == (a+b)%MersennePrime61
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyHashDeterministic(t *testing.T) {
+	s1 := uint64(42)
+	s2 := uint64(42)
+	p1 := NewPolyHash(&s1)
+	p2 := NewPolyHash(&s2)
+	for x := uint64(0); x < 1000; x++ {
+		if p1.Eval(x) != p2.Eval(x) {
+			t.Fatalf("same seed produced different hashes at x=%d", x)
+		}
+	}
+}
+
+func TestPolyHashInRange(t *testing.T) {
+	s := uint64(7)
+	p := NewPolyHash(&s)
+	f := func(x uint64) bool { return p.Eval(x) < MersennePrime61 }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairBucketRangeAndSign(t *testing.T) {
+	s := uint64(99)
+	for _, m := range []int{1, 2, 16, 1024, 1000} {
+		p := NewPair(&s, m)
+		for x := uint64(0); x < 2000; x++ {
+			b := p.Bucket(x)
+			if b < 0 || b >= m {
+				t.Fatalf("bucket %d out of range [0,%d)", b, m)
+			}
+			if sg := p.Sign(x); sg != 1 && sg != -1 {
+				t.Fatalf("sign %d not in {-1,+1}", sg)
+			}
+		}
+	}
+}
+
+func TestNewPairPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m=0")
+		}
+	}()
+	s := uint64(1)
+	NewPair(&s, 0)
+}
+
+func TestNewFamilyPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewFamily(1, 0, 16)
+}
+
+// TestSignBalance checks that the sign hash is close to balanced over a
+// contiguous domain: a structural bias here would skew every estimator in
+// the repository.
+func TestSignBalance(t *testing.T) {
+	fam := NewFamily(12345, 8, 1024)
+	const n = 20000
+	for j := 0; j < fam.K(); j++ {
+		sum := 0
+		for x := uint64(0); x < n; x++ {
+			sum += fam.Sign(j, x)
+		}
+		// Std dev of the sum is sqrt(n) ≈ 141; allow 5 sigma.
+		if sum > 707 || sum < -707 {
+			t.Errorf("row %d: sign sum %d exceeds 5 sigma bound", j, sum)
+		}
+	}
+}
+
+// TestBucketUniformity performs a coarse chi-square check of bucket
+// uniformity across a small m.
+func TestBucketUniformity(t *testing.T) {
+	const m = 16
+	const n = 32000
+	fam := NewFamily(777, 4, m)
+	for j := 0; j < fam.K(); j++ {
+		counts := make([]int, m)
+		for x := uint64(0); x < n; x++ {
+			counts[fam.Bucket(j, x)]++
+		}
+		expected := float64(n) / m
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 15 degrees of freedom; 99.9th percentile ≈ 37.7. Allow slack.
+		if chi2 > 45 {
+			t.Errorf("row %d: chi-square %.1f too large for uniform buckets", j, chi2)
+		}
+	}
+}
+
+// TestFourWiseSignProducts verifies the defining property the variance
+// proofs rely on: E[ξ(a)ξ(b)] ≈ 0 and E[ξ(a)ξ(b)ξ(c)ξ(d)] ≈ 0 for distinct
+// points, averaged over random family draws.
+func TestFourWiseSignProducts(t *testing.T) {
+	const trials = 4000
+	state := uint64(31415)
+	sum2, sum4 := 0, 0
+	for i := 0; i < trials; i++ {
+		p := NewPair(&state, 4)
+		sum2 += p.Sign(1) * p.Sign(2)
+		sum4 += p.Sign(1) * p.Sign(2) * p.Sign(3) * p.Sign(4)
+	}
+	// Std dev ≈ sqrt(trials) ≈ 63; allow 5 sigma ≈ 316.
+	if sum2 > 316 || sum2 < -316 {
+		t.Errorf("pairwise sign product sum %d deviates from 0", sum2)
+	}
+	if sum4 > 316 || sum4 < -316 {
+		t.Errorf("4-wise sign product sum %d deviates from 0", sum4)
+	}
+}
+
+func TestFamilyAccessors(t *testing.T) {
+	fam := NewFamily(5, 3, 64)
+	if fam.K() != 3 || fam.M() != 64 || fam.Seed() != 5 {
+		t.Fatalf("accessors mismatch: k=%d m=%d seed=%d", fam.K(), fam.M(), fam.Seed())
+	}
+	if fam.Pair(1).M() != 64 {
+		t.Fatalf("pair M mismatch")
+	}
+	// Pair accessors agree with family-level shortcuts.
+	for j := 0; j < fam.K(); j++ {
+		for x := uint64(0); x < 100; x++ {
+			if fam.Bucket(j, x) != fam.Pair(j).Bucket(x) {
+				t.Fatal("Bucket shortcut disagrees with Pair")
+			}
+			if fam.Sign(j, x) != fam.Pair(j).Sign(x) {
+				t.Fatal("Sign shortcut disagrees with Pair")
+			}
+		}
+	}
+}
+
+func TestFamiliesWithDifferentSeedsDiffer(t *testing.T) {
+	a := NewFamily(1, 2, 1024)
+	b := NewFamily(2, 2, 1024)
+	same := true
+	for x := uint64(0); x < 64 && same; x++ {
+		if a.Bucket(0, x) != b.Bucket(0, x) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical bucket functions")
+	}
+}
+
+func TestSplitMix64KnownSequenceDistinct(t *testing.T) {
+	state := uint64(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := SplitMix64(&state)
+		if seen[v] {
+			t.Fatalf("splitmix64 repeated value within 1000 draws")
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkPolyHashEval(b *testing.B) {
+	s := uint64(1)
+	p := NewPolyHash(&s)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Eval(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkPairBucketSign(b *testing.B) {
+	s := uint64(1)
+	p := NewPair(&s, 1024)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += p.Bucket(uint64(i)) + p.Sign(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,54 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCycleSizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + rng.Intn(40)
+		mk := func() PairTable {
+			pt := PairTable{A: make([]uint64, n), B: make([]uint64, n)}
+			for i := 0; i < n; i++ {
+				pt.A[i] = uint64(rng.Intn(6))
+				pt.B[i] = uint64(rng.Intn(6))
+			}
+			return pt
+		}
+		t1, t2, t3 := mk(), mk(), mk()
+		var brute float64
+		for i := range t1.A {
+			for j := range t2.A {
+				if t1.B[i] != t2.A[j] {
+					continue
+				}
+				for l := range t3.A {
+					if t2.B[j] == t3.A[l] && t3.B[l] == t1.A[i] {
+						brute++
+					}
+				}
+			}
+		}
+		if got := CycleSize(t1, t2, t3); got != brute {
+			t.Fatalf("trial %d: CycleSize = %g, brute = %g", trial, got, brute)
+		}
+	}
+}
+
+func TestCycleSizeEmpty(t *testing.T) {
+	empty := PairTable{}
+	if got := CycleSize(empty, empty, empty); got != 0 {
+		t.Fatalf("empty cycle = %g", got)
+	}
+}
+
+func TestCycleSizePanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CycleSize(PairTable{A: []uint64{1}}, PairTable{}, PairTable{})
+}

@@ -1,0 +1,146 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrequencies(t *testing.T) {
+	f := Frequencies([]uint64{1, 2, 2, 3, 3, 3})
+	if f[1] != 1 || f[2] != 2 || f[3] != 3 || len(f) != 3 {
+		t.Fatalf("frequencies = %v", f)
+	}
+}
+
+func TestSizeSmall(t *testing.T) {
+	a := []uint64{1, 1, 2, 3}
+	b := []uint64{1, 2, 2, 4}
+	// f_A·f_B = 2*1 (value 1) + 1*2 (value 2) = 4.
+	if got := Size(a, b); got != 4 {
+		t.Fatalf("Size = %g, want 4", got)
+	}
+}
+
+func TestSizeEmpty(t *testing.T) {
+	if got := Size(nil, []uint64{1, 2}); got != 0 {
+		t.Fatalf("empty join = %g, want 0", got)
+	}
+}
+
+func TestSizeSymmetric(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		for i := range a {
+			a[i] %= 50
+		}
+		for i := range b {
+			b[i] %= 50
+		}
+		return Size(a, b) == Size(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = uint64(rng.Intn(20))
+			b[i] = uint64(rng.Intn(20))
+		}
+		var brute float64
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					brute++
+				}
+			}
+		}
+		if got := Size(a, b); got != brute {
+			t.Fatalf("Size = %g, brute force = %g", got, brute)
+		}
+	}
+}
+
+func TestMoments(t *testing.T) {
+	data := []uint64{5, 5, 5, 7, 9}
+	if F1(data) != 5 {
+		t.Fatalf("F1 = %g, want 5", F1(data))
+	}
+	if F2(data) != 9+1+1 {
+		t.Fatalf("F2 = %g, want 11", F2(data))
+	}
+}
+
+func TestF2IsSelfJoin(t *testing.T) {
+	f := func(raw []uint64) bool {
+		for i := range raw {
+			raw[i] %= 30
+		}
+		return F2(raw) == Size(raw, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainSizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(60)
+		t1 := make([]uint64, n)
+		t3 := make([]uint64, n)
+		t2 := PairTable{A: make([]uint64, n), B: make([]uint64, n)}
+		for i := 0; i < n; i++ {
+			t1[i] = uint64(rng.Intn(8))
+			t3[i] = uint64(rng.Intn(8))
+			t2.A[i] = uint64(rng.Intn(8))
+			t2.B[i] = uint64(rng.Intn(8))
+		}
+		var brute float64
+		for _, a := range t1 {
+			for i := range t2.A {
+				if t2.A[i] != a {
+					continue
+				}
+				for _, c := range t3 {
+					if c == t2.B[i] {
+						brute++
+					}
+				}
+			}
+		}
+		if got := ChainSize(t1, []PairTable{t2}, t3); got != brute {
+			t.Fatalf("ChainSize = %g, brute = %g", got, brute)
+		}
+	}
+}
+
+func TestChainSizeNoMids(t *testing.T) {
+	a := []uint64{1, 1, 2}
+	b := []uint64{1, 2, 2}
+	if got, want := ChainSize(a, nil, b), Size(a, b); got != want {
+		t.Fatalf("ChainSize with no mids = %g, want Size = %g", got, want)
+	}
+}
+
+func TestChainSizePanicsOnRaggedTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ChainSize([]uint64{1}, []PairTable{{A: []uint64{1}, B: nil}}, []uint64{1})
+}
+
+func TestPairTableLen(t *testing.T) {
+	pt := PairTable{A: []uint64{1, 2}, B: []uint64{3, 4}}
+	if pt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", pt.Len())
+	}
+}

@@ -1,0 +1,127 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+// TestFLHSatisfiesLDP enumerates the exact output distribution of the FLH
+// client: P[(i,v)|d] = (1/k′)·(p if v == H_i(d), else (1−p)/(g−1)). The
+// worst-case ratio is p(g−1)/(1−p) = e^ε by construction of p.
+func TestFLHSatisfiesLDP(t *testing.T) {
+	const eps = 1.5
+	f := NewFLH(1, 8, eps)
+	g := float64(f.g)
+	prob := func(d uint64, i int, v uint32) float64 {
+		if v == f.hash(i, d) {
+			return f.p / float64(len(f.seeds))
+		}
+		return (1 - f.p) / (g - 1) / float64(len(f.seeds))
+	}
+	bound := math.Exp(eps) + 1e-12
+	for d1 := uint64(0); d1 < 16; d1++ {
+		for d2 := uint64(0); d2 < 16; d2++ {
+			for i := 0; i < len(f.seeds); i++ {
+				for v := uint32(0); uint64(v) < f.g; v++ {
+					r := prob(d1, i, v) / prob(d2, i, v)
+					if r > bound || r < 1/bound {
+						t.Fatalf("LDP violated: ratio %g at d1=%d d2=%d out=(%d,%d)", r, d1, d2, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFLHGMatchesOLH(t *testing.T) {
+	// g = round(e^ε)+1.
+	for _, c := range []struct {
+		eps  float64
+		want uint64
+	}{{1, 4}, {2, 8}, {0.1, 2}} {
+		if got := NewFLH(1, 4, c.eps).G(); got != c.want {
+			t.Errorf("G(eps=%g) = %d, want %d", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestFLHReportShape(t *testing.T) {
+	f := NewFLH(2, 32, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		r := f.Perturb(uint64(i%100), rng)
+		if int(r.Hash) >= 32 {
+			t.Fatalf("hash index %d out of pool", r.Hash)
+		}
+		if uint64(r.Value) >= f.g {
+			t.Fatalf("value %d out of range g=%d", r.Value, f.g)
+		}
+	}
+}
+
+func TestFLHFrequencyAccuracy(t *testing.T) {
+	const n = 200000
+	const domain = 50
+	f := NewFLH(3, 128, 3)
+	rng := rand.New(rand.NewSource(4))
+	data := dataset.Zipf(5, n, domain, 1.5)
+	f.Collect(data, rng)
+	truth := join.Frequencies(data)
+	// OLH noise std ≈ 2·sqrt(n)·e^{ε/2}/(e^ε−1) plus hash-pool error; be
+	// generous: 8% of n.
+	slack := 0.08 * n
+	for d := uint64(0); d < domain; d++ {
+		if err := math.Abs(f.Frequency(d) - float64(truth[d])); err > slack {
+			t.Fatalf("value %d: error %.0f exceeds %.0f", d, err, slack)
+		}
+	}
+}
+
+func TestFLHJoinSizeHighBudget(t *testing.T) {
+	const n = 150000
+	const domain = 100
+	fa := NewFLH(7, 256, 6)
+	fb := NewFLH(7, 256, 6)
+	rng := rand.New(rand.NewSource(8))
+	da := dataset.Zipf(9, n, domain, 1.5)
+	db := dataset.Zipf(10, n, domain, 1.5)
+	fa.Collect(da, rng)
+	fb.Collect(db, rng)
+	truth := join.Size(da, db)
+	est := fa.JoinSize(fb, domain)
+	if re := math.Abs(est-truth) / truth; re > 0.3 {
+		t.Fatalf("high-budget FLH join RE = %.3f (est %.0f truth %.0f)", re, est, truth)
+	}
+}
+
+func TestFLHPanicsOnBadPool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty hash pool")
+		}
+	}()
+	NewFLH(1, 0, 1)
+}
+
+func TestFLHReportBits(t *testing.T) {
+	f := NewFLH(1, 1024, 1) // g = 4
+	if got := f.ReportBits(); got != 2 {
+		t.Fatalf("ReportBits = %d, want 2", got)
+	}
+}
+
+func TestFLHDeterministicPool(t *testing.T) {
+	a := NewFLH(42, 16, 2)
+	b := NewFLH(42, 16, 2)
+	for i := 0; i < 16; i++ {
+		for d := uint64(0); d < 100; d++ {
+			if a.hash(i, d) != b.hash(i, d) {
+				t.Fatal("same seed produced different hash pools")
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OUE is Optimized Unary Encoding (Wang et al., USENIX Security 2017):
+// the client one-hot encodes its value over the domain and perturbs each
+// bit independently, keeping a set bit with probability 1/2 and flipping
+// an unset bit on with probability 1/(e^ε+1). Communication is Θ(|D|)
+// bits per user — the large-domain cost the paper's sketches avoid — but
+// its variance is the best of the unary family, which makes it a useful
+// extra baseline and a reference point for the frequency tests.
+type OUE struct {
+	domain uint64
+	eps    float64
+	p      float64 // probability a set bit stays set (1/2)
+	q      float64 // probability an unset bit turns on
+	counts []float64
+	n      float64
+}
+
+// NewOUE creates an OUE aggregator over [0, domain).
+func NewOUE(domain uint64, eps float64) *OUE {
+	ValidateEpsilon(eps)
+	if domain < 2 {
+		panic("ldp: OUE needs a domain of at least 2")
+	}
+	return &OUE{
+		domain: domain,
+		eps:    eps,
+		p:      0.5,
+		q:      1 / (math.Exp(eps) + 1),
+		counts: make([]float64, domain),
+	}
+}
+
+// Domain returns the domain size.
+func (o *OUE) Domain() uint64 { return o.domain }
+
+// Perturb runs the client side: the returned slice lists the indices of
+// the bits set in the perturbed unary encoding of d.
+func (o *OUE) Perturb(d uint64, rng *rand.Rand) []uint64 {
+	if d >= o.domain {
+		panic("ldp: OUE value outside domain")
+	}
+	// Sampling every unset bit individually would be Θ(|D|) per client;
+	// the number of flipped-on bits is Binomial(|D|-1, q), so we sample
+	// the count and then the positions — identical distribution,
+	// Θ(output) time.
+	var out []uint64
+	if rng.Float64() < o.p {
+		out = append(out, d)
+	}
+	flips := binomial(rng, o.domain-1, o.q)
+	for i := 0; i < flips; i++ {
+		v := uint64(rng.Int63n(int64(o.domain - 1)))
+		if v >= d {
+			v++
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// binomial samples Binomial(n, p). For the small p·n regimes used here a
+// normal/Poisson hybrid keeps it O(1): Poisson approximation when
+// n·p < 30, otherwise a rounded normal (clamped to [0, n]).
+func binomial(rng *rand.Rand, n uint64, p float64) int {
+	mean := float64(n) * p
+	if mean < 30 {
+		// Poisson via Knuth's product method (mean is small).
+		l := math.Exp(-mean)
+		k := 0
+		prod := rng.Float64()
+		for prod > l {
+			k++
+			prod *= rng.Float64()
+		}
+		if uint64(k) > n {
+			k = int(n)
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := math.Round(rng.NormFloat64()*sd + mean)
+	if v < 0 {
+		v = 0
+	}
+	if v > float64(n) {
+		v = float64(n)
+	}
+	return int(v)
+}
+
+// Add ingests one perturbed report (the set-bit indices).
+func (o *OUE) Add(bits []uint64) {
+	for _, b := range bits {
+		o.counts[b]++
+	}
+	o.n++
+}
+
+// Collect perturbs and ingests a whole column.
+func (o *OUE) Collect(data []uint64, rng *rand.Rand) {
+	for _, d := range data {
+		o.Add(o.Perturb(d, rng))
+	}
+}
+
+// N returns the number of reports collected.
+func (o *OUE) N() float64 { return o.n }
+
+// Frequency returns the calibrated estimate (c(d) − n·q)/(p − q).
+func (o *OUE) Frequency(d uint64) float64 {
+	return (o.counts[d] - o.n*o.q) / (o.p - o.q)
+}
+
+// JoinSize estimates |A ⋈ B| by accumulating frequency products.
+func (o *OUE) JoinSize(other *OUE, domain uint64) float64 {
+	var s float64
+	for d := uint64(0); d < domain; d++ {
+		s += o.Frequency(d) * other.Frequency(d)
+	}
+	return s
+}
+
+// ReportBits returns the communication cost of one report: the full
+// unary vector, |D| bits.
+func (o *OUE) ReportBits() int { return int(o.domain) }

@@ -1,0 +1,133 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+// TestOUESatisfiesLDP checks the per-report ratio bound analytically: an
+// OUE output vector's probability factorizes per bit, and changing the
+// input moves exactly two bits — the old one (p vs q) and the new one
+// (q vs p) — so the worst-case ratio is [p(1−q)]/[q(1−p)] = e^ε.
+func TestOUESatisfiesLDP(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 4} {
+		o := NewOUE(100, eps)
+		ratio := (o.p * (1 - o.q)) / (o.q * (1 - o.p))
+		if math.Abs(ratio-math.Exp(eps)) > 1e-9 {
+			t.Fatalf("eps=%g: worst-case ratio %g != e^ε %g", eps, ratio, math.Exp(eps))
+		}
+	}
+}
+
+func TestOUEBitDistribution(t *testing.T) {
+	const eps = 1.0
+	const domain = 40
+	o := NewOUE(domain, eps)
+	rng := rand.New(rand.NewSource(1))
+	const n = 60000
+	counts := make([]float64, domain)
+	for i := 0; i < n; i++ {
+		for _, b := range o.Perturb(7, rng) {
+			counts[b]++
+		}
+	}
+	// Bit 7 should fire at rate p=0.5; every other at q.
+	if got := counts[7] / n; math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("true bit rate %.4f, want 0.5", got)
+	}
+	for d := 0; d < domain; d++ {
+		if d == 7 {
+			continue
+		}
+		if got := counts[d] / n; math.Abs(got-o.q) > 0.012 {
+			t.Fatalf("bit %d rate %.4f, want %.4f", d, got, o.q)
+		}
+	}
+}
+
+func TestOUEFrequencyAccuracy(t *testing.T) {
+	const domain = 60
+	const n = 150000
+	o := NewOUE(domain, 2)
+	rng := rand.New(rand.NewSource(3))
+	data := dataset.Zipf(4, n, domain, 1.4)
+	o.Collect(data, rng)
+	truth := join.Frequencies(data)
+	// OUE variance per value ≈ n·4e^ε/(e^ε−1)²; 5σ slack.
+	e := math.Exp(2.0)
+	slack := 5 * math.Sqrt(float64(n)*4*e/((e-1)*(e-1)))
+	for d := uint64(0); d < domain; d++ {
+		if err := math.Abs(o.Frequency(d) - float64(truth[d])); err > slack {
+			t.Fatalf("value %d: error %.0f exceeds %.0f", d, err, slack)
+		}
+	}
+	if o.N() != n {
+		t.Fatalf("N = %g", o.N())
+	}
+}
+
+func TestOUEJoinSizeHighBudget(t *testing.T) {
+	const domain = 100
+	const n = 100000
+	oa := NewOUE(domain, 6)
+	ob := NewOUE(domain, 6)
+	rng := rand.New(rand.NewSource(5))
+	da := dataset.Zipf(6, n, domain, 1.4)
+	db := dataset.Zipf(7, n, domain, 1.4)
+	oa.Collect(da, rng)
+	ob.Collect(db, rng)
+	truth := join.Size(da, db)
+	est := oa.JoinSize(ob, domain)
+	if re := math.Abs(est-truth) / truth; re > 0.1 {
+		t.Fatalf("high-budget OUE join RE = %.3f", re)
+	}
+}
+
+func TestOUEPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for tiny domain")
+			}
+		}()
+		NewOUE(1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-domain value")
+			}
+		}()
+		NewOUE(4, 1).Perturb(9, rand.New(rand.NewSource(1)))
+	}()
+}
+
+func TestOUEReportBits(t *testing.T) {
+	if got := NewOUE(1024, 1).ReportBits(); got != 1024 {
+		t.Fatalf("ReportBits = %d", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range []struct {
+		n uint64
+		p float64
+	}{{1000, 0.001}, {1000, 0.01}, {100000, 0.002}} {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(binomial(rng, c.n, c.p))
+		}
+		mean := sum / trials
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(want * (1 - c.p) / trials)
+		if math.Abs(mean-want) > 6*sd+0.05 {
+			t.Fatalf("binomial(%d,%g): mean %.3f, want %.3f", c.n, c.p, mean, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+
+	"ldpjoin/internal/hashing"
+)
+
+// RAPPOR is a one-round (permanent-response only) variant of Google's
+// RAPPOR (Erlingsson et al., CCS 2014), the bloom-filter approach §II
+// cites for large domains: the client hashes its value into an m-bit
+// bloom filter with h hash functions and randomizes every bit with the
+// symmetric flip probability q = 1/(e^{ε/(2h)}+1), which yields ε-LDP
+// because flipping one value changes at most 2h bits.
+//
+// Frequency decoding uses per-candidate bit debiasing with a CountMin
+// style minimum over the candidate's h bits — a simplification of the
+// original's lasso regression that keeps the estimator self-contained
+// (documented substitution; it over-estimates under heavy bloom
+// saturation exactly as CountMin does).
+type RAPPOR struct {
+	eps    float64
+	m      int
+	hashes []hashing.Pair
+	q      float64 // per-bit flip probability
+	counts []float64
+	n      float64
+}
+
+// NewRAPPOR creates an aggregator with an m-bit filter and h hash
+// functions derived from seed.
+func NewRAPPOR(seed int64, m, h int, eps float64) *RAPPOR {
+	ValidateEpsilon(eps)
+	if m < 2 || h < 1 {
+		panic("ldp: RAPPOR needs m ≥ 2 filter bits and h ≥ 1 hashes")
+	}
+	state := uint64(seed) ^ 0x0123456789abcdef
+	hashes := make([]hashing.Pair, h)
+	for i := range hashes {
+		hashes[i] = hashing.NewPair(&state, m)
+	}
+	return &RAPPOR{
+		eps:    eps,
+		m:      m,
+		hashes: hashes,
+		q:      1 / (math.Exp(eps/(2*float64(h))) + 1),
+		counts: make([]float64, m),
+	}
+}
+
+// bloomBits returns the h filter positions of d (possibly with
+// duplicates, as in a standard bloom filter).
+func (r *RAPPOR) bloomBits(d uint64) []int {
+	bits := make([]int, len(r.hashes))
+	for i, h := range r.hashes {
+		bits[i] = h.Bucket(d)
+	}
+	return bits
+}
+
+// Perturb runs the client side: it returns the randomized m-bit filter
+// as the list of set bit positions.
+func (r *RAPPOR) Perturb(d uint64, rng *rand.Rand) []int {
+	set := make(map[int]bool, len(r.hashes))
+	for _, b := range r.bloomBits(d) {
+		set[b] = true
+	}
+	var out []int
+	for b := 0; b < r.m; b++ {
+		bit := set[b]
+		if rng.Float64() < r.q {
+			bit = !bit
+		}
+		if bit {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Add ingests one perturbed filter.
+func (r *RAPPOR) Add(setBits []int) {
+	for _, b := range setBits {
+		r.counts[b]++
+	}
+	r.n++
+}
+
+// Collect perturbs and ingests a whole column.
+func (r *RAPPOR) Collect(data []uint64, rng *rand.Rand) {
+	for _, d := range data {
+		r.Add(r.Perturb(d, rng))
+	}
+}
+
+// N returns the number of reports collected.
+func (r *RAPPOR) N() float64 { return r.n }
+
+// bitFrequency returns the debiased count of reports whose true filter
+// had bit b set: (c(b) − n·q)/(1 − 2q).
+func (r *RAPPOR) bitFrequency(b int) float64 {
+	return (r.counts[b] - r.n*r.q) / (1 - 2*r.q)
+}
+
+// Frequency estimates f(d) as the minimum debiased count over d's filter
+// bits (a CountMin-style upper-bound estimator).
+func (r *RAPPOR) Frequency(d uint64) float64 {
+	est := math.Inf(1)
+	for _, b := range r.bloomBits(d) {
+		if v := r.bitFrequency(b); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// ReportBits returns the communication cost of one report: the full
+// filter, m bits.
+func (r *RAPPOR) ReportBits() int { return r.m }

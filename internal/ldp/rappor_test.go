@@ -1,0 +1,96 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+// TestRAPPORSatisfiesLDP checks the ratio bound analytically: two inputs
+// differ in at most 2h filter bits, each contributing a factor
+// (1−q)/q = e^{ε/(2h)}, so the total ratio is at most e^ε.
+func TestRAPPORSatisfiesLDP(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 4} {
+		for _, h := range []int{1, 2, 4} {
+			r := NewRAPPOR(1, 256, h, eps)
+			perBit := (1 - r.q) / r.q
+			worst := math.Pow(perBit, 2*float64(h))
+			if worst > math.Exp(eps)*(1+1e-9) {
+				t.Fatalf("eps=%g h=%d: worst-case ratio %g exceeds e^ε %g", eps, h, worst, math.Exp(eps))
+			}
+		}
+	}
+}
+
+func TestRAPPORBitDebias(t *testing.T) {
+	r := NewRAPPOR(2, 64, 2, 4)
+	rng := rand.New(rand.NewSource(3))
+	const n = 80000
+	const value = 5
+	for i := 0; i < n; i++ {
+		r.Add(r.Perturb(value, rng))
+	}
+	// Every filter bit of the value should debias to ≈ n; all others to
+	// ≈ 0 (within noise std sqrt(n·q(1-q))/(1-2q)).
+	want := map[int]bool{}
+	for _, b := range r.bloomBits(value) {
+		want[b] = true
+	}
+	slack := 6 * math.Sqrt(float64(n)*r.q*(1-r.q)) / (1 - 2*r.q)
+	for b := 0; b < 64; b++ {
+		est := r.bitFrequency(b)
+		target := 0.0
+		if want[b] {
+			target = n
+		}
+		if math.Abs(est-target) > slack {
+			t.Fatalf("bit %d: debiased %.0f, want %.0f ± %.0f", b, est, target, slack)
+		}
+	}
+	if r.N() != n {
+		t.Fatalf("N = %g", r.N())
+	}
+}
+
+func TestRAPPORFrequencyRanksHeavyItems(t *testing.T) {
+	const domain = 200
+	const n = 150000
+	r := NewRAPPOR(5, 1024, 2, 4)
+	rng := rand.New(rand.NewSource(6))
+	data := dataset.Zipf(7, n, domain, 1.5)
+	r.Collect(data, rng)
+	truth := join.Frequencies(data)
+	// The top value's estimate should dwarf the estimate of a rare one.
+	var top uint64
+	var max int64
+	for d, c := range truth {
+		if c > max {
+			top, max = d, c
+		}
+	}
+	fTop := r.Frequency(top)
+	if math.Abs(fTop-float64(max)) > 0.3*float64(max) {
+		t.Fatalf("top value estimate %.0f vs truth %d", fTop, max)
+	}
+	if fRare := r.Frequency(domain - 1); fRare > fTop/2 {
+		t.Fatalf("rare value estimate %.0f not well below top %.0f", fRare, fTop)
+	}
+}
+
+func TestRAPPORPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad filter params")
+		}
+	}()
+	NewRAPPOR(1, 1, 0, 1)
+}
+
+func TestRAPPORReportBits(t *testing.T) {
+	if got := NewRAPPOR(1, 512, 2, 1).ReportBits(); got != 512 {
+		t.Fatalf("ReportBits = %d", got)
+	}
+}

@@ -1,0 +1,50 @@
+// Package ldp implements the local-differential-privacy mechanisms the
+// paper compares against — k-ary randomized response (k-RR), Apple's
+// Hadamard count mean sketch (HCMS) and fast local hashing (FLH) — plus
+// the shared randomized-response primitives the paper's own mechanisms
+// (internal/core) are built from.
+//
+// Each mechanism follows the paper's LDP workflow: a pure client-side
+// Perturb function (safe to run on untrusted data holders) and a
+// server-side aggregator that collects perturbed reports and answers
+// frequency and join-size queries. Frequency estimates are calibrated to
+// be unbiased; join sizes for these baselines are computed by accumulating
+// f̃_A(d)·f̃_B(d) over the candidate domain, exactly the strategy §II
+// attributes to them.
+package ldp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CEpsilon returns c_ε = (e^ε+1)/(e^ε−1), the debiasing scale of the
+// paper's randomized-response bit (Algorithm 2, line 2).
+func CEpsilon(eps float64) float64 {
+	e := math.Exp(eps)
+	return (e + 1) / (e - 1)
+}
+
+// KeepProb returns e^ε/(e^ε+1): the probability that the random bit b of
+// Algorithm 1 keeps the encoded sign.
+func KeepProb(eps float64) float64 {
+	e := math.Exp(eps)
+	return e / (e + 1)
+}
+
+// SampleBit draws the b ∈ {−1,+1} of Algorithm 1: −1 with probability
+// 1/(e^ε+1).
+func SampleBit(rng *rand.Rand, eps float64) int8 {
+	if rng.Float64() < KeepProb(eps) {
+		return 1
+	}
+	return -1
+}
+
+// ValidateEpsilon panics when eps is not a usable privacy budget. The
+// mechanisms call it in their constructors so misuse fails fast.
+func ValidateEpsilon(eps float64) {
+	if math.IsNaN(eps) || eps <= 0 {
+		panic("ldp: privacy budget epsilon must be positive")
+	}
+}

@@ -1,0 +1,86 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCEpsilonKnownValues(t *testing.T) {
+	// c_ε = (e^ε+1)/(e^ε−1).
+	for _, c := range []struct{ eps, want float64 }{
+		{math.Log(3), 2}, // (3+1)/(3-1)
+		{math.Log(2), 3}, // (2+1)/(2-1)
+		{1, (math.E + 1) / (math.E - 1)},
+	} {
+		if got := CEpsilon(c.eps); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CEpsilon(%g) = %g, want %g", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestCEpsilonDecreasing(t *testing.T) {
+	// Stronger privacy (smaller ε) requires a larger debias scale.
+	prev := math.Inf(1)
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 4, 8} {
+		c := CEpsilon(eps)
+		if c >= prev || c <= 1 {
+			t.Fatalf("CEpsilon not strictly decreasing toward 1: eps=%g c=%g prev=%g", eps, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestKeepProbBounds(t *testing.T) {
+	for _, eps := range []float64{0.1, 1, 4, 10} {
+		p := KeepProb(eps)
+		if p <= 0.5 || p >= 1 {
+			t.Fatalf("KeepProb(%g) = %g outside (0.5, 1)", eps, p)
+		}
+	}
+}
+
+func TestSampleBitDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const eps = 1.0
+	const n = 200000
+	pos := 0
+	for i := 0; i < n; i++ {
+		b := SampleBit(rng, eps)
+		if b != 1 && b != -1 {
+			t.Fatalf("bit %d not in {-1,1}", b)
+		}
+		if b == 1 {
+			pos++
+		}
+	}
+	want := KeepProb(eps)
+	got := float64(pos) / n
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("empirical keep rate %.4f, want %.4f", got, want)
+	}
+}
+
+func TestSampleBitDebiasIdentity(t *testing.T) {
+	// E[B] = 1/c_ε is the identity Algorithm 2's scale relies on.
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		eb := KeepProb(eps) - (1 - KeepProb(eps))
+		if math.Abs(eb-1/CEpsilon(eps)) > 1e-12 {
+			t.Fatalf("E[B] != 1/c_ε at eps=%g", eps)
+		}
+	}
+}
+
+func TestValidateEpsilonPanics(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for eps=%v", eps)
+				}
+			}()
+			ValidateEpsilon(eps)
+		}()
+	}
+	ValidateEpsilon(0.1) // must not panic
+}

@@ -1,0 +1,82 @@
+// Package metrics implements the error metrics of the paper's evaluation
+// (§VII-A): absolute error (AE), relative error (RE) and mean squared
+// error (MSE), together with small accumulator helpers used by the
+// experiment harness to average over testing rounds.
+package metrics
+
+import "math"
+
+// AbsErr returns |truth − est|.
+func AbsErr(truth, est float64) float64 { return math.Abs(truth - est) }
+
+// RelErr returns |truth − est| / truth. A zero truth yields +Inf for a
+// non-zero error and 0 for a perfect estimate, mirroring how the paper's
+// plots treat degenerate rounds.
+func RelErr(truth, est float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(truth-est) / math.Abs(truth)
+}
+
+// Accumulator averages AE and RE over repeated testing rounds: the paper's
+// (1/t)Σ|J − Ĵ| and (1/t)Σ|J − Ĵ|/J.
+type Accumulator struct {
+	sumAE float64
+	sumRE float64
+	n     int
+}
+
+// Add records one round with the given true and estimated values.
+func (a *Accumulator) Add(truth, est float64) {
+	a.sumAE += AbsErr(truth, est)
+	a.sumRE += RelErr(truth, est)
+	a.n++
+}
+
+// Rounds returns the number of rounds recorded.
+func (a *Accumulator) Rounds() int { return a.n }
+
+// AE returns the mean absolute error over the recorded rounds.
+func (a *Accumulator) AE() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sumAE / float64(a.n)
+}
+
+// RE returns the mean relative error over the recorded rounds.
+func (a *Accumulator) RE() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sumRE / float64(a.n)
+}
+
+// MSEAccumulator averages squared frequency-estimation errors:
+// (1/n)Σ_d (f(d) − f̃(d))² over the distinct values probed.
+type MSEAccumulator struct {
+	sum float64
+	n   int
+}
+
+// Add records one value's true and estimated frequency.
+func (m *MSEAccumulator) Add(truth, est float64) {
+	d := truth - est
+	m.sum += d * d
+	m.n++
+}
+
+// Value returns the mean squared error.
+func (m *MSEAccumulator) Value() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.sum / float64(m.n)
+}
+
+// Count returns the number of values recorded.
+func (m *MSEAccumulator) Count() int { return m.n }

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsRelErr(t *testing.T) {
+	if AbsErr(10, 7) != 3 || AbsErr(7, 10) != 3 {
+		t.Fatal("AbsErr not symmetric around diff")
+	}
+	if RelErr(10, 7) != 0.3 {
+		t.Fatalf("RelErr = %g, want 0.3", RelErr(10, 7))
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) should be 0")
+	}
+	if !math.IsInf(RelErr(0, 5), 1) {
+		t.Fatal("RelErr(0,5) should be +Inf")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.AE()) || !math.IsNaN(a.RE()) {
+		t.Fatal("empty accumulator should report NaN")
+	}
+	a.Add(100, 90)
+	a.Add(100, 120)
+	if a.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", a.Rounds())
+	}
+	if a.AE() != 15 {
+		t.Fatalf("AE = %g, want 15", a.AE())
+	}
+	if math.Abs(a.RE()-0.15) > 1e-12 {
+		t.Fatalf("RE = %g, want 0.15", a.RE())
+	}
+}
+
+func TestMSEAccumulator(t *testing.T) {
+	var m MSEAccumulator
+	if !math.IsNaN(m.Value()) {
+		t.Fatal("empty MSE should be NaN")
+	}
+	m.Add(10, 8)
+	m.Add(10, 14)
+	if m.Count() != 2 {
+		t.Fatalf("count = %d, want 2", m.Count())
+	}
+	if m.Value() != (4+16)/2.0 {
+		t.Fatalf("MSE = %g, want 10", m.Value())
+	}
+}
+
+func TestErrNonNegativeProperty(t *testing.T) {
+	f := func(truth, est float64) bool {
+		if math.IsNaN(truth) || math.IsNaN(est) {
+			return true
+		}
+		return AbsErr(truth, est) >= 0 && RelErr(truth, est) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectEstimatorZeroError(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return AbsErr(v, v) == 0 && RelErr(v, v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

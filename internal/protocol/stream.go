@@ -1,0 +1,237 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ldpjoin/internal/core"
+)
+
+// ReportWriter streams join reports onto a connection: a client gateway
+// in the paper's workflow. It buffers internally; call Flush (or Close on
+// the underlying connection after Flush) when done.
+type ReportWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewReportWriter writes the stream header for the given parameters and
+// returns a writer for the reports.
+func NewReportWriter(w io.Writer, p core.Params) (*ReportWriter, error) {
+	bw := bufio.NewWriter(w)
+	h := Header{Kind: KindJoin, K: p.K, M: p.M, Epsilon: p.Epsilon}
+	if err := WriteHeader(bw, h); err != nil {
+		return nil, err
+	}
+	return &ReportWriter{bw: bw, buf: make([]byte, 0, reportSize)}, nil
+}
+
+// Write streams one report.
+func (w *ReportWriter) Write(r core.Report) error {
+	w.buf = AppendReport(w.buf[:0], r)
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// Flush pushes buffered reports to the underlying writer.
+func (w *ReportWriter) Flush() error { return w.bw.Flush() }
+
+// ReadStream reads a KindJoin stream until EOF, passing every report to
+// sink. It returns the header and the number of reports read.
+func ReadStream(r io.Reader, expect core.Params, sink func(core.Report)) (Header, int, error) {
+	br := bufio.NewReader(r)
+	h, err := ReadHeader(br)
+	if err != nil {
+		return Header{}, 0, err
+	}
+	if h.Kind != KindJoin {
+		return h, 0, fmt.Errorf("protocol: expected join stream, got kind %d", h.Kind)
+	}
+	if h.K != expect.K || h.M != expect.M || h.Epsilon != expect.Epsilon {
+		return h, 0, fmt.Errorf("protocol: stream params (k=%d,m=%d,eps=%g) do not match server (k=%d,m=%d,eps=%g)",
+			h.K, h.M, h.Epsilon, expect.K, expect.M, expect.Epsilon)
+	}
+	buf := make([]byte, reportSize)
+	n := 0
+	for {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				return h, n, nil
+			}
+			return h, n, fmt.Errorf("protocol: reading report %d: %w", n, err)
+		}
+		rep, err := DecodeReport(buf)
+		if err != nil {
+			return h, n, err
+		}
+		// Bounds-check before the report can reach the sketch: a corrupt
+		// or hostile stream must surface as an error, not a panic in the
+		// aggregation goroutine.
+		if int(rep.Row) >= expect.K || int(rep.Col) >= expect.M {
+			return h, n, fmt.Errorf("protocol: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
+				n, rep.Row, rep.Col, expect.K, expect.M)
+		}
+		sink(rep)
+		n++
+	}
+}
+
+// MatrixReportWriter streams two-attribute (middle-table) reports onto a
+// connection.
+type MatrixReportWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewMatrixReportWriter writes a KindMatrix header for the given matrix
+// parameters and returns a writer for the reports.
+func NewMatrixReportWriter(w io.Writer, p core.MatrixParams) (*MatrixReportWriter, error) {
+	bw := bufio.NewWriter(w)
+	h := Header{Kind: KindMatrix, K: p.K, M: p.M1, M2: p.M2, Epsilon: p.Epsilon}
+	if err := WriteHeader(bw, h); err != nil {
+		return nil, err
+	}
+	return &MatrixReportWriter{bw: bw, buf: make([]byte, 0, matrixReportSize)}, nil
+}
+
+// Write streams one matrix report.
+func (w *MatrixReportWriter) Write(r core.MatrixReport) error {
+	w.buf = AppendMatrixReport(w.buf[:0], r)
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// Flush pushes buffered reports to the underlying writer.
+func (w *MatrixReportWriter) Flush() error { return w.bw.Flush() }
+
+// ReadMatrixStream reads a KindMatrix stream until EOF, passing every
+// report to sink after bounds-checking it against the expected
+// parameters.
+func ReadMatrixStream(r io.Reader, expect core.MatrixParams, sink func(core.MatrixReport)) (Header, int, error) {
+	br := bufio.NewReader(r)
+	h, err := ReadHeader(br)
+	if err != nil {
+		return Header{}, 0, err
+	}
+	if h.Kind != KindMatrix {
+		return h, 0, fmt.Errorf("protocol: expected matrix stream, got kind %d", h.Kind)
+	}
+	if h.K != expect.K || h.M != expect.M1 || h.M2 != expect.M2 || h.Epsilon != expect.Epsilon {
+		return h, 0, fmt.Errorf("protocol: matrix stream params (k=%d,m1=%d,m2=%d,eps=%g) do not match server (k=%d,m1=%d,m2=%d,eps=%g)",
+			h.K, h.M, h.M2, h.Epsilon, expect.K, expect.M1, expect.M2, expect.Epsilon)
+	}
+	buf := make([]byte, matrixReportSize)
+	n := 0
+	for {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				return h, n, nil
+			}
+			return h, n, fmt.Errorf("protocol: reading matrix report %d: %w", n, err)
+		}
+		rep, err := DecodeMatrixReport(buf)
+		if err != nil {
+			return h, n, err
+		}
+		if int(rep.Row) >= expect.K || int(rep.L1) >= expect.M1 || int(rep.L2) >= expect.M2 {
+			return h, n, fmt.Errorf("protocol: matrix report %d indices (%d,%d,%d) out of bounds (%d,%d,%d)",
+				n, rep.Row, rep.L1, rep.L2, expect.K, expect.M1, expect.M2)
+		}
+		sink(rep)
+		n++
+	}
+}
+
+// Collector is the server side of the transport: it accepts connections
+// from a listener and funnels every decoded report into a single
+// aggregator goroutine, so the sketch itself needs no locking (share
+// memory by communicating).
+type Collector struct {
+	params core.Params
+	agg    *core.Aggregator
+
+	reports chan core.Report
+	done    chan struct{}
+
+	mu       sync.Mutex
+	streams  int
+	lastErr  error
+	finished bool
+}
+
+// NewCollector creates a collector feeding the given aggregator.
+func NewCollector(p core.Params, agg *core.Aggregator) *Collector {
+	c := &Collector{
+		params:  p,
+		agg:     agg,
+		reports: make(chan core.Report, 1024),
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(c.done)
+		for r := range c.reports {
+			c.agg.Add(r)
+		}
+	}()
+	return c
+}
+
+// ServeConn reads one report stream from conn until EOF and records it.
+// It is safe to call from multiple goroutines, one per connection.
+func (c *Collector) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	_, _, err := ReadStream(conn, c.params, func(r core.Report) {
+		c.reports <- r
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.streams++
+	if err != nil {
+		c.lastErr = err
+	}
+	return err
+}
+
+// Serve accepts up to n connections from l, handling each in its own
+// goroutine, then returns. It is the accept loop used by the example
+// server.
+func (c *Collector) Serve(l net.Listener, n int) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.ServeConn(conn)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// Close stops the aggregation goroutine and returns the last stream
+// error, if any. No ServeConn call may be active or issued afterwards.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.finished {
+		close(c.reports)
+		<-c.done
+		c.finished = true
+	}
+	return c.lastErr
+}
+
+// Streams returns the number of completed streams.
+func (c *Collector) Streams() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.streams
+}

@@ -1,0 +1,200 @@
+// Package service exposes the LDP aggregation server over HTTP: client
+// gateways POST perturbed report streams (the internal/protocol wire
+// format) into named columns; once a column is finalized the server
+// answers join-size and frequency queries and exports sketches for
+// persistence. It is the deployable face of the paper's server side.
+//
+//	POST /v1/columns/{name}/reports    body: KindJoin report stream
+//	POST /v1/columns/{name}/finalize
+//	GET  /v1/columns/{name}            column status (JSON)
+//	GET  /v1/columns/{name}/sketch     marshaled sketch (octet-stream)
+//	GET  /v1/join?left=A&right=B       join estimate (JSON)
+//	GET  /v1/frequency?column=A&value=7
+//	GET  /v1/healthz
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/protocol"
+)
+
+// Server aggregates LDP reports into named columns. It is safe for
+// concurrent use.
+type Server struct {
+	params core.Params
+	fam    *hashing.Family
+
+	mu       sync.Mutex
+	pending  map[string]*core.Aggregator
+	finished map[string]*core.Sketch
+}
+
+// New creates a server for the given protocol parameters; the hash
+// family derives from seed (shared with every participant).
+func New(p core.Params, seed int64) (*Server, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return &Server{
+		params:   p,
+		fam:      p.NewFamily(seed),
+		pending:  make(map[string]*core.Aggregator),
+		finished: make(map[string]*core.Sketch),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving the API above.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/columns/{name}/reports", s.handleReports)
+	mux.HandleFunc("POST /v1/columns/{name}/finalize", s.handleFinalize)
+	mux.HandleFunc("GET /v1/columns/{name}", s.handleStatus)
+	mux.HandleFunc("GET /v1/columns/{name}/sketch", s.handleExport)
+	mux.HandleFunc("GET /v1/join", s.handleJoin)
+	mux.HandleFunc("GET /v1/frequency", s.handleFrequency)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Decode outside the lock; a malformed stream rejects the whole batch
+	// so partially-applied garbage never reaches a sketch.
+	var batch []core.Report
+	_, n, err := protocol.ReadStream(r.Body, s.params, func(rep core.Report) {
+		batch = append(batch, rep)
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.finished[name]; done {
+		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		return
+	}
+	agg, ok := s.pending[name]
+	if !ok {
+		agg = core.NewAggregator(s.params, s.fam)
+		s.pending[name] = agg
+	}
+	for _, rep := range batch {
+		agg.Add(rep)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"column": name, "ingested": n, "total": agg.N()})
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.finished[name]; done {
+		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		return
+	}
+	agg, ok := s.pending[name]
+	if !ok {
+		httpError(w, http.StatusNotFound, "column %q has no reports", name)
+		return
+	}
+	sk := agg.Finalize()
+	delete(s.pending, name)
+	s.finished[name] = sk
+	writeJSON(w, http.StatusOK, map[string]any{"column": name, "reports": sk.N()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sk, ok := s.finished[name]; ok {
+		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "finalized", "reports": sk.N()})
+		return
+	}
+	if agg, ok := s.pending[name]; ok {
+		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "collecting", "reports": agg.N()})
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown column %q", name)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	sk, ok := s.finished[name]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
+		return
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding sketch: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	left := r.URL.Query().Get("left")
+	right := r.URL.Query().Get("right")
+	if left == "" || right == "" {
+		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns")
+		return
+	}
+	s.mu.Lock()
+	skL, okL := s.finished[left]
+	skR, okR := s.finished[right]
+	s.mu.Unlock()
+	if !okL || !okR {
+		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"left": left, "right": right, "estimate": skL.JoinSize(skR),
+	})
+}
+
+func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("column")
+	valueStr := r.URL.Query().Get("value")
+	value, err := strconv.ParseUint(valueStr, 10, 64)
+	if name == "" || err != nil {
+		httpError(w, http.StatusBadRequest, "frequency needs ?column= and a numeric ?value=")
+		return
+	}
+	s.mu.Lock()
+	sk, ok := s.finished[name]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "value": value,
+		"estimate":       sk.Frequency(value),
+		"estimateMedian": sk.FrequencyMedian(value),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

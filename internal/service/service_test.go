@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+	"ldpjoin/internal/protocol"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server, core.Params) {
+	t.Helper()
+	p := core.Params{K: 9, M: 512, Epsilon: 4}
+	srv, err := New(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, p
+}
+
+// encodeColumn perturbs a column client-side and returns the wire-format
+// stream.
+func encodeColumn(t *testing.T, p core.Params, seed int64, data []uint64) []byte {
+	t.Helper()
+	fam := p.NewFamily(42)
+	var buf bytes.Buffer
+	w, err := protocol.NewReportWriter(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, d := range data {
+		if err := w.Write(core.Perturb(d, p, fam, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func post(t *testing.T, url string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	_, ts, p := testServer(t)
+	const n, domain = 60000, 3000
+	da := dataset.Zipf(1, n, domain, 1.3)
+	db := dataset.Zipf(2, n, domain, 1.3)
+	truth := join.Size(da, db)
+
+	// Ingest A over two batches, B over one.
+	if code, _ := post(t, ts.URL+"/v1/columns/A/reports", encodeColumn(t, p, 10, da[:n/2])); code != 200 {
+		t.Fatalf("first batch code %d", code)
+	}
+	if code, body := post(t, ts.URL+"/v1/columns/A/reports", encodeColumn(t, p, 11, da[n/2:])); code != 200 {
+		t.Fatalf("second batch code %d: %v", code, body)
+	} else if body["total"].(float64) != n {
+		t.Fatalf("total = %v, want %d", body["total"], n)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/B/reports", encodeColumn(t, p, 12, db)); code != 200 {
+		t.Fatal("B ingest failed")
+	}
+
+	// Status before finalize.
+	if code, body := get(t, ts.URL+"/v1/columns/A"); code != 200 || body["state"] != "collecting" {
+		t.Fatalf("status = %d %v", code, body)
+	}
+	// Join before finalize must 404.
+	if code, _ := get(t, ts.URL+"/v1/join?left=A&right=B"); code != 404 {
+		t.Fatalf("join before finalize code %d", code)
+	}
+
+	for _, col := range []string{"A", "B"} {
+		if code, _ := post(t, ts.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 {
+			t.Fatalf("finalize %s failed", col)
+		}
+	}
+
+	code, body := get(t, ts.URL+"/v1/join?left=A&right=B")
+	if code != 200 {
+		t.Fatalf("join code %d: %v", code, body)
+	}
+	est := body["estimate"].(float64)
+	if re := math.Abs(est-truth) / truth; re > 0.5 {
+		t.Fatalf("service join RE = %.3f (est %.0f truth %.0f)", re, est, truth)
+	}
+
+	// Frequency query.
+	code, body = get(t, fmt.Sprintf("%s/v1/frequency?column=A&value=0", ts.URL))
+	if code != 200 {
+		t.Fatalf("frequency code %d", code)
+	}
+	if _, ok := body["estimate"].(float64); !ok {
+		t.Fatalf("frequency response missing estimate: %v", body)
+	}
+
+	// Export and restore the sketch.
+	resp, err := http.Get(ts.URL + "/v1/columns/A/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("export failed: %d %v", resp.StatusCode, err)
+	}
+	restored, err := core.UnmarshalSketch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != n {
+		t.Fatalf("restored N = %g", restored.N())
+	}
+}
+
+func TestServiceErrorPaths(t *testing.T) {
+	_, ts, p := testServer(t)
+
+	// Garbage stream.
+	if code, _ := post(t, ts.URL+"/v1/columns/X/reports", []byte("not a stream")); code != 400 {
+		t.Fatalf("garbage stream code %d, want 400", code)
+	}
+	// Unknown column status / export / finalize.
+	if code, _ := get(t, ts.URL+"/v1/columns/none"); code != 404 {
+		t.Fatalf("unknown status code %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/none/finalize", nil); code != 404 {
+		t.Fatalf("finalize unknown code %d", code)
+	}
+	// Param-mismatched stream.
+	other := core.Params{K: 4, M: 512, Epsilon: 4}
+	var buf bytes.Buffer
+	w, err := protocol.NewReportWriter(&buf, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/X/reports", buf.Bytes()); code != 400 {
+		t.Fatalf("mismatched stream code %d, want 400", code)
+	}
+	// Double finalize → conflict; late ingest → conflict.
+	good := encodeColumn(t, p, 1, []uint64{1, 2, 3})
+	if code, _ := post(t, ts.URL+"/v1/columns/C/reports", good); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/C/finalize", nil); code != 200 {
+		t.Fatal("finalize failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/C/finalize", nil); code != 409 {
+		t.Fatalf("double finalize code %d, want 409", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/C/reports", good); code != 409 {
+		t.Fatalf("late ingest code %d, want 409", code)
+	}
+	// Bad query params.
+	if code, _ := get(t, ts.URL+"/v1/join?left=C"); code != 400 {
+		t.Fatalf("join without right code %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/frequency?column=C&value=notanumber"); code != 400 {
+		t.Fatalf("bad frequency value code %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/frequency?column=missing&value=1"); code != 404 {
+		t.Fatalf("frequency unknown column code %d", code)
+	}
+	// Health.
+	if code, body := get(t, ts.URL+"/v1/healthz"); code != 200 || body["status"] != "ok" {
+		t.Fatalf("health = %d %v", code, body)
+	}
+}
+
+func TestServiceRejectsBadParams(t *testing.T) {
+	if _, err := New(core.Params{K: 0, M: 8, Epsilon: 1}, 1); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

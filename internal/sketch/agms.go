@@ -1,0 +1,92 @@
+package sketch
+
+import "ldpjoin/internal/hashing"
+
+// AGMS is the original tug-of-war sketch (§III-A): s1×s2 atomic counters,
+// each with its own 4-wise independent sign hash, and every update touches
+// every counter. The estimate averages s1 atomic products (variance
+// reduction) and takes the median of s2 averages (confidence boosting).
+// It is quadratically slower to build than FastAGMS and exists as the
+// preliminary substrate and a sanity anchor for tests.
+type AGMS struct {
+	signs []hashing.Pair
+	cnt   []float64
+	s1    int
+	s2    int
+}
+
+// NewAGMS creates an s1×s2 AGMS sketch seeded deterministically.
+func NewAGMS(seed int64, s1, s2 int) *AGMS {
+	if s1 <= 0 || s2 <= 0 {
+		panic("sketch: AGMS dimensions must be positive")
+	}
+	state := uint64(seed) ^ 0xA5A5A5A5DEADBEEF
+	signs := make([]hashing.Pair, s1*s2)
+	for i := range signs {
+		signs[i] = hashing.NewPair(&state, 1)
+	}
+	return &AGMS{signs: signs, cnt: make([]float64, s1*s2), s1: s1, s2: s2}
+}
+
+// Compatible reports whether two AGMS sketches share dimensions and were
+// seeded identically (a necessary condition for inner products). It is a
+// heuristic check: it compares the sign of a probe value per counter.
+func (a *AGMS) Compatible(b *AGMS) bool {
+	if a.s1 != b.s1 || a.s2 != b.s2 {
+		return false
+	}
+	for i := range a.signs {
+		for _, probe := range []uint64{0, 1, 12345} {
+			if a.signs[i].Sign(probe) != b.signs[i].Sign(probe) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Update adds one occurrence of d to every counter.
+func (a *AGMS) Update(d uint64) {
+	for i := range a.cnt {
+		a.cnt[i] += float64(a.signs[i].Sign(d))
+	}
+}
+
+// UpdateAll adds every value in data.
+func (a *AGMS) UpdateAll(data []uint64) {
+	for _, d := range data {
+		a.Update(d)
+	}
+}
+
+// InnerProduct estimates the join size between the streams behind a and b:
+// median over s2 groups of the mean over s1 atomic counter products.
+func (a *AGMS) InnerProduct(b *AGMS) float64 {
+	if a.s1 != b.s1 || a.s2 != b.s2 {
+		panic("sketch: AGMS inner product with mismatched dimensions")
+	}
+	groups := make([]float64, a.s2)
+	for g := 0; g < a.s2; g++ {
+		var sum float64
+		for i := 0; i < a.s1; i++ {
+			idx := g*a.s1 + i
+			sum += a.cnt[idx] * b.cnt[idx]
+		}
+		groups[g] = sum / float64(a.s1)
+	}
+	return Median(groups)
+}
+
+// SelfJoin estimates the second frequency moment F2 of the stream.
+func (a *AGMS) SelfJoin() float64 {
+	groups := make([]float64, a.s2)
+	for g := 0; g < a.s2; g++ {
+		var sum float64
+		for i := 0; i < a.s1; i++ {
+			idx := g*a.s1 + i
+			sum += a.cnt[idx] * a.cnt[idx]
+		}
+		groups[g] = sum / float64(a.s1)
+	}
+	return Median(groups)
+}

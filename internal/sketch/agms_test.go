@@ -1,0 +1,84 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin/internal/join"
+)
+
+func TestAGMSJoinAccuracy(t *testing.T) {
+	da := zipfData(1, 20000, 2000, 1.3)
+	db := zipfData(2, 20000, 2000, 1.3)
+	truth := join.Size(da, db)
+	a := NewAGMS(10, 64, 5)
+	b := NewAGMS(10, 64, 5)
+	if !a.Compatible(b) {
+		t.Fatal("same-seed AGMS sketches should be compatible")
+	}
+	a.UpdateAll(da)
+	b.UpdateAll(db)
+	est := a.InnerProduct(b)
+	// AGMS variance is F2(A)F2(B)/s1; tolerance is loose but meaningful.
+	if re := math.Abs(est-truth) / truth; re > 0.5 {
+		t.Fatalf("AGMS RE = %.3f (est %.0f truth %.0f)", re, est, truth)
+	}
+}
+
+func TestAGMSSelfJoinEstimatesF2(t *testing.T) {
+	data := zipfData(3, 20000, 2000, 1.5)
+	truth := join.F2(data)
+	a := NewAGMS(4, 128, 5)
+	a.UpdateAll(data)
+	est := a.SelfJoin()
+	if re := math.Abs(est-truth) / truth; re > 0.3 {
+		t.Fatalf("AGMS self-join RE = %.3f (est %.0f truth %.0f)", re, est, truth)
+	}
+}
+
+func TestAGMSUnbiasedOverSeeds(t *testing.T) {
+	da := zipfData(4, 1000, 200, 1.2)
+	db := zipfData(5, 1000, 200, 1.2)
+	truth := join.Size(da, db)
+	var sum float64
+	const trials = 300
+	for s := int64(0); s < trials; s++ {
+		a := NewAGMS(1000+s, 1, 1)
+		b := NewAGMS(1000+s, 1, 1)
+		a.UpdateAll(da)
+		b.UpdateAll(db)
+		sum += a.InnerProduct(b)
+	}
+	mean := sum / trials
+	// Single-counter estimators are noisy; the mean over 300 draws has
+	// std ≈ F2-scale/sqrt(300). Accept 15%.
+	if re := math.Abs(mean-truth) / truth; re > 0.15 {
+		t.Fatalf("mean AGMS estimate %.0f vs truth %.0f (RE %.3f)", mean, truth, re)
+	}
+}
+
+func TestAGMSIncompatibleSeeds(t *testing.T) {
+	a := NewAGMS(1, 4, 2)
+	b := NewAGMS(2, 4, 2)
+	if a.Compatible(b) {
+		t.Fatal("different seeds should be incompatible")
+	}
+}
+
+func TestAGMSPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dims")
+		}
+	}()
+	NewAGMS(1, 0, 1)
+}
+
+func TestAGMSInnerProductPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dims")
+		}
+	}()
+	NewAGMS(1, 2, 2).InnerProduct(NewAGMS(1, 2, 3))
+}

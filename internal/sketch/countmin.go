@@ -1,0 +1,69 @@
+package sketch
+
+import (
+	"math"
+
+	"ldpjoin/internal/hashing"
+)
+
+// CountMin is the classic CountMin sketch: k rows of m counters, update
+// adds 1 to one counter per row, the estimate is the row minimum (an
+// overestimate with bounded error). It backs the non-private frequent-item
+// tooling in cmd/ldpjoin and serves as a cross-check in tests.
+type CountMin struct {
+	fam   *hashing.Family
+	rows  [][]float64
+	count float64
+}
+
+// NewCountMin creates an empty CountMin sketch over the family (only the
+// bucket halves of the pairs are used).
+func NewCountMin(fam *hashing.Family) *CountMin {
+	rows := make([][]float64, fam.K())
+	for j := range rows {
+		rows[j] = make([]float64, fam.M())
+	}
+	return &CountMin{fam: fam, rows: rows}
+}
+
+// Update adds one occurrence of d.
+func (s *CountMin) Update(d uint64) {
+	for j := range s.rows {
+		s.rows[j][s.fam.Bucket(j, d)]++
+	}
+	s.count++
+}
+
+// UpdateAll adds every value in data.
+func (s *CountMin) UpdateAll(data []uint64) {
+	for _, d := range data {
+		s.Update(d)
+	}
+}
+
+// Count returns the number of values summarized.
+func (s *CountMin) Count() float64 { return s.count }
+
+// Estimate returns the CountMin frequency estimate of d (never below the
+// true frequency).
+func (s *CountMin) Estimate(d uint64) float64 {
+	est := math.Inf(1)
+	for j := range s.rows {
+		if c := s.rows[j][s.fam.Bucket(j, d)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// HeavyHitters returns the values in [0, domain) whose estimated frequency
+// exceeds threshold.
+func (s *CountMin) HeavyHitters(domain uint64, threshold float64) []uint64 {
+	var out []uint64
+	for d := uint64(0); d < domain; d++ {
+		if s.Estimate(d) > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package sketch
+
+import (
+	"testing"
+
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+)
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	fam := hashing.NewFamily(1, 5, 512)
+	s := NewCountMin(fam)
+	data := zipfData(1, 20000, 3000, 1.2)
+	s.UpdateAll(data)
+	truth := join.Frequencies(data)
+	for d, c := range truth {
+		if est := s.Estimate(d); est < float64(c) {
+			t.Fatalf("CountMin underestimated %d: %g < %d", d, est, c)
+		}
+	}
+	if s.Count() != 20000 {
+		t.Fatalf("count = %g, want 20000", s.Count())
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// Estimate error is at most 2n/m with probability 1-2^-k per item;
+	// check no item breaks 6n/m (wildly conservative, catches real bugs).
+	fam := hashing.NewFamily(2, 6, 1024)
+	s := NewCountMin(fam)
+	data := zipfData(2, 30000, 2000, 1.1)
+	s.UpdateAll(data)
+	truth := join.Frequencies(data)
+	bound := 6 * float64(len(data)) / float64(fam.M())
+	for d, c := range truth {
+		if err := s.Estimate(d) - float64(c); err > bound {
+			t.Fatalf("CountMin error %g for %d exceeds bound %g", err, d, bound)
+		}
+	}
+}
+
+func TestCountMinHeavyHitters(t *testing.T) {
+	fam := hashing.NewFamily(3, 5, 1024)
+	s := NewCountMin(fam)
+	// One heavy item among uniform noise.
+	data := make([]uint64, 0, 6000)
+	for i := 0; i < 1000; i++ {
+		data = append(data, 7)
+	}
+	for i := 0; i < 5000; i++ {
+		data = append(data, uint64(100+i%500))
+	}
+	s.UpdateAll(data)
+	hh := s.HeavyHitters(1000, 500)
+	if len(hh) != 1 || hh[0] != 7 {
+		t.Fatalf("heavy hitters = %v, want [7]", hh)
+	}
+}

@@ -1,0 +1,227 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+)
+
+func zipfData(seed int64, n int, domain uint64, s float64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, domain-1)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+func TestFastAGMSExactOnSingleton(t *testing.T) {
+	fam := hashing.NewFamily(1, 5, 64)
+	a := NewFastAGMS(fam)
+	b := NewFastAGMS(fam)
+	for i := 0; i < 10; i++ {
+		a.Update(42)
+	}
+	for i := 0; i < 7; i++ {
+		b.Update(42)
+	}
+	// With a single distinct value there are no collisions: every row's
+	// inner product is exactly 10*7.
+	if got := a.InnerProduct(b); got != 70 {
+		t.Fatalf("singleton inner product = %g, want 70", got)
+	}
+	if got := a.Frequency(42); got != 10 {
+		t.Fatalf("singleton frequency = %g, want 10", got)
+	}
+}
+
+func TestFastAGMSJoinAccuracy(t *testing.T) {
+	fam := hashing.NewFamily(7, 7, 2048)
+	da := zipfData(1, 50000, 10000, 1.3)
+	db := zipfData(2, 50000, 10000, 1.3)
+	sa := NewFastAGMS(fam)
+	sa.UpdateAll(da)
+	sb := NewFastAGMS(fam)
+	sb.UpdateAll(db)
+	truth := join.Size(da, db)
+	est := sa.InnerProduct(sb)
+	if re := math.Abs(est-truth) / truth; re > 0.05 {
+		t.Fatalf("fast-AGMS RE = %.3f (est %.0f truth %.0f), want < 0.05", re, est, truth)
+	}
+}
+
+func TestFastAGMSUnbiasedOverSeeds(t *testing.T) {
+	// Average the row-0 estimator over many independent families: it must
+	// converge on the true join size (Thm 3's non-private ancestor).
+	da := zipfData(3, 2000, 500, 1.2)
+	db := zipfData(4, 2000, 500, 1.2)
+	truth := join.Size(da, db)
+	const trials = 200
+	var sum float64
+	for s := int64(0); s < trials; s++ {
+		fam := hashing.NewFamily(100+s, 1, 256)
+		sa := NewFastAGMS(fam)
+		sa.UpdateAll(da)
+		sb := NewFastAGMS(fam)
+		sb.UpdateAll(db)
+		sum += Dot(sa.Row(0), sb.Row(0))
+	}
+	mean := sum / trials
+	if re := math.Abs(mean-truth) / truth; re > 0.05 {
+		t.Fatalf("mean of row estimators %.0f deviates from truth %.0f (RE %.3f)", mean, truth, re)
+	}
+}
+
+func TestFastAGMSFrequencySingleHeavyItem(t *testing.T) {
+	fam := hashing.NewFamily(11, 9, 1024)
+	s := NewFastAGMS(fam)
+	data := zipfData(5, 20000, 5000, 1.5)
+	s.UpdateAll(data)
+	truth := join.Frequencies(data)
+	// The most frequent item should be estimated within CountSketch noise
+	// ~ sqrt(F2/m).
+	var heavy uint64
+	var max int64
+	for d, c := range truth {
+		if c > max {
+			heavy, max = d, c
+		}
+	}
+	est := s.Frequency(heavy)
+	slack := 4 * math.Sqrt(join.F2(data)/float64(fam.M()))
+	if math.Abs(est-float64(max)) > slack {
+		t.Fatalf("heavy item freq est %.0f vs truth %d exceeds slack %.0f", est, max, slack)
+	}
+}
+
+func TestFastAGMSMergeEqualsConcatenation(t *testing.T) {
+	fam := hashing.NewFamily(21, 4, 256)
+	da := zipfData(6, 3000, 1000, 1.1)
+	db := zipfData(7, 3000, 1000, 1.1)
+	whole := NewFastAGMS(fam)
+	whole.UpdateAll(da)
+	whole.UpdateAll(db)
+	part1 := NewFastAGMS(fam)
+	part1.UpdateAll(da)
+	part2 := NewFastAGMS(fam)
+	part2.UpdateAll(db)
+	part1.Merge(part2)
+	if part1.Count() != whole.Count() {
+		t.Fatalf("merge count %g != %g", part1.Count(), whole.Count())
+	}
+	for j := 0; j < fam.K(); j++ {
+		for x := 0; x < fam.M(); x++ {
+			if part1.Row(j)[x] != whole.Row(j)[x] {
+				t.Fatalf("merge differs at [%d,%d]", j, x)
+			}
+		}
+	}
+}
+
+func TestFastAGMSMergePanicsOnDifferentFamilies(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic merging different families")
+		}
+	}()
+	a := NewFastAGMS(hashing.NewFamily(1, 2, 16))
+	b := NewFastAGMS(hashing.NewFamily(2, 2, 16))
+	a.Merge(b)
+}
+
+func TestInnerProductPanicsOnDifferentFamilies(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on family mismatch")
+		}
+	}()
+	a := NewFastAGMS(hashing.NewFamily(1, 2, 16))
+	b := NewFastAGMS(hashing.NewFamily(2, 2, 16))
+	a.InnerProduct(b)
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-5, 10, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Median(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMedianPermutationInvariant(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		m1 := Median([]float64{a, b, c, d})
+		m2 := Median([]float64{d, c, b, a})
+		return m1 == m2 || (math.IsNaN(m1) && math.IsNaN(m2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndDot(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if got := Dot([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Fatalf("Dot = %g, want 11", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func BenchmarkFastAGMSUpdate(b *testing.B) {
+	fam := hashing.NewFamily(1, 18, 1024)
+	s := NewFastAGMS(fam)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i))
+	}
+}
+
+func BenchmarkFastAGMSInnerProduct(b *testing.B) {
+	fam := hashing.NewFamily(1, 18, 1024)
+	sa := NewFastAGMS(fam)
+	sb := NewFastAGMS(fam)
+	sa.UpdateAll(zipfData(1, 10000, 1000, 1.2))
+	sb.UpdateAll(zipfData(2, 10000, 1000, 1.2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa.InnerProduct(sb)
+	}
+}

@@ -1,0 +1,74 @@
+package sketch
+
+import (
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+)
+
+// Skimmed implements the non-private skimmed-sketch strategy (Ganguly,
+// Garofalakis & Rastogi, EDBT 2004 — the prior work whose high/low
+// separation idea LDPJoinSketch+ ports to the LDP setting): exact
+// frequencies are "skimmed" off for values above a threshold, the
+// residual (low-frequency) stream goes into a fast-AGMS sketch, and the
+// join size is the sum of the heavy⋈heavy exact product, the two
+// heavy⋈light cross terms (heavy frequencies times estimated light
+// frequencies), and the light⋈light sketch product.
+//
+// It exists as the non-private anchor for the separation idea: ablation
+// benches compare how much of its gain survives the LDP noise.
+type Skimmed struct {
+	heavy    map[uint64]float64
+	residual *FastAGMS
+	count    float64
+}
+
+// NewSkimmed builds the summary for data: values with frequency above
+// share·len(data) are kept exactly, the rest go into a fast-AGMS sketch
+// over fam. Two summaries can be joined when built over the same family.
+func NewSkimmed(data []uint64, share float64, fam *hashing.Family) *Skimmed {
+	s := &Skimmed{heavy: make(map[uint64]float64), residual: NewFastAGMS(fam)}
+	threshold := share * float64(len(data))
+	freqs := join.Frequencies(data)
+	for d, c := range freqs {
+		if float64(c) > threshold {
+			s.heavy[d] = float64(c)
+		}
+	}
+	for _, d := range data {
+		if _, ok := s.heavy[d]; !ok {
+			s.residual.Update(d)
+		}
+	}
+	s.count = float64(len(data))
+	return s
+}
+
+// HeavyCount returns the number of skimmed (exact) values.
+func (s *Skimmed) HeavyCount() int { return len(s.heavy) }
+
+// JoinSize estimates the join size against another Skimmed summary built
+// over the same residual-sketch family.
+func (s *Skimmed) JoinSize(o *Skimmed) float64 {
+	// heavy ⋈ heavy: exact.
+	var est float64
+	for d, fa := range s.heavy {
+		if fb, ok := o.heavy[d]; ok {
+			est += fa * fb
+		}
+	}
+	// heavy(self) ⋈ light(other) and vice versa: exact frequency times
+	// the sketch's estimate of the other side's light frequency.
+	for d, fa := range s.heavy {
+		if _, ok := o.heavy[d]; !ok {
+			est += fa * o.residual.Frequency(d)
+		}
+	}
+	for d, fb := range o.heavy {
+		if _, ok := s.heavy[d]; !ok {
+			est += fb * s.residual.Frequency(d)
+		}
+	}
+	// light ⋈ light: sketch product.
+	est += s.residual.InnerProduct(o.residual)
+	return est
+}

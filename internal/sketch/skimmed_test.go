@@ -1,0 +1,72 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+)
+
+func TestSkimmedJoinBeatsPlainOnSkewedData(t *testing.T) {
+	const n, domain = 100000, 5000
+	da := zipfData(1, n, domain, 1.1)
+	db := zipfData(2, n, domain, 1.1)
+	truth := join.Size(da, db)
+
+	// Small m so collisions hurt the plain sketch.
+	const k, m = 5, 128
+	var plainAE, skimmedAE float64
+	const trials = 5
+	for i := int64(0); i < trials; i++ {
+		fam := hashing.NewFamily(10+i, k, m)
+		pa := NewFastAGMS(fam)
+		pa.UpdateAll(da)
+		pb := NewFastAGMS(fam)
+		pb.UpdateAll(db)
+		plainAE += math.Abs(pa.InnerProduct(pb) - truth)
+
+		sa := NewSkimmed(da, 0.01, fam)
+		sb := NewSkimmed(db, 0.01, fam)
+		skimmedAE += math.Abs(sa.JoinSize(sb) - truth)
+	}
+	if skimmedAE >= plainAE {
+		t.Fatalf("skimmed AE %.3g not below plain fast-AGMS AE %.3g", skimmedAE/trials, plainAE/trials)
+	}
+	t.Logf("mean AE: plain %.3g, skimmed %.3g", plainAE/trials, skimmedAE/trials)
+}
+
+func TestSkimmedExactWhenEverythingHeavy(t *testing.T) {
+	// With a threshold of 0 every value is exact, so the join is exact.
+	data := []uint64{1, 1, 2, 3}
+	other := []uint64{1, 2, 2, 4}
+	fam := hashing.NewFamily(1, 3, 64)
+	sa := NewSkimmed(data, 0, fam)
+	sb := NewSkimmed(other, 0, fam)
+	if got, want := sa.JoinSize(sb), join.Size(data, other); got != want {
+		t.Fatalf("all-heavy join = %g, want %g", got, want)
+	}
+	if sa.HeavyCount() != 3 {
+		t.Fatalf("heavy count = %d, want 3", sa.HeavyCount())
+	}
+}
+
+func TestSkimmedAllLightEqualsPlainSketch(t *testing.T) {
+	// With an impossible threshold nothing is skimmed: the estimate must
+	// equal the plain fast-AGMS estimate over the same family.
+	da := zipfData(3, 20000, 2000, 1.2)
+	db := zipfData(4, 20000, 2000, 1.2)
+	fam := hashing.NewFamily(5, 5, 256)
+	sa := NewSkimmed(da, 2.0, fam)
+	sb := NewSkimmed(db, 2.0, fam)
+	pa := NewFastAGMS(fam)
+	pa.UpdateAll(da)
+	pb := NewFastAGMS(fam)
+	pb.UpdateAll(db)
+	if got, want := sa.JoinSize(sb), pa.InnerProduct(pb); got != want {
+		t.Fatalf("all-light skimmed join = %g, plain = %g", got, want)
+	}
+	if sa.HeavyCount() != 0 {
+		t.Fatalf("heavy count = %d, want 0", sa.HeavyCount())
+	}
+}

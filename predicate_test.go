@@ -1,0 +1,68 @@
+package ldpjoin_test
+
+import (
+	"math"
+	"testing"
+
+	"ldpjoin"
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/join"
+)
+
+func TestJoinSizeWhere(t *testing.T) {
+	proto, err := ldpjoin.NewProtocol(ldpjoin.Config{K: 18, M: 1024, Epsilon: 4, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, domain = 150000, 5000
+	da := dataset.Zipf(1, n, domain, 1.4)
+	db := dataset.Zipf(2, n, domain, 1.4)
+	skA := proto.BuildSketch(da, 3)
+	skB := proto.BuildSketch(db, 4)
+
+	// Predicate over the 10 heaviest values.
+	predicate := make([]uint64, 10)
+	for i := range predicate {
+		predicate[i] = uint64(i)
+	}
+	fa := join.Frequencies(da)
+	fb := join.Frequencies(db)
+	var truth float64
+	for _, d := range predicate {
+		truth += float64(fa[d]) * float64(fb[d])
+	}
+
+	got, err := skA.JoinSizeWhere(skB, predicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(got-truth) / truth; re > 0.2 {
+		t.Fatalf("predicate join RE = %.3f (est %.4g truth %.4g)", re, got, truth)
+	}
+
+	// Predicate over values that never occur: near-zero mass.
+	missing := []uint64{domain - 1, domain - 2, domain - 3}
+	got, err = skA.JoinSizeWhere(skB, missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.01*truth {
+		t.Fatalf("missing-value predicate join %.4g not near zero", got)
+	}
+
+	// Empty predicate: exactly zero.
+	got, err = skA.JoinSizeWhere(skB, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("empty predicate = %g, %v", got, err)
+	}
+}
+
+func TestJoinSizeWhereIncompatible(t *testing.T) {
+	p1, _ := ldpjoin.NewProtocol(ldpjoin.Config{K: 4, M: 128, Epsilon: 2, Seed: 1})
+	p2, _ := ldpjoin.NewProtocol(ldpjoin.Config{K: 4, M: 128, Epsilon: 2, Seed: 2})
+	s1 := p1.NewAggregator().Sketch()
+	s2 := p2.NewAggregator().Sketch()
+	if _, err := s1.JoinSizeWhere(s2, []uint64{1}); err == nil {
+		t.Fatal("incompatible sketches accepted")
+	}
+}
