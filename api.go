@@ -6,6 +6,7 @@ import (
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/ingest"
 )
 
 // Report is the ε-LDP message a client transmits: one perturbed bit and
@@ -121,11 +122,20 @@ func (a *Aggregator) Sketch() *Sketch {
 	return &Sketch{proto: a.proto, sk: a.agg.Finalize()}
 }
 
-// BuildSketch runs the whole pipeline for a column using all CPUs: it
-// shards the population, simulates the clients, and merges the partial
-// aggregations deterministically.
+// buildShards fixes the simulation shard count of the facade builders.
+// Shards — not workers — determine the per-chunk client seeds, so
+// pinning them makes BuildSketch and the chain builders deterministic
+// functions of (data, seed) on every machine while still parallelizing
+// across up to 16 cores.
+const buildShards = 16
+
+// BuildSketch runs the whole pipeline for a column in parallel (up to
+// buildShards cores): the sharded ingestion engine cuts the population
+// into chunks, simulates the clients, and merges the partial
+// aggregations. The result is deterministic — a function of (values,
+// seed) only, independent of core count and scheduling.
 func (p *Protocol) BuildSketch(values []uint64, seed int64) *Sketch {
-	return &Sketch{proto: p, sk: core.CollectParallel(p.params, p.fam, values, seed, 0)}
+	return &Sketch{proto: p, sk: ingest.Collect(p.params, p.fam, values, seed, ingest.Options{Shards: buildShards})}
 }
 
 // Sketch is a finalized LDPJoinSketch. All query methods are read-only

@@ -2,10 +2,10 @@ package ldpjoin
 
 import (
 	"fmt"
-	"math/rand"
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/ingest"
 )
 
 // ChainProtocol estimates chain (multi-way) joins of the form
@@ -55,9 +55,7 @@ func (cp *ChainProtocol) BuildEnd(attr int, values []uint64, seed int64) (*Sketc
 	if attr != 0 && attr != cp.attrs-1 {
 		return nil, fmt.Errorf("ldpjoin: end tables join on the first or last attribute, got %d", attr)
 	}
-	agg := core.NewAggregator(cp.endP, cp.fams[attr])
-	agg.CollectColumn(values, rand.New(rand.NewSource(seed)))
-	return &Sketch{sk: agg.Finalize()}, nil
+	return &Sketch{sk: ingest.Collect(cp.endP, cp.fams[attr], values, seed, ingest.Options{Shards: buildShards})}, nil
 }
 
 // MatrixSketch is a finalized middle-table sketch.
@@ -77,9 +75,8 @@ func (cp *ChainProtocol) BuildMid(leftAttr int, a, b []uint64, seed int64) (*Mat
 	if len(a) != len(b) {
 		return nil, fmt.Errorf("ldpjoin: middle table columns of unequal length %d and %d", len(a), len(b))
 	}
-	agg := core.NewMatrixAggregator(cp.midP, cp.fams[leftAttr], cp.fams[leftAttr+1])
-	agg.CollectTable(a, b, rand.New(rand.NewSource(seed)))
-	return &MatrixSketch{ms: agg.Finalize()}, nil
+	ms := ingest.CollectMatrix(cp.midP, cp.fams[leftAttr], cp.fams[leftAttr+1], a, b, seed, ingest.Options{Shards: buildShards})
+	return &MatrixSketch{ms: ms}, nil
 }
 
 // Estimate computes the chain join size from the end sketches and the
@@ -108,9 +105,8 @@ func (cp *ChainProtocol) BuildClosing(a, b []uint64, seed int64) (*MatrixSketch,
 	if len(a) != len(b) {
 		return nil, fmt.Errorf("ldpjoin: closing table columns of unequal length %d and %d", len(a), len(b))
 	}
-	agg := core.NewMatrixAggregator(cp.midP, cp.fams[2], cp.fams[0])
-	agg.CollectTable(a, b, rand.New(rand.NewSource(seed)))
-	return &MatrixSketch{ms: agg.Finalize()}, nil
+	ms := ingest.CollectMatrix(cp.midP, cp.fams[2], cp.fams[0], a, b, seed, ingest.Options{Shards: buildShards})
+	return &MatrixSketch{ms: ms}, nil
 }
 
 // EstimateCycle computes the 3-cycle join size

@@ -1,12 +1,15 @@
 // Command ldpjoind runs the LDP aggregation server over HTTP.
 //
-// Client gateways POST perturbed report streams into named columns; once
-// a column is finalized the server answers join-size and frequency
-// queries and exports sketches. See internal/service for the API.
+// Client gateways POST perturbed report streams into named columns; the
+// sharded ingestion engine folds them concurrently, and once a column is
+// finalized the server answers join-size and frequency queries (memoized
+// per column pair) and exports sketches. See internal/service for the
+// API and internal/ingest for the engine.
 //
 // Usage:
 //
-//	ldpjoind -addr :8080 -k 18 -m 1024 -eps 4 -seed 1
+//	ldpjoind -addr :8080 -k 18 -m 1024 -eps 4 -seed 1 \
+//	         -shards 8 -workers 8 -queue 64 -max-reports 16777216
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"net/http"
 
 	"ldpjoin/internal/core"
+	"ldpjoin/internal/ingest"
 	"ldpjoin/internal/service"
 )
 
@@ -25,12 +29,20 @@ func main() {
 	m := flag.Int("m", 1024, "sketch width (columns, power of two)")
 	eps := flag.Float64("eps", 4, "privacy budget epsilon")
 	seed := flag.Int64("seed", 1, "public hash seed (shared with clients)")
+	shards := flag.Int("shards", 0, "aggregation shards per column (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "fold worker goroutines (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "ingestion queue depth in batches (0 = 4x workers)")
+	maxReports := flag.Int("max-reports", 0, "max reports per request body (0 = default; <0 = unlimited, removes the per-request memory bound)")
 	flag.Parse()
 
-	srv, err := service.New(core.Params{K: *k, M: *m, Epsilon: *eps}, *seed)
+	srv, err := service.NewWithOptions(core.Params{K: *k, M: *m, Epsilon: *eps}, *seed, service.Options{
+		Ingest:           ingest.Options{Shards: *shards, Workers: *workers, Queue: *queue},
+		MaxStreamReports: *maxReports,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.Close()
 	fmt.Printf("ldpjoind listening on %s (k=%d, m=%d, ε=%g, seed=%d)\n", *addr, *k, *m, *eps, *seed)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

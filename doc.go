@@ -38,6 +38,11 @@
 // applications: private similarity for data valuation, private dataset
 // discovery, multiway joins, and a TCP client/server deployment.
 //
+// The deployable server side lives in internal/service (the HTTP column
+// API) on top of the sharded streaming ingestion engine in
+// internal/ingest; cmd/ldpjoind runs it. See ARCHITECTURE.md for the
+// full package map and data flow.
+//
 // All randomness is seed-driven and all estimators are deterministic
 // functions of (data, seeds), so results reproduce exactly.
 package ldpjoin

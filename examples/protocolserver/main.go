@@ -3,8 +3,9 @@
 //
 // An aggregation server listens on localhost; several client gateways
 // connect concurrently, stream their populations' perturbed reports over
-// the binary wire protocol, and disconnect. The server then answers a
-// join query against a second, locally collected population.
+// the binary wire protocol, and disconnect. The sharded ingestion engine
+// folds the streams concurrently; the server then answers a join query
+// against a second, locally collected population.
 //
 // Run with: go run ./examples/protocolserver
 package main
@@ -18,6 +19,7 @@ import (
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/ingest"
 	"ldpjoin/internal/join"
 	"ldpjoin/internal/protocol"
 )
@@ -37,8 +39,7 @@ func main() {
 	defer l.Close()
 	fmt.Printf("aggregator listening on %s\n", l.Addr())
 
-	aggA := core.NewAggregator(params, fam)
-	collector := protocol.NewCollector(params, aggA)
+	collector := ingest.NewCollector(params, fam, ingest.Options{})
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- collector.Serve(l, gateways) }()
 
@@ -73,15 +74,16 @@ func main() {
 	if err := <-serveDone; err != nil {
 		log.Fatal(err)
 	}
-	if err := collector.Close(); err != nil {
+	skA, err := collector.Finalize()
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("collected %d streams, %.0f reports\n", collector.Streams(), aggA.N())
+	fmt.Printf("collected %d streams, %.0f reports\n", collector.Streams(), skA.N())
 
 	// Population B collected locally; estimate the join.
 	aggB := core.NewAggregator(params, fam)
 	aggB.CollectColumn(colB, rand.New(rand.NewSource(7)))
-	est := aggA.Finalize().JoinSize(aggB.Finalize())
+	est := skA.JoinSize(aggB.Finalize())
 	truth := join.Size(colA, colB)
 	fmt.Printf("exact join size: %.6g\n", truth)
 	fmt.Printf("LDP estimate:    %.6g (RE %.2f%%)\n", est, 100*abs(est-truth)/truth)

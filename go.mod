@@ -1,0 +1,3 @@
+module ldpjoin
+
+go 1.24

@@ -98,6 +98,24 @@ func (ma *MatrixAggregator) Add(r MatrixReport) {
 	ma.n++
 }
 
+// Merge folds other (not yet finalized, same parameters and families)
+// into ma. Like Aggregator.Merge it is exact: unfinalized cells hold
+// integers, so merging is order-independent and loses nothing.
+func (ma *MatrixAggregator) Merge(other *MatrixAggregator) {
+	if ma.done || other.done {
+		panic("core: MatrixAggregator.Merge after Finalize")
+	}
+	if ma.params != other.params || !sameFamily(ma.famA, other.famA) || !sameFamily(ma.famB, other.famB) {
+		panic("core: MatrixAggregator.Merge across params or hash families")
+	}
+	for j := range ma.mats {
+		for i, v := range other.mats[j] {
+			ma.mats[j][i] += v
+		}
+	}
+	ma.n += other.n
+}
+
 // CollectTable simulates the protocol for a whole two-column table.
 func (ma *MatrixAggregator) CollectTable(a, b []uint64, rng *rand.Rand) {
 	if len(a) != len(b) {

@@ -239,3 +239,63 @@ func TestVecMatPanicsOnDimMismatch(t *testing.T) {
 	}()
 	ms.VecMat(0, make([]float64, p.M1+1))
 }
+
+// TestMatrixAggregatorMerge: merging two aggregators over disjoint halves
+// of a report stream must finalize identically to one aggregator that saw
+// every report — the exactness the sharded builders rely on.
+func TestMatrixAggregatorMerge(t *testing.T) {
+	p := MatrixParams{K: 3, M1: 16, M2: 8, Epsilon: 2}
+	famA := hashing.NewFamily(1, p.K, p.M1)
+	famB := hashing.NewFamily(2, p.K, p.M2)
+
+	rng := rand.New(rand.NewSource(5))
+	reports := make([]MatrixReport, 4000)
+	for i := range reports {
+		reports[i] = PerturbTuple(uint64(i%40), uint64(i%25), p, famA, famB, rng)
+	}
+
+	whole := NewMatrixAggregator(p, famA, famB)
+	half1 := NewMatrixAggregator(p, famA, famB)
+	half2 := NewMatrixAggregator(p, famA, famB)
+	for i, r := range reports {
+		whole.Add(r)
+		if i < len(reports)/2 {
+			half1.Add(r)
+		} else {
+			half2.Add(r)
+		}
+	}
+	half1.Merge(half2)
+
+	msWhole, msMerged := whole.Finalize(), half1.Finalize()
+	if msWhole.N() != msMerged.N() {
+		t.Fatalf("merged N = %g, want %g", msMerged.N(), msWhole.N())
+	}
+	for j := 0; j < p.K; j++ {
+		w, m := msWhole.Mat(j), msMerged.Mat(j)
+		for i := range w {
+			if w[i] != m[i] {
+				t.Fatalf("replica %d cell %d: merged %g != whole %g", j, i, m[i], w[i])
+			}
+		}
+	}
+
+	// Merge must refuse finalized inputs and mismatched families.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Merge after Finalize did not panic")
+			}
+		}()
+		half1.Merge(NewMatrixAggregator(p, famA, famB))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Merge across families did not panic")
+			}
+		}()
+		other := NewMatrixAggregator(p, hashing.NewFamily(9, p.K, p.M1), famB)
+		NewMatrixAggregator(p, famA, famB).Merge(other)
+	}()
+}

@@ -229,39 +229,3 @@ func TestJoinSizePanicsAcrossFamilies(t *testing.T) {
 	}()
 	a.JoinSize(b)
 }
-
-func TestCollectParallelDeterministicAndAccurate(t *testing.T) {
-	p := Params{K: 9, M: 512, Epsilon: 4}
-	fam := p.NewFamily(20)
-	da := dataset.Zipf(21, 50000, 5000, 1.5)
-	db := dataset.Zipf(22, 50000, 5000, 1.5)
-
-	s1 := CollectParallel(p, fam, da, 99, 4)
-	s2 := CollectParallel(p, fam, da, 99, 4)
-	for j := 0; j < p.K; j++ {
-		for x := 0; x < p.M; x++ {
-			if s1.Row(j)[x] != s2.Row(j)[x] {
-				t.Fatal("parallel build is not deterministic")
-			}
-		}
-	}
-	if s1.N() != 50000 {
-		t.Fatalf("parallel N = %g, want 50000", s1.N())
-	}
-
-	sb := CollectParallel(p, fam, db, 77, 4)
-	truth := join.Size(da, db)
-	if re := math.Abs(s1.JoinSize(sb)-truth) / truth; re > 0.4 {
-		t.Fatalf("parallel-built join RE = %.3f", re)
-	}
-
-	// Degenerate worker counts must still work.
-	s3 := CollectParallel(p, fam, da[:10], 1, 64)
-	if s3.N() != 10 {
-		t.Fatalf("tiny parallel N = %g", s3.N())
-	}
-	s4 := CollectParallel(p, fam, da[:100], 1, 0) // auto workers
-	if s4.N() != 100 {
-		t.Fatalf("auto-worker N = %g", s4.N())
-	}
-}

@@ -1,0 +1,121 @@
+package ingest
+
+import (
+	"io"
+	"net"
+	"sync"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/protocol"
+)
+
+// collectorBatch is how many reports a connection decodes before handing
+// a batch to the engine.
+const collectorBatch = 1024
+
+// Collector is the TCP face of the ingestion engine: it accepts
+// connections carrying wire-format report streams and feeds the decoded
+// batches into one engine column, so many gateways fan into one sketch
+// with the same sharded, backpressured path the HTTP service uses. It
+// replaces the retired protocol.Collector, which funneled every report
+// through a single aggregation goroutine.
+type Collector struct {
+	params core.Params
+	eng    *Engine
+	col    *Column
+
+	mu      sync.Mutex
+	streams int
+	lastErr error
+}
+
+// NewCollector starts a collector with its own engine. Close (or
+// Finalize, which implies it) must be called to release the workers.
+func NewCollector(p core.Params, fam *hashing.Family, opts Options) *Collector {
+	eng := NewEngine(p, fam, opts)
+	return &Collector{params: p, eng: eng, col: eng.NewColumn()}
+}
+
+// ServeConn reads one report stream from conn until EOF and folds it
+// into the collector's column. It is safe to call from multiple
+// goroutines, one per connection.
+func (c *Collector) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	err := c.ingest(conn)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.streams++
+	if err != nil {
+		c.lastErr = err
+	}
+	return err
+}
+
+func (c *Collector) ingest(r io.Reader) error {
+	br, err := protocol.NewBatchReader(r, c.params)
+	if err != nil {
+		return err
+	}
+	for {
+		batch, err := br.Next(collectorBatch)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.col.Enqueue(batch); err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts up to n connections from l, handling each in its own
+// goroutine, then returns.
+func (c *Collector) Serve(l net.Listener, n int) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.ServeConn(conn)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// Streams returns the number of completed streams.
+func (c *Collector) Streams() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.streams
+}
+
+// N returns the number of reports accepted so far.
+func (c *Collector) N() int64 { return c.col.N() }
+
+// Close stops the engine after draining queued folds and returns the
+// last stream error, if any. It is idempotent; no ServeConn call may be
+// active or issued afterwards.
+func (c *Collector) Close() error {
+	c.eng.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Finalize closes the collector and returns the merged sketch over
+// everything the streams delivered.
+func (c *Collector) Finalize() (*core.Sketch, error) {
+	if err := c.Close(); err != nil {
+		return nil, err
+	}
+	return c.col.Finalize()
+}

@@ -1,0 +1,381 @@
+// Package ingest implements the sharded streaming ingestion engine of
+// the aggregation server: the one path through which perturbed reports —
+// whether they arrive from the wire or from a locally simulated
+// population — are folded into LDPJoinSketch aggregation state.
+//
+// An Engine owns a bounded task queue and a fixed pool of worker
+// goroutines. Ingestion state is split into per-shard aggregators
+// (Column); batches of reports are routed round-robin to shards and
+// folded concurrently, and Finalize merges the shards in shard order
+// before restoring the sketch. Because an unfinalized aggregator cell
+// holds an exact integer (each report contributes ±1, see
+// core.Aggregator), shard merging is exact and order-independent: the
+// finalized sketch is byte-identical regardless of the worker count, the
+// queue depth, or how batches were interleaved across shards. Sharding
+// is therefore pure parallelism — it costs no accuracy and no extra
+// privacy budget, which is exactly the mergeability the paper's linear
+// sketches are chosen for.
+//
+// The engine also hosts the deterministic parallel simulation build that
+// used to live in core.CollectParallel: Simulate cuts a column of private
+// values into Options.Shards contiguous chunks, derives one client RNG
+// seed per chunk from (seed, chunk index), and perturbs + folds the
+// chunks on the worker pool. For a fixed (seed, shards) pair the result
+// is a deterministic function of the data — independent of Workers and
+// of goroutine scheduling.
+//
+// Backpressure: Enqueue and the simulation builders block while the task
+// queue is full, so a fast producer (an HTTP handler, a TCP collector)
+// is throttled to the speed of the fold workers instead of buffering
+// without bound.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+)
+
+// Options tunes an Engine. The zero value selects defaults.
+type Options struct {
+	// Shards is the number of per-column partial aggregators and the
+	// number of chunks a simulated column is cut into. It is part of the
+	// deterministic identity of Simulate: for a fixed (seed, Shards) pair
+	// the simulated sketch is reproducible. Wire ingestion is
+	// shard-count-independent (integral cells merge exactly). <= 0
+	// selects GOMAXPROCS.
+	Shards int
+	// Workers is the number of fold goroutines. It never affects results,
+	// only throughput. <= 0 selects GOMAXPROCS.
+	Workers int
+	// Queue bounds the task queue (in batches); producers block when it
+	// is full. <= 0 selects 4×Workers.
+	Queue int
+}
+
+func (o Options) normalized() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 4 * o.Workers
+	}
+	return o
+}
+
+var (
+	// ErrClosed is returned when work is submitted to a closed engine.
+	ErrClosed = errors.New("ingest: engine closed")
+	// ErrFinalized is returned when reports are enqueued into, or a
+	// second finalization is requested of, an already finalized column.
+	ErrFinalized = errors.New("ingest: column already finalized")
+)
+
+// Engine is a worker pool folding report batches into sharded
+// aggregation state. It is safe for concurrent use.
+type Engine struct {
+	params core.Params
+	fam    *hashing.Family
+	opts   Options
+
+	tasks   chan func()
+	workers sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewEngine starts an engine for the given protocol parameters and hash
+// family. Close must be called to release the workers.
+func NewEngine(p core.Params, fam *hashing.Family, opts Options) *Engine {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if fam.K() != p.K || fam.M() != p.M {
+		panic("ingest: hash family does not match params")
+	}
+	e := &Engine{
+		params: p,
+		fam:    fam,
+		opts:   opts.normalized(),
+	}
+	e.tasks = make(chan func(), e.opts.Queue)
+	for i := 0; i < e.opts.Workers; i++ {
+		e.workers.Add(1)
+		go func() {
+			defer e.workers.Done()
+			for f := range e.tasks {
+				f()
+			}
+		}()
+	}
+	return e
+}
+
+// Params returns the protocol parameters the engine folds under.
+func (e *Engine) Params() core.Params { return e.params }
+
+// Family returns the public hash family shared with the clients.
+func (e *Engine) Family() *hashing.Family { return e.fam }
+
+// Options returns the engine's normalized options.
+func (e *Engine) Options() Options { return e.opts }
+
+// submit schedules f on the worker pool, blocking while the queue is
+// full (backpressure).
+func (e *Engine) submit(f func()) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.tasks <- f
+	return nil
+}
+
+// submitAll schedules every task or none: the closed check happens once
+// under the lock, so a concurrent Close cannot interleave between the
+// sends (queued tasks survive Close — workers drain the queue first).
+func (e *Engine) submitAll(fs []func()) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for _, f := range fs {
+		e.tasks <- f
+	}
+	return nil
+}
+
+// Close drains the queued work and stops the workers. Columns may still
+// be finalized afterwards; new Enqueue and Simulate calls fail with
+// ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.tasks)
+	e.mu.Unlock()
+	e.workers.Wait()
+}
+
+// Column is one logical sketch under construction: Options.Shards
+// partial aggregators fed round-robin by Enqueue. It is safe for
+// concurrent use.
+type Column struct {
+	eng    *Engine
+	shards []*shard
+	next   atomic.Uint64
+	n      atomic.Int64
+
+	mu        sync.Mutex
+	finalized bool
+	// wg tracks outstanding folds so Finalize can drain them. Add happens
+	// under mu before the finalized flag cuts off new work, so it never
+	// races Wait.
+	wg sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+}
+
+type shard struct {
+	mu  sync.Mutex
+	agg *core.Aggregator
+}
+
+// NewColumn creates an empty column on the engine.
+func (e *Engine) NewColumn() *Column {
+	c := &Column{eng: e, shards: make([]*shard, e.opts.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{agg: core.NewAggregator(e.params, e.fam)}
+	}
+	return c
+}
+
+// Enqueue routes one batch of wire-format reports to a shard and
+// schedules the fold, blocking while the engine queue is full. It is
+// shorthand for EnqueueAll with a single batch.
+func (c *Column) Enqueue(batch []core.Report) error {
+	return c.EnqueueAll([][]core.Report{batch})
+}
+
+// EnqueueAll routes a set of batches to shards and schedules the folds,
+// blocking while the engine queue is full. The call is atomic with
+// respect to Finalize and Close: either every batch is scheduled (a
+// concurrent Finalize drains them all before merging) or none is and
+// ErrFinalized/ErrClosed is returned — a multi-batch request is never
+// half-applied. The engine takes ownership of the batch slices; the
+// caller must not modify them afterwards. Reports are bounds-checked on
+// the worker: a report outside the sketch (or with an invalid sign) is
+// dropped and surfaces as an error from Finalize, which then yields no
+// sketch at all.
+func (c *Column) EnqueueAll(batches [][]core.Report) error {
+	var folds []func()
+	var total int64
+	for _, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		folds = append(folds, c.fold(batch))
+		total += int64(len(batch))
+	}
+	if len(folds) == 0 {
+		return nil
+	}
+
+	c.mu.Lock()
+	if c.finalized {
+		c.mu.Unlock()
+		return ErrFinalized
+	}
+	c.wg.Add(len(folds))
+	c.mu.Unlock()
+
+	if err := c.eng.submitAll(folds); err != nil {
+		c.wg.Add(-len(folds))
+		return err
+	}
+	c.n.Add(total)
+	return nil
+}
+
+// fold builds the worker task adding one batch to the next shard.
+func (c *Column) fold(batch []core.Report) func() {
+	sh := c.shards[c.next.Add(1)%uint64(len(c.shards))]
+	return func() {
+		defer c.wg.Done()
+		k, m := c.eng.params.K, c.eng.params.M
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, r := range batch {
+			if int(r.Row) >= k || int(r.Col) >= m || (r.Y != 1 && r.Y != -1) {
+				c.setErr(fmt.Errorf("ingest: report (y=%d, row=%d, col=%d) out of sketch bounds (%d, %d)",
+					r.Y, r.Row, r.Col, k, m))
+				continue
+			}
+			sh.agg.Add(r)
+		}
+	}
+}
+
+// N returns the number of reports accepted so far, including batches
+// still queued behind the workers. An accepted report only fails to
+// reach the sketch if it is out of bounds — and in that case Finalize
+// returns an error instead of a sketch, so N never silently disagrees
+// with a finalized result.
+func (c *Column) N() int64 { return c.n.Load() }
+
+func (c *Column) setErr(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Finalize drains the column's outstanding folds, merges the shards in
+// shard order, and restores the sketch. The column cannot be used
+// afterwards. It returns an error if any enqueued report was out of
+// bounds, or ErrFinalized on a second call.
+func (c *Column) Finalize() (*core.Sketch, error) {
+	c.mu.Lock()
+	if c.finalized {
+		c.mu.Unlock()
+		return nil, ErrFinalized
+	}
+	c.finalized = true
+	c.mu.Unlock()
+	c.wg.Wait()
+
+	c.errMu.Lock()
+	err := c.err
+	c.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	total := c.shards[0].agg
+	for _, sh := range c.shards[1:] {
+		total.Merge(sh.agg)
+	}
+	return total.Finalize(), nil
+}
+
+// Simulate builds a sketch over a column of private values on the worker
+// pool, replacing the retired core.CollectParallel: the column is cut
+// into Options.Shards fixed contiguous chunks, chunk w simulates its
+// clients with a seed derived from (seed, w), and the partial
+// aggregators are merged in chunk order before finalization. Chunk
+// boundaries and seeds are functions of (len(values), seed, Shards)
+// only, so the result is deterministic and independent of Workers and of
+// goroutine scheduling.
+func (e *Engine) Simulate(values []uint64, seed int64) (*core.Sketch, error) {
+	shards := e.opts.Shards
+	if shards > len(values) {
+		shards = len(values)
+	}
+	if shards <= 1 {
+		agg := core.NewAggregator(e.params, e.fam)
+		agg.CollectColumn(values, rand.New(rand.NewSource(seed)))
+		return agg.Finalize(), nil
+	}
+
+	parts := make([]*core.Aggregator, shards)
+	var wg sync.WaitGroup
+	chunk := (len(values) + shards - 1) / shards
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(values))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		err := e.submit(func() {
+			defer wg.Done()
+			agg := core.NewAggregator(e.params, e.fam)
+			agg.CollectColumn(values[lo:hi], rand.New(rand.NewSource(shardSeed(seed, w))))
+			parts[w] = agg
+		})
+		if err != nil {
+			wg.Done()
+			wg.Wait()
+			return nil, err
+		}
+	}
+	wg.Wait()
+
+	var total *core.Aggregator
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if total == nil {
+			total = part
+			continue
+		}
+		total.Merge(part)
+	}
+	return total.Finalize(), nil
+}
+
+// shardSeed derives the client RNG seed of simulation chunk w. The
+// derivation is identical to the retired core.CollectParallel, so
+// sketches built by Simulate reproduce its output bit for bit.
+func shardSeed(seed int64, w int) int64 {
+	state := uint64(seed) ^ (uint64(w)+1)*0x9e3779b97f4a7c15
+	return int64(hashing.SplitMix64(&state))
+}

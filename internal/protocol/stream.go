@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"net"
-	"sync"
 
 	"ldpjoin/internal/core"
 )
@@ -39,43 +37,105 @@ func (w *ReportWriter) Write(r core.Report) error {
 // Flush pushes buffered reports to the underlying writer.
 func (w *ReportWriter) Flush() error { return w.bw.Flush() }
 
-// ReadStream reads a KindJoin stream until EOF, passing every report to
-// sink. It returns the header and the number of reports read.
-func ReadStream(r io.Reader, expect core.Params, sink func(core.Report)) (Header, int, error) {
+// DefaultBatchSize is the batch granularity BatchReader.Next falls back
+// to when the caller passes max <= 0.
+const DefaultBatchSize = 4096
+
+// BatchReader incrementally decodes a KindJoin report stream into
+// batches — the pull-based feed of the ingestion engine. The header is
+// read and validated against the expected parameters at construction;
+// every report is bounds-checked before it is handed out, so a corrupt
+// or hostile stream surfaces as an error, never as a panic in a fold
+// worker.
+type BatchReader struct {
+	br     *bufio.Reader
+	h      Header
+	expect core.Params
+	buf    [reportSize]byte
+	n      int
+}
+
+// NewBatchReader reads the stream header from r and validates it against
+// the expected parameters.
+func NewBatchReader(r io.Reader, expect core.Params) (*BatchReader, error) {
 	br := bufio.NewReader(r)
 	h, err := ReadHeader(br)
 	if err != nil {
-		return Header{}, 0, err
+		return nil, err
 	}
 	if h.Kind != KindJoin {
-		return h, 0, fmt.Errorf("protocol: expected join stream, got kind %d", h.Kind)
+		return nil, fmt.Errorf("protocol: expected join stream, got kind %d", h.Kind)
 	}
 	if h.K != expect.K || h.M != expect.M || h.Epsilon != expect.Epsilon {
-		return h, 0, fmt.Errorf("protocol: stream params (k=%d,m=%d,eps=%g) do not match server (k=%d,m=%d,eps=%g)",
+		return nil, fmt.Errorf("protocol: stream params (k=%d,m=%d,eps=%g) do not match server (k=%d,m=%d,eps=%g)",
 			h.K, h.M, h.Epsilon, expect.K, expect.M, expect.Epsilon)
 	}
-	buf := make([]byte, reportSize)
-	n := 0
-	for {
-		if _, err := io.ReadFull(br, buf); err != nil {
+	return &BatchReader{br: br, h: h, expect: expect}, nil
+}
+
+// Header returns the validated stream header.
+func (r *BatchReader) Header() Header { return r.h }
+
+// Count returns the number of reports decoded so far.
+func (r *BatchReader) Count() int { return r.n }
+
+// Next decodes up to max reports (DefaultBatchSize when max <= 0) into a
+// freshly allocated batch, which the caller owns. At the clean end of
+// the stream it returns (nil, io.EOF). A decode, bounds, or truncation
+// error discards the partially decoded batch: a malformed stream never
+// delivers reports beyond the last complete Next.
+func (r *BatchReader) Next(max int) ([]core.Report, error) {
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	var batch []core.Report
+	for len(batch) < max {
+		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
 			if err == io.EOF {
-				return h, n, nil
+				if len(batch) > 0 {
+					return batch, nil
+				}
+				return nil, io.EOF
 			}
-			return h, n, fmt.Errorf("protocol: reading report %d: %w", n, err)
+			return nil, fmt.Errorf("protocol: reading report %d: %w", r.n, err)
 		}
-		rep, err := DecodeReport(buf)
+		rep, err := DecodeReport(r.buf[:])
 		if err != nil {
-			return h, n, err
+			return nil, err
 		}
-		// Bounds-check before the report can reach the sketch: a corrupt
-		// or hostile stream must surface as an error, not a panic in the
-		// aggregation goroutine.
-		if int(rep.Row) >= expect.K || int(rep.Col) >= expect.M {
-			return h, n, fmt.Errorf("protocol: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
-				n, rep.Row, rep.Col, expect.K, expect.M)
+		if int(rep.Row) >= r.expect.K || int(rep.Col) >= r.expect.M {
+			return nil, fmt.Errorf("protocol: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
+				r.n, rep.Row, rep.Col, r.expect.K, r.expect.M)
 		}
-		sink(rep)
-		n++
+		batch = append(batch, rep)
+		r.n++
+	}
+	return batch, nil
+}
+
+// ReadStream reads a KindJoin stream until EOF, passing every report to
+// sink. It returns the header and the number of reports delivered to
+// sink — on error that is fewer than the decoder consumed, because a
+// failing batch is discarded whole. It is the push-based convenience
+// over BatchReader.
+func ReadStream(r io.Reader, expect core.Params, sink func(core.Report)) (Header, int, error) {
+	br, err := NewBatchReader(r, expect)
+	if err != nil {
+		return Header{}, 0, err
+	}
+	delivered := 0
+	for {
+		batch, err := br.Next(0)
+		if err == io.EOF {
+			return br.Header(), delivered, nil
+		}
+		if err != nil {
+			return br.Header(), delivered, err
+		}
+		for _, rep := range batch {
+			sink(rep)
+		}
+		delivered += len(batch)
 	}
 }
 
@@ -145,93 +205,6 @@ func ReadMatrixStream(r io.Reader, expect core.MatrixParams, sink func(core.Matr
 	}
 }
 
-// Collector is the server side of the transport: it accepts connections
-// from a listener and funnels every decoded report into a single
-// aggregator goroutine, so the sketch itself needs no locking (share
-// memory by communicating).
-type Collector struct {
-	params core.Params
-	agg    *core.Aggregator
-
-	reports chan core.Report
-	done    chan struct{}
-
-	mu       sync.Mutex
-	streams  int
-	lastErr  error
-	finished bool
-}
-
-// NewCollector creates a collector feeding the given aggregator.
-func NewCollector(p core.Params, agg *core.Aggregator) *Collector {
-	c := &Collector{
-		params:  p,
-		agg:     agg,
-		reports: make(chan core.Report, 1024),
-		done:    make(chan struct{}),
-	}
-	go func() {
-		defer close(c.done)
-		for r := range c.reports {
-			c.agg.Add(r)
-		}
-	}()
-	return c
-}
-
-// ServeConn reads one report stream from conn until EOF and records it.
-// It is safe to call from multiple goroutines, one per connection.
-func (c *Collector) ServeConn(conn net.Conn) error {
-	defer conn.Close()
-	_, _, err := ReadStream(conn, c.params, func(r core.Report) {
-		c.reports <- r
-	})
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.streams++
-	if err != nil {
-		c.lastErr = err
-	}
-	return err
-}
-
-// Serve accepts up to n connections from l, handling each in its own
-// goroutine, then returns. It is the accept loop used by the example
-// server.
-func (c *Collector) Serve(l net.Listener, n int) error {
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		conn, err := l.Accept()
-		if err != nil {
-			wg.Wait()
-			return err
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			_ = c.ServeConn(conn)
-		}()
-	}
-	wg.Wait()
-	return nil
-}
-
-// Close stops the aggregation goroutine and returns the last stream
-// error, if any. No ServeConn call may be active or issued afterwards.
-func (c *Collector) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.finished {
-		close(c.reports)
-		<-c.done
-		c.finished = true
-	}
-	return c.lastErr
-}
-
-// Streams returns the number of completed streams.
-func (c *Collector) Streams() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.streams
-}
+// The connection-serving Collector that used to live here moved to
+// internal/ingest, where it feeds the sharded ingestion engine instead
+// of a single aggregation goroutine.

@@ -1,159 +1,207 @@
 package protocol
 
 import (
-	"math"
-	"math/rand"
-	"net"
-	"sync"
+	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"ldpjoin/internal/core"
-	"ldpjoin/internal/dataset"
-	"ldpjoin/internal/join"
 )
 
-// TestCollectorOverPipes runs the full distributed workflow over net.Pipe
-// connections: several client gateways stream perturbed reports
-// concurrently, the collector funnels them into one aggregator, and the
-// resulting sketch estimates a join against a locally built sketch.
-func TestCollectorOverPipes(t *testing.T) {
-	p := core.Params{K: 9, M: 512, Epsilon: 4}
-	fam := p.NewFamily(1)
-	da := dataset.Zipf(2, 40000, 2000, 1.3)
-	db := dataset.Zipf(3, 40000, 2000, 1.3)
-
-	// Server side for attribute A: reports arrive over 4 connections.
-	aggA := core.NewAggregator(p, fam)
-	col := NewCollector(p, aggA)
-	const conns = 4
-	var wg sync.WaitGroup
-	chunk := len(da) / conns
-	for i := 0; i < conns; i++ {
-		cliEnd, srvEnd := net.Pipe()
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			_ = col.ServeConn(srvEnd)
-		}()
-		go func(part []uint64, seed int64) {
-			defer wg.Done()
-			defer cliEnd.Close()
-			w, err := NewReportWriter(cliEnd, p)
-			if err != nil {
-				t.Errorf("writer: %v", err)
-				return
-			}
-			rng := rand.New(rand.NewSource(seed))
-			for _, d := range part {
-				if err := w.Write(core.Perturb(d, p, fam, rng)); err != nil {
-					t.Errorf("write: %v", err)
-					return
-				}
-			}
-			if err := w.Flush(); err != nil {
-				t.Errorf("flush: %v", err)
-			}
-		}(da[i*chunk:(i+1)*chunk], int64(100+i))
-	}
-	wg.Wait()
-	if err := col.Close(); err != nil {
-		t.Fatalf("collector error: %v", err)
-	}
-	if col.Streams() != conns {
-		t.Fatalf("streams = %d, want %d", col.Streams(), conns)
-	}
-	skA := aggA.Finalize()
-	if skA.N() != float64(len(da)) {
-		t.Fatalf("collected %g reports, want %d", skA.N(), len(da))
-	}
-
-	// Attribute B built locally; estimate must be near the truth.
-	aggB := core.NewAggregator(p, fam)
-	aggB.CollectColumn(db, rand.New(rand.NewSource(7)))
-	truth := join.Size(da, db)
-	est := skA.JoinSize(aggB.Finalize())
-	if re := math.Abs(est-truth) / truth; re > 0.5 {
-		t.Fatalf("networked join RE = %.3f (est %.0f truth %.0f)", re, est, truth)
-	}
-}
-
-// TestCollectorOverTCP exercises the accept loop on a real localhost
-// listener.
-func TestCollectorOverTCP(t *testing.T) {
-	p := core.Params{K: 4, M: 64, Epsilon: 2}
-	fam := p.NewFamily(9)
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+// encodeReports builds a wire stream carrying the given reports.
+func encodeReports(t *testing.T, p core.Params, reports []core.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewReportWriter(&buf, p)
 	if err != nil {
-		t.Skipf("cannot listen on localhost: %v", err)
+		t.Fatal(err)
 	}
-	defer l.Close()
+	for _, r := range reports {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
-	agg := core.NewAggregator(p, fam)
-	col := NewCollector(p, agg)
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- col.Serve(l, 2) }()
+func testReports(p core.Params, n int) []core.Report {
+	reports := make([]core.Report, n)
+	for i := range reports {
+		y := int8(1)
+		if i%2 == 0 {
+			y = -1
+		}
+		reports[i] = core.Report{Y: y, Row: uint32(i % p.K), Col: uint32(i % p.M)}
+	}
+	return reports
+}
 
-	send := func(seed int64, n int) error {
-		conn, err := net.Dial("tcp", l.Addr().String())
+func TestBatchReaderBatches(t *testing.T) {
+	p := core.Params{K: 4, M: 64, Epsilon: 2}
+	want := testReports(p, 10)
+	br, err := NewBatchReader(bytes.NewReader(encodeReports(t, p, want)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.Report
+	var sizes []int
+	for {
+		batch, err := br.Next(4)
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
-			return err
+			t.Fatal(err)
 		}
-		defer conn.Close()
-		w, err := NewReportWriter(conn, p)
-		if err != nil {
-			return err
+		sizes = append(sizes, len(batch))
+		got = append(got, batch...)
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("batch sizes = %v, want [4 4 2]", sizes)
+	}
+	if br.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", br.Count(), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("report %d: got %+v, want %+v", i, got[i], want[i])
 		}
-		rng := rand.New(rand.NewSource(seed))
-		for i := 0; i < n; i++ {
-			if err := w.Write(core.Perturb(uint64(i%50), p, fam, rng)); err != nil {
-				return err
-			}
-		}
-		return w.Flush()
 	}
-	if err := send(1, 500); err != nil {
-		t.Fatal(err)
-	}
-	if err := send(2, 300); err != nil {
-		t.Fatal(err)
-	}
-	if err := <-serveErr; err != nil {
-		t.Fatal(err)
-	}
-	if err := col.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if got := agg.N(); got != 800 {
-		t.Fatalf("collected %g reports, want 800", got)
+	// Subsequent calls keep returning EOF.
+	if _, err := br.Next(4); err != io.EOF {
+		t.Fatalf("post-EOF Next err = %v", err)
 	}
 }
 
-func TestCollectorDoubleCloseSafe(t *testing.T) {
+func TestBatchReaderDefaultAndOversizedMax(t *testing.T) {
 	p := core.Params{K: 2, M: 16, Epsilon: 1}
-	col := NewCollector(p, core.NewAggregator(p, p.NewFamily(1)))
-	if err := col.Close(); err != nil {
+	stream := encodeReports(t, p, testReports(p, 100))
+
+	// max <= 0 falls back to DefaultBatchSize and must not loop forever.
+	br, err := NewBatchReader(bytes.NewReader(stream), p)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := col.Close(); err != nil {
+	batch, err := br.Next(0)
+	if err != nil || len(batch) != 100 {
+		t.Fatalf("default-size Next = (%d, %v)", len(batch), err)
+	}
+
+	// A max far beyond the stream length returns what the stream holds.
+	br, err = NewBatchReader(bytes.NewReader(stream), p)
+	if err != nil {
 		t.Fatal(err)
+	}
+	batch, err = br.Next(1 << 30)
+	if err != nil || len(batch) != 100 {
+		t.Fatalf("oversized-max Next = (%d, %v)", len(batch), err)
 	}
 }
 
-func TestCollectorRecordsStreamError(t *testing.T) {
+func TestBatchReaderHeaderErrors(t *testing.T) {
 	p := core.Params{K: 2, M: 16, Epsilon: 1}
-	col := NewCollector(p, core.NewAggregator(p, p.NewFamily(1)))
-	cliEnd, srvEnd := net.Pipe()
-	done := make(chan error, 1)
-	go func() { done <- col.ServeConn(srvEnd) }()
-	// Write garbage and close.
-	if _, err := cliEnd.Write([]byte("garbage-not-a-header-xxxx")); err != nil {
+	if _, err := NewBatchReader(bytes.NewReader([]byte("XXXXgarbage-header------")), p); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	// Truncated header.
+	stream := encodeReports(t, p, nil)
+	if _, err := NewBatchReader(bytes.NewReader(stream[:headerSize-2]), p); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Mismatched parameters.
+	other := core.Params{K: 3, M: 16, Epsilon: 1}
+	if _, err := NewBatchReader(bytes.NewReader(stream), other); err == nil {
+		t.Fatal("mismatched params accepted")
+	}
+	// Wrong stream kind.
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, Header{Kind: KindMatrix, K: 2, M: 16, M2: 16, Epsilon: 1}); err != nil {
 		t.Fatal(err)
 	}
-	cliEnd.Close()
-	if err := <-done; err == nil {
-		t.Fatal("expected stream error")
+	if _, err := NewBatchReader(&buf, p); err == nil {
+		t.Fatal("matrix stream accepted as join stream")
 	}
-	if err := col.Close(); err == nil {
-		t.Fatal("Close should surface the stream error")
+}
+
+func TestBatchReaderTruncatedReportDiscardsBatch(t *testing.T) {
+	p := core.Params{K: 2, M: 16, Epsilon: 1}
+	stream := encodeReports(t, p, testReports(p, 5))
+	// Cut into the middle of the last report.
+	br, err := NewBatchReader(bytes.NewReader(stream[:len(stream)-3]), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := br.Next(10)
+	if err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want wrapped ErrUnexpectedEOF", err)
+	}
+	if batch != nil {
+		t.Fatalf("truncated Next delivered %d reports; partial batches must be discarded", len(batch))
+	}
+}
+
+func TestBatchReaderOutOfBoundsReport(t *testing.T) {
+	p := core.Params{K: 2, M: 16, Epsilon: 1}
+	var buf bytes.Buffer
+	w, err := NewReportWriter(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(core.Report{Y: 1, Row: 0, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(core.Report{Y: 1, Row: 7, Col: 3}); err != nil { // row ≥ K
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBatchReader(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := br.Next(10)
+	if err == nil {
+		t.Fatal("out-of-bounds report accepted")
+	}
+	if batch != nil {
+		t.Fatal("out-of-bounds error must discard the batch")
+	}
+}
+
+func TestBatchReaderInvalidSignByte(t *testing.T) {
+	p := core.Params{K: 2, M: 16, Epsilon: 1}
+	stream := encodeReports(t, p, testReports(p, 2))
+	stream[headerSize] = 9 // corrupt first report's sign byte
+	br, err := NewBatchReader(bytes.NewReader(stream), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(10); err == nil {
+		t.Fatal("invalid sign byte accepted")
+	}
+}
+
+func TestBatchReaderEmptyStream(t *testing.T) {
+	p := core.Params{K: 2, M: 16, Epsilon: 1}
+	br, err := NewBatchReader(bytes.NewReader(encodeReports(t, p, nil)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(10); err != io.EOF {
+		t.Fatalf("empty stream Next err = %v, want io.EOF", err)
+	}
+	if br.Count() != 0 {
+		t.Fatalf("Count = %d", br.Count())
+	}
+	if h := br.Header(); h.K != p.K || h.M != p.M {
+		t.Fatalf("header = %+v", h)
 	}
 }

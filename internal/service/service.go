@@ -4,51 +4,117 @@
 // answers join-size and frequency queries and exports sketches for
 // persistence. It is the deployable face of the paper's server side.
 //
+// Ingestion runs on the sharded streaming engine (internal/ingest):
+// each request body is decoded in full (bounded by MaxStreamReports, so
+// a malformed or oversized stream is rejected atomically), then fed
+// through the engine's bounded queue — blocking the handler when the
+// fold workers fall behind, which is the server's backpressure — and
+// folded into per-shard aggregators that merge exactly on finalize. Finalized sketches are immutable, so join
+// estimates are memoized in a query cache keyed by the (unordered)
+// column pair: repeated estimates of the same pair never recompute the
+// row inner products.
+//
 //	POST /v1/columns/{name}/reports    body: KindJoin report stream
 //	POST /v1/columns/{name}/finalize
 //	GET  /v1/columns/{name}            column status (JSON)
 //	GET  /v1/columns/{name}/sketch     marshaled sketch (octet-stream)
 //	GET  /v1/join?left=A&right=B       join estimate (JSON)
 //	GET  /v1/frequency?column=A&value=7
+//	GET  /v1/stats                     server counters (JSON)
 //	GET  /v1/healthz
 package service
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/ingest"
 	"ldpjoin/internal/protocol"
 )
 
-// Server aggregates LDP reports into named columns. It is safe for
-// concurrent use.
-type Server struct {
-	params core.Params
-	fam    *hashing.Family
+// DefaultMaxStreamReports caps how many reports a single POST body may
+// carry unless Options overrides it (4Mi reports ≈ 28 MiB of wire). The
+// cap also bounds per-request memory: a request is decoded in full
+// (≈ 12 bytes per report) before it reaches the engine, so the rejection
+// of a malformed stream stays atomic.
+const DefaultMaxStreamReports = 1 << 22
 
-	mu       sync.Mutex
-	pending  map[string]*core.Aggregator
-	finished map[string]*core.Sketch
+// Options tunes the server. The zero value selects defaults.
+type Options struct {
+	// Ingest configures the sharded ingestion engine.
+	Ingest ingest.Options
+	// MaxStreamReports caps the reports accepted per request body: 0
+	// selects DefaultMaxStreamReports, negative disables the cap.
+	// Disabling it removes the per-request memory bound too — each
+	// request buffers its decoded reports until the stream ends — so
+	// leave it on unless every gateway is trusted.
+	MaxStreamReports int
 }
 
-// New creates a server for the given protocol parameters; the hash
-// family derives from seed (shared with every participant).
+// joinKey identifies an unordered column pair; the join estimator is
+// symmetric, so (A,B) and (B,A) share a cache slot.
+type joinKey struct{ left, right string }
+
+func makeJoinKey(a, b string) joinKey {
+	if b < a {
+		a, b = b, a
+	}
+	return joinKey{a, b}
+}
+
+// Server aggregates LDP reports into named columns. It is safe for
+// concurrent use; Close releases the engine workers.
+type Server struct {
+	params    core.Params
+	fam       *hashing.Family
+	engine    *ingest.Engine
+	maxStream int
+
+	mu       sync.Mutex
+	pending  map[string]*ingest.Column
+	finished map[string]*core.Sketch
+	joins    map[joinKey]float64
+	hits     int64
+	misses   int64
+}
+
+// New creates a server with default options; the hash family derives
+// from seed (shared with every participant).
 func New(p core.Params, seed int64) (*Server, error) {
+	return NewWithOptions(p, seed, Options{})
+}
+
+// NewWithOptions creates a server for the given protocol parameters,
+// public hash seed, and tuning options.
+func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	maxStream := o.MaxStreamReports
+	if maxStream == 0 {
+		maxStream = DefaultMaxStreamReports
+	}
+	fam := p.NewFamily(seed)
 	return &Server{
-		params:   p,
-		fam:      p.NewFamily(seed),
-		pending:  make(map[string]*core.Aggregator),
-		finished: make(map[string]*core.Sketch),
+		params:    p,
+		fam:       fam,
+		engine:    ingest.NewEngine(p, fam, o.Ingest),
+		maxStream: maxStream,
+		pending:   make(map[string]*ingest.Column),
+		finished:  make(map[string]*core.Sketch),
+		joins:     make(map[joinKey]float64),
 	}, nil
 }
+
+// Close drains and stops the ingestion engine. The server must not
+// receive requests afterwards.
+func (s *Server) Close() { s.engine.Close() }
 
 // Handler returns the HTTP handler serving the API above.
 func (s *Server) Handler() http.Handler {
@@ -59,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/columns/{name}/sketch", s.handleExport)
 	mux.HandleFunc("GET /v1/join", s.handleJoin)
 	mux.HandleFunc("GET /v1/frequency", s.handleFrequency)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -67,49 +134,93 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	// Decode outside the lock; a malformed stream rejects the whole batch
-	// so partially-applied garbage never reaches a sketch.
-	var batch []core.Report
-	_, n, err := protocol.ReadStream(r.Body, s.params, func(rep core.Report) {
-		batch = append(batch, rep)
-	})
+	// Decode the whole stream before anything reaches the engine: a
+	// malformed or oversized stream rejects the request atomically, so
+	// partially-applied garbage never reaches a sketch.
+	br, err := protocol.NewBatchReader(r.Body, s.params)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
 		return
 	}
+	var batches [][]core.Report
+	for {
+		batch, err := br.Next(protocol.DefaultBatchSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
+			return
+		}
+		if s.maxStream >= 0 && br.Count() > s.maxStream {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"stream exceeds %d reports per request", s.maxStream)
+			return
+		}
+		batches = append(batches, batch)
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, done := s.finished[name]; done {
+		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "column %q is already finalized", name)
 		return
 	}
-	agg, ok := s.pending[name]
+	col, ok := s.pending[name]
 	if !ok {
-		agg = core.NewAggregator(s.params, s.fam)
-		s.pending[name] = agg
+		col = s.engine.NewColumn()
+		s.pending[name] = col
 	}
-	for _, rep := range batch {
-		agg.Add(rep)
+	s.mu.Unlock()
+
+	// Feed the engine outside the lock. EnqueueAll blocks when the fold
+	// workers are behind (backpressure) and is atomic against a
+	// concurrent finalize: the request's reports land entirely before
+	// the merge or not at all.
+	if err := col.EnqueueAll(batches); err != nil {
+		httpError(w, http.StatusConflict, "column %q: %v", name, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"column": name, "ingested": n, "total": agg.N()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "ingested": br.Count(), "total": col.N(),
+	})
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, done := s.finished[name]; done {
+		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "column %q is already finalized", name)
 		return
 	}
-	agg, ok := s.pending[name]
+	col, ok := s.pending[name]
+	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "column %q has no reports", name)
 		return
 	}
-	sk := agg.Finalize()
+	// Finalize drains the column's queued folds; do it outside the lock
+	// so ingestion into other columns proceeds meanwhile. A concurrent
+	// finalize of the same column loses with ErrFinalized.
+	sk, err := col.Finalize()
+	if err == ingest.ErrFinalized {
+		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		return
+	}
+	if err != nil {
+		// The column is spent (finalized with an error); drop it so the
+		// name does not stay wedged between "collecting" and "finalized".
+		s.mu.Lock()
+		delete(s.pending, name)
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "finalizing column %q: %v", name, err)
+		return
+	}
+	s.mu.Lock()
 	delete(s.pending, name)
 	s.finished[name] = sk
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"column": name, "reports": sk.N()})
 }
 
@@ -121,8 +232,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "finalized", "reports": sk.N()})
 		return
 	}
-	if agg, ok := s.pending[name]; ok {
-		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "collecting", "reports": agg.N()})
+	if col, ok := s.pending[name]; ok {
+		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "collecting", "reports": col.N()})
 		return
 	}
 	httpError(w, http.StatusNotFound, "unknown column %q", name)
@@ -154,7 +265,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns")
 		return
 	}
+	key := makeJoinKey(left, right)
 	s.mu.Lock()
+	est, cached := s.joins[key]
 	skL, okL := s.finished[left]
 	skR, okR := s.finished[right]
 	s.mu.Unlock()
@@ -162,8 +275,22 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
 		return
 	}
+	if cached {
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+	} else {
+		// Compute outside the lock — the inner products scan K·M cells —
+		// then memoize: finalized sketches never change, so the entry
+		// stays valid for the life of the server.
+		est = skL.JoinSize(skR)
+		s.mu.Lock()
+		s.misses++
+		s.joins[key] = est
+		s.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"left": left, "right": right, "estimate": skL.JoinSize(skR),
+		"left": left, "right": right, "estimate": est, "cached": cached,
 	})
 }
 
@@ -186,6 +313,22 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 		"column": name, "value": value,
 		"estimate":       sk.Frequency(value),
 		"estimateMedian": sk.FrequencyMedian(value),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	o := s.engine.Options()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collecting":      len(s.pending),
+		"finalized":       len(s.finished),
+		"joinCacheSize":   len(s.joins),
+		"joinCacheHits":   s.hits,
+		"joinCacheMisses": s.misses,
+		"shards":          o.Shards,
+		"workers":         o.Workers,
+		"queue":           o.Queue,
 	})
 }
 

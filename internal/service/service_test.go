@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"ldpjoin/internal/core"
@@ -24,6 +25,7 @@ func testServer(t *testing.T) (*Server, *httptest.Server, core.Params) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close) // after ts.Close: requests drain before the engine stops
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts, p
@@ -211,5 +213,111 @@ func TestServiceErrorPaths(t *testing.T) {
 func TestServiceRejectsBadParams(t *testing.T) {
 	if _, err := New(core.Params{K: 0, M: 8, Epsilon: 1}, 1); err == nil {
 		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestServiceJoinCache: the first join of a pair computes, every repeat
+// (in either orientation) is served from the cache with the same value.
+func TestServiceJoinCache(t *testing.T) {
+	_, ts, p := testServer(t)
+	da := dataset.Zipf(4, 20000, 1000, 1.3)
+	db := dataset.Zipf(5, 20000, 1000, 1.3)
+	for name, data := range map[string][]uint64{"A": da, "B": db} {
+		if code, _ := post(t, ts.URL+"/v1/columns/"+name+"/reports", encodeColumn(t, p, 21, data)); code != 200 {
+			t.Fatalf("ingest %s failed", name)
+		}
+		if code, _ := post(t, ts.URL+"/v1/columns/"+name+"/finalize", nil); code != 200 {
+			t.Fatalf("finalize %s failed", name)
+		}
+	}
+	code, body := get(t, ts.URL+"/v1/join?left=A&right=B")
+	if code != 200 || body["cached"] != false {
+		t.Fatalf("first join = %d %v, want uncached 200", code, body)
+	}
+	first := body["estimate"].(float64)
+	code, body = get(t, ts.URL+"/v1/join?left=A&right=B")
+	if code != 200 || body["cached"] != true {
+		t.Fatalf("repeat join = %d %v, want cached 200", code, body)
+	}
+	if body["estimate"].(float64) != first {
+		t.Fatalf("cached estimate %v != first %v", body["estimate"], first)
+	}
+	// The cache key is the unordered pair: the swapped query hits too.
+	code, body = get(t, ts.URL+"/v1/join?left=B&right=A")
+	if code != 200 || body["cached"] != true {
+		t.Fatalf("swapped join = %d %v, want cached 200", code, body)
+	}
+	if body["estimate"].(float64) != first {
+		t.Fatalf("swapped estimate %v != first %v", body["estimate"], first)
+	}
+	// Stats reflect the cache traffic.
+	code, body = get(t, ts.URL+"/v1/stats")
+	if code != 200 {
+		t.Fatalf("stats code %d", code)
+	}
+	if body["joinCacheSize"].(float64) != 1 || body["joinCacheHits"].(float64) != 2 || body["joinCacheMisses"].(float64) != 1 {
+		t.Fatalf("stats = %v", body)
+	}
+}
+
+// TestServiceStreamCap: a request body above MaxStreamReports is
+// rejected with 413 and leaves no partial state behind.
+func TestServiceStreamCap(t *testing.T) {
+	p := core.Params{K: 4, M: 64, Epsilon: 2}
+	srv, err := NewWithOptions(p, 42, Options{MaxStreamReports: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	data := make([]uint64, 101)
+	if code, _ := post(t, ts.URL+"/v1/columns/A/reports", encodeColumn(t, p, 1, data)); code != 413 {
+		t.Fatalf("oversized stream code %d, want 413", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/columns/A"); code != 404 {
+		t.Fatalf("column exists after rejected stream (code %d)", code)
+	}
+	// At the cap exactly, the stream is accepted.
+	if code, _ := post(t, ts.URL+"/v1/columns/A/reports", encodeColumn(t, p, 1, data[:100])); code != 200 {
+		t.Fatal("stream at cap rejected")
+	}
+}
+
+// TestServiceConcurrentIngest hammers one column from many goroutines —
+// with -race this exercises the handler/engine locking end to end.
+func TestServiceConcurrentIngest(t *testing.T) {
+	_, ts, p := testServer(t)
+	const gateways, perGateway = 8, 2000
+	data := dataset.Zipf(6, gateways*perGateway, 500, 1.2)
+
+	var wg sync.WaitGroup
+	for g := 0; g < gateways; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			part := data[g*perGateway : (g+1)*perGateway]
+			body := encodeColumn(t, p, int64(100+g), part)
+			resp, err := http.Post(ts.URL+"/v1/columns/C/reports", "application/octet-stream", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("gateway %d: %v", g, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("gateway %d: code %d", g, resp.StatusCode)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if code, _ := post(t, ts.URL+"/v1/columns/C/finalize", nil); code != 200 {
+		t.Fatal("finalize failed")
+	}
+	code, body := get(t, ts.URL+"/v1/columns/C")
+	if code != 200 || body["reports"].(float64) != gateways*perGateway {
+		t.Fatalf("status = %d %v, want %d reports", code, body, gateways*perGateway)
 	}
 }
