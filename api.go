@@ -7,6 +7,7 @@ import (
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/ingest"
+	"ldpjoin/internal/protocol"
 )
 
 // Report is the ε-LDP message a client transmits: one perturbed bit and
@@ -122,6 +123,35 @@ func (a *Aggregator) Sketch() *Sketch {
 	return &Sketch{proto: a.proto, sk: a.agg.Finalize()}
 }
 
+// Merge folds other — built under the same protocol, typically imported
+// from another collector's snapshot — into a. Unfinalized cells are
+// exact integer sums, so the merge is exact: finalizing the merged
+// aggregator yields byte-identical results to one aggregator having
+// ingested both report streams. Neither aggregator may be finalized.
+func (a *Aggregator) Merge(other *Aggregator) error {
+	if a.agg.Done() || other.agg.Done() {
+		return fmt.Errorf("ldpjoin: cannot merge finalized aggregators")
+	}
+	if !a.agg.Compatible(other.agg) {
+		return fmt.Errorf("ldpjoin: aggregators are not combinable (params %+v/seed %d vs params %+v/seed %d)",
+			a.agg.Params(), a.agg.Family().Seed(), other.agg.Params(), other.agg.Family().Seed())
+	}
+	a.agg.Merge(other.agg)
+	return nil
+}
+
+// Snapshot exports the aggregator's unfinalized (mergeable) state as a
+// SNAP snapshot: the cross-node wire form of federation. The snapshot
+// embeds the configuration fingerprint (k, m, ε, hash seed) and a CRC,
+// and imports only into a protocol with the identical configuration.
+// The aggregator remains usable afterwards.
+func (a *Aggregator) Snapshot() ([]byte, error) {
+	if a.agg.Done() {
+		return nil, fmt.Errorf("ldpjoin: cannot snapshot a finalized aggregator")
+	}
+	return protocol.EncodeSnapshot(protocol.SnapshotOfAggregator(a.agg))
+}
+
 // buildShards fixes the simulation shard count of the facade builders.
 // Shards — not workers — determine the per-chunk client seeds, so
 // pinning them makes BuildSketch and the chain builders deterministic
@@ -136,6 +166,62 @@ const buildShards = 16
 // seed) only, independent of core count and scheduling.
 func (p *Protocol) BuildSketch(values []uint64, seed int64) *Sketch {
 	return &Sketch{proto: p, sk: ingest.Collect(p.params, p.fam, values, seed, ingest.Options{Shards: buildShards})}
+}
+
+// ExportSnapshot encodes an aggregator's unfinalized state for transfer
+// to another node. The aggregator must belong to this protocol. It is
+// the counterpart of ImportSnapshot; a.Snapshot() is shorthand when the
+// protocol is implied.
+func (p *Protocol) ExportSnapshot(a *Aggregator) ([]byte, error) {
+	if a.proto.cfg != p.cfg {
+		return nil, fmt.Errorf("ldpjoin: aggregator belongs to config %+v, not %+v", a.proto.cfg, p.cfg)
+	}
+	return a.Snapshot()
+}
+
+// ImportSnapshot decodes an unfinalized snapshot exported by another
+// node into a mergeable Aggregator, after verifying its integrity (CRC)
+// and that its configuration fingerprint — k, m, ε, and the hash-family
+// seed — matches this protocol exactly. Merging imported aggregators
+// and finalizing reproduces, byte for byte, the sketch a single node
+// would have built from the concatenated report stream.
+func (p *Protocol) ImportSnapshot(data []byte) (*Aggregator, error) {
+	snap, err := protocol.DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	if err := snap.CompatibleWithJoin(p.params, p.cfg.Seed); err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	if snap.Finalized {
+		return nil, fmt.Errorf("ldpjoin: snapshot is finalized; use ImportFinalized")
+	}
+	agg, err := core.RestoreAggregator(p.params, p.fam, snap.Cells, snap.N)
+	if err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	return &Aggregator{proto: p, agg: agg}, nil
+}
+
+// ImportFinalized decodes a finalized snapshot (Sketch.Snapshot) into a
+// queryable Sketch, with the same integrity and configuration checks as
+// ImportSnapshot.
+func (p *Protocol) ImportFinalized(data []byte) (*Sketch, error) {
+	snap, err := protocol.DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	if err := snap.CompatibleWithJoin(p.params, p.cfg.Seed); err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	if !snap.Finalized {
+		return nil, fmt.Errorf("ldpjoin: snapshot is unfinalized; use ImportSnapshot")
+	}
+	sk, err := core.RestoreSketch(p.params, p.fam, snap.Cells, snap.N)
+	if err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	return &Sketch{proto: p, sk: sk}, nil
 }
 
 // Sketch is a finalized LDPJoinSketch. All query methods are read-only
@@ -195,6 +281,30 @@ func (s *Sketch) FrequencyMedian(d uint64) float64 { return s.sk.FrequencyMedian
 // frequency exceeds share·N.
 func (s *Sketch) HeavyHitters(domain uint64, share float64) []uint64 {
 	return s.sk.FrequentItems(domain, share*s.sk.N(), false)
+}
+
+// Merge adds other's cells into s. Finalization is linear, so the
+// merged sketch summarizes the union of the two populations and every
+// estimator stays unbiased — but floating-point addition makes the
+// result not bit-identical to finalizing merged unfinalized state. For
+// byte-exact federation, merge before finalizing (Aggregator.Merge /
+// Protocol.ImportSnapshot). Merge mutates s and must not race its
+// query methods.
+func (s *Sketch) Merge(other *Sketch) error {
+	if !s.sk.Compatible(other.sk) {
+		return fmt.Errorf("ldpjoin: sketches are not combinable (params %+v/seed %d vs params %+v/seed %d)",
+			s.sk.Params(), s.sk.Family().Seed(), other.sk.Params(), other.sk.Family().Seed())
+	}
+	s.sk.Merge(other.sk)
+	return nil
+}
+
+// Snapshot exports the finalized sketch as a SNAP snapshot — the same
+// codec ImportFinalized reads, carrying the configuration fingerprint
+// and a CRC. Unlike MarshalBinary (the legacy LJS1 catalog format) a
+// snapshot can also carry unfinalized state; see Aggregator.Snapshot.
+func (s *Sketch) Snapshot() ([]byte, error) {
+	return protocol.EncodeSnapshot(protocol.SnapshotOfSketch(s.sk))
 }
 
 // MarshalBinary encodes the sketch for persistence or transfer. The

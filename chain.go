@@ -6,6 +6,7 @@ import (
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/ingest"
+	"ldpjoin/internal/protocol"
 )
 
 // ChainProtocol estimates chain (multi-way) joins of the form
@@ -65,6 +66,52 @@ type MatrixSketch struct {
 
 // N returns the number of tuples summarized.
 func (m *MatrixSketch) N() float64 { return m.ms.N() }
+
+// Merge adds other's cells into m: the middle-table counterpart of
+// Sketch.Merge, with the same linearity (unbiased union summary) and
+// the same caveat (floating-point, so not bit-identical to merging
+// before finalization). Both sketches must come from the same chain
+// protocol position — equal matrix parameters and attribute families.
+func (m *MatrixSketch) Merge(other *MatrixSketch) error {
+	if !m.ms.Compatible(other.ms) {
+		return fmt.Errorf("ldpjoin: matrix sketches are not combinable (params %+v/seeds %d,%d vs params %+v/seeds %d,%d)",
+			m.ms.Params(), m.ms.FamilyA().Seed(), m.ms.FamilyB().Seed(),
+			other.ms.Params(), other.ms.FamilyA().Seed(), other.ms.FamilyB().Seed())
+	}
+	m.ms.Merge(other.ms)
+	return nil
+}
+
+// Snapshot exports the finalized matrix sketch as a SNAP snapshot.
+func (m *MatrixSketch) Snapshot() ([]byte, error) {
+	return protocol.EncodeSnapshot(protocol.SnapshotOfMatrixSketch(m.ms))
+}
+
+// ImportMatrixSnapshot decodes a finalized matrix snapshot into a
+// middle-table sketch for the chain position joining leftAttr to
+// leftAttr+1, verifying the snapshot's configuration fingerprint
+// against that position's parameters and attribute-family seeds.
+func (cp *ChainProtocol) ImportMatrixSnapshot(leftAttr int, data []byte) (*MatrixSketch, error) {
+	if leftAttr < 0 || leftAttr+1 >= cp.attrs {
+		return nil, fmt.Errorf("ldpjoin: middle table attribute %d out of range", leftAttr)
+	}
+	snap, err := protocol.DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	famA, famB := cp.fams[leftAttr], cp.fams[leftAttr+1]
+	if err := snap.CompatibleWithMatrix(cp.midP, famA.Seed(), famB.Seed()); err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	if !snap.Finalized {
+		return nil, fmt.Errorf("ldpjoin: matrix snapshot is unfinalized")
+	}
+	ms, err := core.RestoreMatrixSketch(cp.midP, famA, famB, snap.Cells, snap.N)
+	if err != nil {
+		return nil, fmt.Errorf("ldpjoin: %w", err)
+	}
+	return &MatrixSketch{ms: ms}, nil
+}
 
 // BuildMid sketches the middle table joining attribute leftAttr (its A
 // column) to leftAttr+1 (its B column).

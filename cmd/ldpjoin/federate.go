@@ -1,0 +1,153 @@
+// The federate mode turns N independent ldpjoind collectors into one
+// logical aggregation server: it pulls a SNAP snapshot of each named
+// column from every collector, merges the unfinalized (exact integer)
+// state per column, finalizes the merged aggregators locally, and
+// answers a join-size query over the merged sketches. Because sketches
+// are linear, the result is byte-identical to what a single collector
+// ingesting every report would have produced — federation costs no
+// accuracy and no privacy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/protocol"
+)
+
+func runFederate(args []string) {
+	fs := flag.NewFlagSet("federate", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: ldpjoin federate -peers URL[,URL...] -columns A,B [flags]
+
+Pull column snapshots from ldpjoind collectors, merge them exactly, and
+estimate the join size of the first two columns (or the -join pair).
+The protocol configuration (-k, -m, -eps, -seed) must match the
+collectors'.
+
+`)
+		fs.PrintDefaults()
+	}
+	peersFlag := fs.String("peers", "", "comma-separated base URLs of ldpjoind collectors (e.g. http://a:8080,http://b:8080)")
+	columnsFlag := fs.String("columns", "", "comma-separated column names to pull and merge")
+	joinFlag := fs.String("join", "", "left,right column pair to estimate (default: the first two columns)")
+	k := fs.Int("k", 18, "sketch depth (rows)")
+	m := fs.Int("m", 1024, "sketch width (columns, power of two)")
+	eps := fs.Float64("eps", 4, "privacy budget epsilon")
+	seed := fs.Int64("seed", 1, "public hash seed (shared with clients and collectors)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	_ = fs.Parse(args)
+
+	peers := splitNonEmpty(*peersFlag)
+	columns := splitNonEmpty(*columnsFlag)
+	if len(peers) == 0 || len(columns) == 0 {
+		fs.Usage()
+		fatal(fmt.Errorf("federate needs -peers and -columns"))
+	}
+	left, right := columns[0], ""
+	if len(columns) > 1 {
+		right = columns[1]
+	}
+	if *joinFlag != "" {
+		pair := splitNonEmpty(*joinFlag)
+		if len(pair) != 2 {
+			fatal(fmt.Errorf("-join wants exactly left,right, got %q", *joinFlag))
+		}
+		left, right = pair[0], pair[1]
+	}
+
+	params := core.Params{K: *k, M: *m, Epsilon: *eps}
+	if err := params.Validate(); err != nil {
+		fatal(err)
+	}
+	fam := params.NewFamily(*seed)
+	client := &http.Client{Timeout: *timeout}
+
+	sketches := make(map[string]*core.Sketch, len(columns))
+	for _, col := range columns {
+		var merged *core.Aggregator
+		for _, peer := range peers {
+			agg, err := pullSnapshot(client, peer, col, params, fam)
+			if err != nil {
+				fatal(fmt.Errorf("pulling %q from %s: %w", col, peer, err))
+			}
+			if merged == nil {
+				merged = agg
+			} else {
+				merged.Merge(agg)
+			}
+			fmt.Printf("pulled %-12s from %-28s %10.0f reports (merged total %.0f)\n",
+				col, peer, agg.N(), merged.N())
+		}
+		sketches[col] = merged.Finalize()
+	}
+
+	fmt.Println()
+	for _, col := range columns {
+		fmt.Printf("column %-12s merged sketch over %.0f reports\n", col, sketches[col].N())
+	}
+	if right == "" {
+		fmt.Println("single column pulled; pass two columns (or -join) for a join estimate")
+		return
+	}
+	skL, okL := sketches[left]
+	skR, okR := sketches[right]
+	if !okL || !okR {
+		fatal(fmt.Errorf("-join pair %s,%s must be among -columns", left, right))
+	}
+	fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g\n", left, right, skL.JoinSize(skR))
+}
+
+// pullSnapshot fetches one column's snapshot from one collector and
+// restores it as a mergeable aggregator bound to the shared hash
+// family, verifying integrity and the configuration fingerprint.
+// Finalized snapshots are refused: merging them cannot be exact, and a
+// federated collector should stay unfinalized until the federator has
+// pulled everything.
+func pullSnapshot(client *http.Client, peer, column string, params core.Params, fam *hashing.Family) (*core.Aggregator, error) {
+	u := strings.TrimSuffix(peer, "/") + "/v1/columns/" + url.PathEscape(column) + "/snapshot"
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	limit := int64(protocol.SnapshotEncodedSize(params))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(data)))
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%s: snapshot exceeds %d bytes for this configuration", u, limit)
+	}
+	snap, err := protocol.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.CompatibleWithJoin(params, fam.Seed()); err != nil {
+		return nil, err
+	}
+	if snap.Finalized {
+		return nil, fmt.Errorf("%s: column is finalized; federation merges unfinalized snapshots — pull before finalizing the collectors", u)
+	}
+	return core.RestoreAggregator(params, fam, snap.Cells, snap.N)
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/protocol"
+	"ldpjoin/internal/service"
+)
+
+// startCollector spins up an in-process ldpjoind and feeds it one
+// column of client-perturbed reports.
+func startCollector(t *testing.T, p core.Params, seed int64, column string, clientSeed int64, data []uint64) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	fam := p.NewFamily(seed)
+	var buf bytes.Buffer
+	w, err := protocol.NewReportWriter(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(clientSeed))
+	for _, d := range data {
+		if err := w.Write(core.Perturb(d, p, fam, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/columns/"+column+"/reports", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingesting %s: %d", column, resp.StatusCode)
+	}
+	return ts
+}
+
+// TestPullSnapshotMergesExactly drives the federate pull path against
+// two live collectors and checks the merged, finalized sketch equals a
+// direct fold of the union stream.
+func TestPullSnapshotMergesExactly(t *testing.T) {
+	p := core.Params{K: 6, M: 256, Epsilon: 4}
+	const seed = int64(21)
+	fam := p.NewFamily(seed)
+
+	dataA := make([]uint64, 2000)
+	dataB := make([]uint64, 1500)
+	for i := range dataA {
+		dataA[i] = uint64(i % 30)
+	}
+	for i := range dataB {
+		dataB[i] = uint64(i % 20)
+	}
+	tsA := startCollector(t, p, seed, "users", 501, dataA)
+	tsB := startCollector(t, p, seed, "users", 502, dataB)
+
+	client := &http.Client{}
+	aggA, err := pullSnapshot(client, tsA.URL, "users", p, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggB, err := pullSnapshot(client, tsB.URL, "users", p, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggA.Merge(aggB)
+	if aggA.N() != float64(len(dataA)+len(dataB)) {
+		t.Fatalf("merged N = %v, want %d", aggA.N(), len(dataA)+len(dataB))
+	}
+	merged, err := aggA.Finalize().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one aggregator folding both client streams directly.
+	ref := core.NewAggregator(p, fam)
+	rngA := rand.New(rand.NewSource(501))
+	for _, d := range dataA {
+		ref.Add(core.Perturb(d, p, fam, rngA))
+	}
+	rngB := rand.New(rand.NewSource(502))
+	for _, d := range dataB {
+		ref.Add(core.Perturb(d, p, fam, rngB))
+	}
+	want, err := ref.Finalize().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, want) {
+		t.Fatal("federated pull+merge differs from direct union fold")
+	}
+
+	// A collector with a different seed is refused by the fingerprint
+	// check, not silently merged.
+	tsC := startCollector(t, p, seed+1, "users", 503, dataA[:100])
+	if _, err := pullSnapshot(client, tsC.URL, "users", p, fam); err == nil {
+		t.Fatal("cross-seed collector snapshot accepted")
+	}
+
+	// Unknown columns surface the collector's error.
+	if _, err := pullSnapshot(client, tsA.URL, "nope", p, fam); err == nil {
+		t.Fatal("missing column did not error")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := splitNonEmpty(""); out != nil {
+		t.Fatalf("empty input: got %v", out)
+	}
+}

@@ -1,10 +1,13 @@
 // Command ldpjoin runs a single private join-size estimation on a
-// generated workload and reports the estimate against the exact answer.
+// generated workload and reports the estimate against the exact answer,
+// or — in federate mode — merges sketch snapshots pulled from several
+// ldpjoind collectors and answers the join query over the federation.
 //
 // Usage:
 //
 //	ldpjoin -dataset zipf1.1 -method plus -eps 4 -scale 0.005
 //	ldpjoin -dataset movielens -method sketch -k 18 -m 1024
+//	ldpjoin federate -peers http://a:8080,http://b:8080 -columns users,orders
 //
 // Methods: sketch (LDPJoinSketch), plus (LDPJoinSketch+), fagms
 // (non-private fast-AGMS), krr, hcms, flh.
@@ -23,6 +26,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "federate" {
+		runFederate(os.Args[2:])
+		return
+	}
 	dsName := flag.String("dataset", "zipf1.1", "dataset name (see DESIGN.md Table II) or zipfA.B")
 	method := flag.String("method", "sketch", "sketch|plus|fagms|krr|hcms|flh")
 	eps := flag.Float64("eps", 4, "privacy budget epsilon")

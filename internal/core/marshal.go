@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/ldp"
 )
 
 // Sketch serialization lets a server persist finalized sketches (a data
@@ -41,6 +44,69 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 		}
 	}
 	return buf, nil
+}
+
+// maxExactCount bounds restored report counts to the float64 range of
+// exact integers: larger values could not have been counted one report
+// at a time, and converting them to int64 (as the ingest counters do)
+// would overflow.
+const maxExactCount = 1 << 53
+
+// restoreState validates the (rows, n) state shared by every restore
+// constructor: the snapshot codec hands decoded cell grids back to this
+// package, which must never build an object that violates the invariants
+// the rest of the code relies on (dimensions matching the family, a
+// finite non-negative report count, finite cells).
+func restoreState(p Params, fam *hashing.Family, rows [][]float64, n float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if fam == nil || fam.K() != p.K || fam.M() != p.M {
+		return fmt.Errorf("core: hash family does not match params (k=%d, m=%d)", p.K, p.M)
+	}
+	if len(rows) != p.K {
+		return fmt.Errorf("core: restoring %d rows into a depth-%d sketch", len(rows), p.K)
+	}
+	for j, row := range rows {
+		if len(row) != p.M {
+			return fmt.Errorf("core: restored row %d has %d cells, want %d", j, len(row), p.M)
+		}
+		for x, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: restored cell [%d, %d] is not finite", j, x)
+			}
+		}
+	}
+	if n < 0 || n > maxExactCount || math.IsNaN(n) {
+		return fmt.Errorf("core: invalid restored report count %v", n)
+	}
+	return nil
+}
+
+// RestoreAggregator rebuilds an unfinalized aggregator from exported
+// state, taking ownership of rows. It is the decode half of the snapshot
+// codec: the rows are the exact integer sums an exporter read via Rows,
+// so an aggregator restored on another node merges exactly.
+func RestoreAggregator(p Params, fam *hashing.Family, rows [][]float64, n float64) (*Aggregator, error) {
+	if err := restoreState(p, fam, rows, n); err != nil {
+		return nil, err
+	}
+	return &Aggregator{
+		params: p,
+		fam:    fam,
+		scale:  float64(p.K) * ldp.CEpsilon(p.Epsilon),
+		rows:   rows,
+		n:      n,
+	}, nil
+}
+
+// RestoreSketch rebuilds a finalized sketch from exported state, taking
+// ownership of rows.
+func RestoreSketch(p Params, fam *hashing.Family, rows [][]float64, n float64) (*Sketch, error) {
+	if err := restoreState(p, fam, rows, n); err != nil {
+		return nil, err
+	}
+	return &Sketch{params: p, fam: fam, rows: rows, n: n}, nil
 }
 
 // UnmarshalSketch decodes a sketch produced by MarshalBinary,

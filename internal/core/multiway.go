@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 
 	"ldpjoin/internal/hadamard"
@@ -28,15 +30,23 @@ type MatrixParams struct {
 	Epsilon float64
 }
 
-func (p MatrixParams) mustValidate() {
+// Validate returns an error when the parameters cannot run the protocol.
+func (p MatrixParams) Validate() error {
 	if p.K <= 0 {
-		panic("core: matrix sketch depth K must be positive")
+		return fmt.Errorf("core: matrix sketch depth K must be positive, got %d", p.K)
 	}
 	if !hadamard.IsPowerOfTwo(p.M1) || !hadamard.IsPowerOfTwo(p.M2) {
-		panic("core: matrix sketch dims must be powers of two")
+		return fmt.Errorf("core: matrix sketch dims must be powers of two, got %dx%d", p.M1, p.M2)
 	}
 	if !(p.Epsilon > 0) {
-		panic("core: privacy budget epsilon must be positive")
+		return fmt.Errorf("core: privacy budget epsilon must be positive, got %v", p.Epsilon)
+	}
+	return nil
+}
+
+func (p MatrixParams) mustValidate() {
+	if err := p.Validate(); err != nil {
+		panic(err)
 	}
 }
 
@@ -116,6 +126,86 @@ func (ma *MatrixAggregator) Merge(other *MatrixAggregator) {
 	ma.n += other.n
 }
 
+// N returns the number of tuples ingested so far.
+func (ma *MatrixAggregator) N() float64 { return ma.n }
+
+// Params returns the matrix parameters the aggregator folds under.
+func (ma *MatrixAggregator) Params() MatrixParams { return ma.params }
+
+// FamilyA returns the hash family of the left join attribute.
+func (ma *MatrixAggregator) FamilyA() *hashing.Family { return ma.famA }
+
+// FamilyB returns the hash family of the right join attribute.
+func (ma *MatrixAggregator) FamilyB() *hashing.Family { return ma.famB }
+
+// Done reports whether the aggregator has been finalized.
+func (ma *MatrixAggregator) Done() bool { return ma.done }
+
+// Mats returns the raw unfinalized accumulation state — K row-major
+// M1×M2 matrices of exact integer sums — without copying. Like
+// Aggregator.Rows it exists for the snapshot codec; the caller must not
+// mutate it and must be quiescent while exporting.
+func (ma *MatrixAggregator) Mats() [][]float64 { return ma.mats }
+
+// Compatible reports whether other accumulates under equal parameters
+// and interchangeable attribute families — the precondition for Merge.
+func (ma *MatrixAggregator) Compatible(other *MatrixAggregator) bool {
+	return ma.params == other.params && sameFamily(ma.famA, other.famA) && sameFamily(ma.famB, other.famB)
+}
+
+// restoreMatrixState validates exported matrix state before either
+// restore constructor will build an object from it.
+func restoreMatrixState(p MatrixParams, famA, famB *hashing.Family, mats [][]float64, n float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if famA == nil || famB == nil || famA.K() != p.K || famB.K() != p.K || famA.M() != p.M1 || famB.M() != p.M2 {
+		return fmt.Errorf("core: matrix families do not match params (k=%d, m1=%d, m2=%d)", p.K, p.M1, p.M2)
+	}
+	if len(mats) != p.K {
+		return fmt.Errorf("core: restoring %d replicas into a depth-%d matrix sketch", len(mats), p.K)
+	}
+	for j, mat := range mats {
+		if len(mat) != p.M1*p.M2 {
+			return fmt.Errorf("core: restored replica %d has %d cells, want %d", j, len(mat), p.M1*p.M2)
+		}
+		for i, v := range mat {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: restored matrix cell [%d, %d] is not finite", j, i)
+			}
+		}
+	}
+	if n < 0 || n > maxExactCount || math.IsNaN(n) {
+		return fmt.Errorf("core: invalid restored tuple count %v", n)
+	}
+	return nil
+}
+
+// RestoreMatrixAggregator rebuilds an unfinalized matrix aggregator from
+// exported state, taking ownership of mats.
+func RestoreMatrixAggregator(p MatrixParams, famA, famB *hashing.Family, mats [][]float64, n float64) (*MatrixAggregator, error) {
+	if err := restoreMatrixState(p, famA, famB, mats, n); err != nil {
+		return nil, err
+	}
+	return &MatrixAggregator{
+		params: p,
+		famA:   famA,
+		famB:   famB,
+		scale:  float64(p.K) * ldp.CEpsilon(p.Epsilon),
+		mats:   mats,
+		n:      n,
+	}, nil
+}
+
+// RestoreMatrixSketch rebuilds a finalized matrix sketch from exported
+// state, taking ownership of mats.
+func RestoreMatrixSketch(p MatrixParams, famA, famB *hashing.Family, mats [][]float64, n float64) (*MatrixSketch, error) {
+	if err := restoreMatrixState(p, famA, famB, mats, n); err != nil {
+		return nil, err
+	}
+	return &MatrixSketch{params: p, famA: famA, famB: famB, mats: mats, n: n}, nil
+}
+
 // CollectTable simulates the protocol for a whole two-column table.
 func (ma *MatrixAggregator) CollectTable(a, b []uint64, rng *rand.Rand) {
 	if len(a) != len(b) {
@@ -173,6 +263,36 @@ func (ms *MatrixSketch) K() int { return ms.params.K }
 
 // N returns the number of tuples summarized.
 func (ms *MatrixSketch) N() float64 { return ms.n }
+
+// Params returns the matrix parameters the sketch was built with.
+func (ms *MatrixSketch) Params() MatrixParams { return ms.params }
+
+// FamilyA returns the hash family of the left join attribute.
+func (ms *MatrixSketch) FamilyA() *hashing.Family { return ms.famA }
+
+// FamilyB returns the hash family of the right join attribute.
+func (ms *MatrixSketch) FamilyB() *hashing.Family { return ms.famB }
+
+// Compatible reports whether the two sketches can be combined: equal
+// parameters and interchangeable attribute families.
+func (ms *MatrixSketch) Compatible(other *MatrixSketch) bool {
+	return ms.params == other.params && sameFamily(ms.famA, other.famA) && sameFamily(ms.famB, other.famB)
+}
+
+// Merge adds other into ms cell-wise. Like Sketch.Merge it is linear and
+// unbiased but not bit-identical to merging before finalization; exact
+// federation merges unfinalized state. The sketches must be Compatible.
+func (ms *MatrixSketch) Merge(other *MatrixSketch) {
+	if !ms.Compatible(other) {
+		panic("core: MatrixSketch.Merge of incompatible sketches")
+	}
+	for j := range ms.mats {
+		for i, v := range other.mats[j] {
+			ms.mats[j][i] += v
+		}
+	}
+	ms.n += other.n
+}
 
 // Mat returns replica j, row-major M1×M2 (not a copy).
 func (ms *MatrixSketch) Mat(j int) []float64 { return ms.mats[j] }

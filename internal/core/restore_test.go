@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func restoreFixture() (Params, [][]float64) {
+	p := Params{K: 3, M: 8, Epsilon: 2}
+	rows := make([][]float64, p.K)
+	for j := range rows {
+		rows[j] = make([]float64, p.M)
+	}
+	return p, rows
+}
+
+func TestRestoreAggregatorValidates(t *testing.T) {
+	p, rows := restoreFixture()
+	fam := p.NewFamily(5)
+
+	if _, err := RestoreAggregator(p, fam, rows, 10); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	if _, err := RestoreAggregator(p, nil, rows, 10); err == nil {
+		t.Error("nil family accepted")
+	}
+	if _, err := RestoreAggregator(p, Params{K: 3, M: 16, Epsilon: 2}.NewFamily(5), rows, 10); err == nil {
+		t.Error("family with wrong M accepted")
+	}
+	if _, err := RestoreAggregator(p, fam, rows[:2], 10); err == nil {
+		t.Error("short row set accepted")
+	}
+	bad := [][]float64{rows[0], rows[1], rows[2][:4]}
+	if _, err := RestoreAggregator(p, fam, bad, 10); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := RestoreAggregator(p, fam, rows, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := RestoreAggregator(p, fam, rows, math.NaN()); err == nil {
+		t.Error("NaN n accepted")
+	}
+	if _, err := RestoreAggregator(p, fam, rows, math.Inf(1)); err == nil {
+		t.Error("infinite n accepted")
+	}
+	if _, err := RestoreAggregator(p, fam, rows, 1e300); err == nil {
+		t.Error("n beyond 2^53 accepted (would overflow int64 counters)")
+	}
+	rows[1][3] = math.Inf(-1)
+	if _, err := RestoreAggregator(p, fam, rows, 10); err == nil {
+		t.Error("non-finite cell accepted")
+	}
+	rows[1][3] = 0
+	if _, err := RestoreSketch(p, fam, rows, 10); err != nil {
+		t.Errorf("valid finalized state rejected: %v", err)
+	}
+	if _, err := RestoreSketch(p, fam, rows[:1], 10); err == nil {
+		t.Error("RestoreSketch accepted short row set")
+	}
+}
+
+// TestRestoredAggregatorIngestsAndMerges: a restored aggregator is a
+// first-class aggregator — it keeps ingesting and merging exactly.
+func TestRestoredAggregatorIngestsAndMerges(t *testing.T) {
+	p, rows := restoreFixture()
+	fam := p.NewFamily(5)
+	restored, err := RestoreAggregator(p, fam, rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewAggregator(p, fam)
+	for i := 0; i < 100; i++ {
+		r := Report{Y: int8(1 - 2*(i%2)), Row: uint32(i % p.K), Col: uint32(i % p.M)}
+		restored.Add(r)
+		direct.Add(r)
+	}
+	other := NewAggregator(p, fam)
+	for i := 0; i < 50; i++ {
+		r := Report{Y: 1, Row: uint32(i % p.K), Col: uint32((i * 3) % p.M)}
+		other.Add(r)
+		direct.Add(r)
+	}
+	if !restored.Compatible(other) {
+		t.Fatal("restored aggregator incompatible with a sibling")
+	}
+	restored.Merge(other)
+	a := restored.Finalize()
+	b := direct.Finalize()
+	for j := 0; j < p.K; j++ {
+		for x, v := range a.Row(j) {
+			if v != b.Row(j)[x] {
+				t.Fatalf("cell [%d,%d]: %v vs %v", j, x, v, b.Row(j)[x])
+			}
+		}
+	}
+}
+
+func TestRestoreMatrixValidates(t *testing.T) {
+	p := MatrixParams{K: 2, M1: 4, M2: 8, Epsilon: 2}
+	famA := Params{K: p.K, M: p.M1, Epsilon: p.Epsilon}.NewFamily(1)
+	famB := Params{K: p.K, M: p.M2, Epsilon: p.Epsilon}.NewFamily(2)
+	mats := make([][]float64, p.K)
+	for j := range mats {
+		mats[j] = make([]float64, p.M1*p.M2)
+	}
+
+	if _, err := RestoreMatrixAggregator(p, famA, famB, mats, 5); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	if _, err := RestoreMatrixSketch(p, famA, famB, mats, 5); err != nil {
+		t.Fatalf("valid finalized state rejected: %v", err)
+	}
+	if _, err := RestoreMatrixAggregator(p, famB, famA, mats, 5); err == nil {
+		t.Error("swapped families accepted")
+	}
+	if _, err := RestoreMatrixAggregator(p, famA, famB, mats[:1], 5); err == nil {
+		t.Error("short replica set accepted")
+	}
+	short := [][]float64{mats[0], mats[1][:7]}
+	if _, err := RestoreMatrixAggregator(p, famA, famB, short, 5); err == nil {
+		t.Error("short replica accepted")
+	}
+	if _, err := RestoreMatrixAggregator(p, famA, famB, mats, math.Inf(1)); err == nil {
+		t.Error("infinite n accepted")
+	}
+	mats[0][0] = math.NaN()
+	if _, err := RestoreMatrixSketch(p, famA, famB, mats, 5); err == nil {
+		t.Error("NaN cell accepted")
+	}
+}
+
+// TestMatrixSketchMergeExact: merging two finalized matrix sketches sums
+// cells and counts exactly.
+func TestMatrixSketchMergeExact(t *testing.T) {
+	p := MatrixParams{K: 2, M1: 4, M2: 4, Epsilon: 2}
+	famA := Params{K: p.K, M: p.M1, Epsilon: p.Epsilon}.NewFamily(1)
+	famB := Params{K: p.K, M: p.M2, Epsilon: p.Epsilon}.NewFamily(2)
+
+	build := func(lo, hi int) *MatrixSketch {
+		ma := NewMatrixAggregator(p, famA, famB)
+		for i := lo; i < hi; i++ {
+			ma.Add(MatrixReport{Y: int8(1 - 2*(i%2)), Row: uint32(i % p.K), L1: uint32(i % p.M1), L2: uint32((i * 3) % p.M2)})
+		}
+		return ma.Finalize()
+	}
+	a, b := build(0, 80), build(80, 200)
+	want := make([][]float64, p.K)
+	for j := range want {
+		want[j] = make([]float64, p.M1*p.M2)
+		for i := range want[j] {
+			want[j][i] = a.Mat(j)[i] + b.Mat(j)[i]
+		}
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %v, want 200", a.N())
+	}
+	for j := range want {
+		for i, v := range want[j] {
+			if a.Mat(j)[i] != v {
+				t.Fatalf("replica %d cell %d: %v, want %v", j, i, a.Mat(j)[i], v)
+			}
+		}
+	}
+	if a.Compatible(build(0, 1)) != true {
+		t.Fatal("sibling sketch reported incompatible")
+	}
+}

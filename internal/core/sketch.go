@@ -83,6 +83,30 @@ func (a *Aggregator) Merge(other *Aggregator) {
 // N returns the number of reports ingested so far.
 func (a *Aggregator) N() float64 { return a.n }
 
+// Params returns the protocol parameters the aggregator folds under.
+func (a *Aggregator) Params() Params { return a.params }
+
+// Family returns the hash family shared with the clients.
+func (a *Aggregator) Family() *hashing.Family { return a.fam }
+
+// Done reports whether the aggregator has been finalized (and therefore
+// cannot ingest, merge, or export snapshots anymore).
+func (a *Aggregator) Done() bool { return a.done }
+
+// Rows returns the raw unfinalized accumulation state — K rows of M
+// cells, each an exact integer sum of perturbed bits — without copying.
+// The snapshot codec reads it directly, which is what lets an exporter
+// drain an aggregator into a snapshot with no intermediate copy. The
+// caller must not mutate the rows and must not export while another
+// goroutine is still folding into the aggregator.
+func (a *Aggregator) Rows() [][]float64 { return a.rows }
+
+// Compatible reports whether other accumulates under equal parameters
+// and an interchangeable hash family — the precondition for Merge.
+func (a *Aggregator) Compatible(other *Aggregator) bool {
+	return a.params == other.params && sameFamily(a.fam, other.fam)
+}
+
 // Finalize applies the k·c_ε debias scale (Algorithm 2, line 4) and
 // restores the sketch (line 6: M ← M × H_m^T; with H symmetric this is a
 // row-wise Walsh–Hadamard transform). The aggregator cannot be used
@@ -136,6 +160,27 @@ func (s *Sketch) Row(j int) []float64 { return s.rows[j] }
 // parameters and interchangeable hash families.
 func (s *Sketch) Compatible(other *Sketch) bool {
 	return s.params == other.params && sameFamily(s.fam, other.fam)
+}
+
+// Merge adds other into s cell-wise. Finalization is linear (a constant
+// scale followed by the Walsh–Hadamard transform), so the sum of two
+// finalized sketches summarizes the union of the two populations and
+// every estimator stays unbiased. Floating-point addition is not
+// associative, however, so the result is not guaranteed bit-identical
+// to finalizing the merged unfinalized state: federation paths that
+// need byte-exact results must merge unfinalized snapshots instead.
+// Merge mutates s; it must not race the (otherwise read-only) query
+// methods. The sketches must be Compatible.
+func (s *Sketch) Merge(other *Sketch) {
+	if !s.Compatible(other) {
+		panic("core: Sketch.Merge of incompatible sketches")
+	}
+	for j := range s.rows {
+		for x, v := range other.rows[j] {
+			s.rows[j][x] += v
+		}
+	}
+	s.n += other.n
 }
 
 // JoinSize estimates |A ⋈ B| between the populations behind s and other

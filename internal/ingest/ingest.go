@@ -28,6 +28,13 @@
 // queue is full, so a fast producer (an HTTP handler, a TCP collector)
 // is throttled to the speed of the fold workers instead of buffering
 // without bound.
+//
+// Federation: a Column is also the unit of cross-node scale-out. It can
+// drain into a mergeable snapshot instead of a finalized sketch
+// (Snapshot), export a point-in-time copy while still collecting
+// (State), and fold in unfinalized state restored from another
+// collector's snapshot (MergeAggregator) — all exact, because
+// unfinalized cells are integers.
 package ingest
 
 import (
@@ -40,6 +47,7 @@ import (
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/protocol"
 )
 
 // Options tunes an Engine. The zero value selects defaults.
@@ -287,11 +295,12 @@ func (c *Column) setErr(err error) {
 	c.errMu.Unlock()
 }
 
-// Finalize drains the column's outstanding folds, merges the shards in
-// shard order, and restores the sketch. The column cannot be used
-// afterwards. It returns an error if any enqueued report was out of
-// bounds, or ErrFinalized on a second call.
-func (c *Column) Finalize() (*core.Sketch, error) {
+// drain retires the column — no further Enqueue, Merge, or State call
+// succeeds — waits out the outstanding folds, and merges the shards in
+// shard order into one unfinalized aggregator (reusing shard 0's state,
+// so draining allocates nothing). It returns an error if any enqueued
+// report was out of bounds, or ErrFinalized on a second drain.
+func (c *Column) drain() (*core.Aggregator, error) {
 	c.mu.Lock()
 	if c.finalized {
 		c.mu.Unlock()
@@ -312,7 +321,99 @@ func (c *Column) Finalize() (*core.Sketch, error) {
 	for _, sh := range c.shards[1:] {
 		total.Merge(sh.agg)
 	}
+	return total, nil
+}
+
+// Finalize drains the column's outstanding folds, merges the shards in
+// shard order, and restores the sketch. The column cannot be used
+// afterwards. It returns an error if any enqueued report was out of
+// bounds, or ErrFinalized on a second call.
+func (c *Column) Finalize() (*core.Sketch, error) {
+	total, err := c.drain()
+	if err != nil {
+		return nil, err
+	}
 	return total.Finalize(), nil
+}
+
+// Snapshot drains the column exactly like Finalize but stops before the
+// debias-and-restore step, wrapping the merged unfinalized state as a
+// mergeable snapshot. Because the merge reuses shard 0's rows and the
+// snapshot shares them, the per-shard aggregators drain straight into
+// the snapshot with no intermediate copy. The column cannot be used
+// afterwards; encode the snapshot before anything else touches it.
+func (c *Column) Snapshot() (*protocol.Snapshot, error) {
+	total, err := c.drain()
+	if err != nil {
+		return nil, err
+	}
+	return protocol.SnapshotOfAggregator(total), nil
+}
+
+// State copies the column's current aggregation state into a fresh
+// unfinalized aggregator without consuming the column: a point-in-time
+// export for live federation pulls. The copy is taken shard by shard
+// under the shard locks, so it is an exact prefix of the ingested
+// stream in per-shard order; reports still queued behind the workers at
+// the moment of the call are not included (the returned aggregator's N
+// reflects exactly the folded reports it contains). State holds the
+// column lock for the duration of the copy, which briefly blocks
+// concurrent Enqueue calls and excludes the lock-free shard merge that
+// Finalize and Snapshot perform after retiring the column.
+func (c *Column) State() (*core.Aggregator, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finalized {
+		return nil, ErrFinalized
+	}
+	c.errMu.Lock()
+	err := c.err
+	c.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	total := core.NewAggregator(c.eng.params, c.eng.fam)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total.Merge(sh.agg)
+		sh.mu.Unlock()
+	}
+	return total, nil
+}
+
+// MergeAggregator folds an unfinalized aggregator — typically restored
+// from another collector's snapshot — into the column. The merge is
+// exact: unfinalized cells are integer sums, so a column fed by merges
+// finalizes byte-identically to one fed the underlying reports. It
+// follows the Enqueue lifecycle (ErrFinalized after Finalize/Snapshot,
+// atomic with respect to both) and consumes agg: the caller must not
+// use it afterwards.
+func (c *Column) MergeAggregator(agg *core.Aggregator) error {
+	if agg.Done() {
+		return fmt.Errorf("ingest: cannot merge a finalized aggregator")
+	}
+	probe := c.shards[0].agg
+	if !probe.Compatible(agg) {
+		return fmt.Errorf("ingest: aggregator (k=%d, m=%d, ε=%g, seed=%d) does not match column (k=%d, m=%d, ε=%g, seed=%d)",
+			agg.Params().K, agg.Params().M, agg.Params().Epsilon, agg.Family().Seed(),
+			probe.Params().K, probe.Params().M, probe.Params().Epsilon, probe.Family().Seed())
+	}
+
+	c.mu.Lock()
+	if c.finalized {
+		c.mu.Unlock()
+		return ErrFinalized
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	defer c.wg.Done()
+
+	sh := c.shards[c.next.Add(1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	sh.agg.Merge(agg)
+	sh.mu.Unlock()
+	c.n.Add(int64(agg.N()))
+	return nil
 }
 
 // Simulate builds a sketch over a column of private values on the worker

@@ -1,0 +1,443 @@
+// Snapshot codec: the cross-node serialization of aggregation state.
+//
+// LDPJoinSketch state is linear — an unfinalized cell is an exact
+// integer sum of perturbed bits — so sketches built on different
+// collectors merge exactly, with no accuracy and no privacy cost. The
+// snapshot codec is what lets that state leave the process that built
+// it: a collector exports its per-column aggregator, a federator
+// imports and merges snapshots from many collectors, and the merged,
+// then finalized, sketch is byte-identical to single-node ingestion of
+// the concatenated report stream.
+//
+// The format is versioned, self-describing, and integrity-checked:
+//
+//	header (60 bytes, all integers big-endian):
+//	  magic "SNAP" | version u8 | kind u8 | flags u8 | reserved u8 (0)
+//	  k u32 | m1 u32 | m2 u32 (0 for kind Join)
+//	  epsilon f64 | seedA i64 | seedB i64 (0 for kind Join)
+//	  n f64 | cellCount u64
+//	payload:
+//	  cellCount f64 cells, row-major (k rows of m1, or k replicas of
+//	  m1·m2)
+//	trailer:
+//	  crc32 (IEEE) u32 over header + payload
+//
+// flags bit 0 marks a finalized snapshot (debias scale applied, rows
+// restored out of the Hadamard domain); all other bits must be zero.
+// (k, m1, m2, epsilon, seedA, seedB) is the configuration fingerprint:
+// two snapshots merge only when the fingerprints are equal, and an
+// importer additionally checks the fingerprint against its own
+// configuration before any cell can reach a local sketch. The encoding
+// is canonical — re-encoding a decoded snapshot reproduces the input
+// byte-for-byte — which is what the fuzz round-trip target checks.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+)
+
+// SnapshotVersion is the snapshot-format version this package encodes.
+const SnapshotVersion = 1
+
+var snapMagic = [4]byte{'S', 'N', 'A', 'P'}
+
+// SnapshotKind discriminates the sketch shape a snapshot carries.
+type SnapshotKind uint8
+
+const (
+	// SnapshotJoin is single-attribute LDPJoinSketch state (K×M cells).
+	SnapshotJoin SnapshotKind = 1
+	// SnapshotMatrix is two-attribute middle-table state (K replicas of
+	// M1×M2 cells).
+	SnapshotMatrix SnapshotKind = 2
+)
+
+const snapFlagFinalized = 1 << 0
+
+// snapHeaderSize is the wire size of the snapshot header.
+const snapHeaderSize = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8
+
+// snapTrailerSize is the wire size of the CRC trailer.
+const snapTrailerSize = 4
+
+// ErrBadSnapshot is returned when a byte stream is not a valid snapshot
+// encoding (bad magic, version, structure, or checksum).
+var ErrBadSnapshot = errors.New("protocol: bad snapshot encoding")
+
+// ErrSnapshotMismatch is returned when a structurally valid snapshot was
+// built under a different configuration fingerprint than the local one.
+var ErrSnapshotMismatch = errors.New("protocol: snapshot configuration mismatch")
+
+// Snapshot is the decoded (or to-be-encoded) form of exported
+// aggregation state. Cells is shared, not copied: building a Snapshot
+// from an aggregator is free, and encoding reads the live state — the
+// exporter must be quiescent (drained) while encoding.
+type Snapshot struct {
+	Kind      SnapshotKind
+	Finalized bool
+	K         int
+	M1        int
+	M2        int // 0 for SnapshotJoin
+	Epsilon   float64
+	SeedA     int64
+	SeedB     int64 // 0 for SnapshotJoin
+	N         float64
+	Cells     [][]float64 // K rows of M1 (join) or M1·M2 (matrix) cells
+}
+
+// rowCells returns the number of cells in one row (replica).
+func (s *Snapshot) rowCells() int {
+	if s.Kind == SnapshotMatrix {
+		return s.M1 * s.M2
+	}
+	return s.M1
+}
+
+// Fingerprint renders the configuration fingerprint for error messages.
+func (s *Snapshot) Fingerprint() string {
+	if s.Kind == SnapshotMatrix {
+		return fmt.Sprintf("matrix(k=%d, m1=%d, m2=%d, ε=%g, seedA=%d, seedB=%d)",
+			s.K, s.M1, s.M2, s.Epsilon, s.SeedA, s.SeedB)
+	}
+	return fmt.Sprintf("join(k=%d, m=%d, ε=%g, seed=%d)", s.K, s.M1, s.Epsilon, s.SeedA)
+}
+
+// Validate checks the structural invariants the codec and the restore
+// constructors rely on.
+func (s *Snapshot) Validate() error {
+	switch s.Kind {
+	case SnapshotJoin:
+		if s.M2 != 0 || s.SeedB != 0 {
+			return fmt.Errorf("%w: join snapshot with matrix fields (m2=%d, seedB=%d)", ErrBadSnapshot, s.M2, s.SeedB)
+		}
+		p := core.Params{K: s.K, M: s.M1, Epsilon: s.Epsilon}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	case SnapshotMatrix:
+		p := core.MatrixParams{K: s.K, M1: s.M1, M2: s.M2, Epsilon: s.Epsilon}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown snapshot kind %d", ErrBadSnapshot, s.Kind)
+	}
+	// Counts above 2^53 could not have been accumulated one report at a
+	// time and would overflow the int64 counters importers keep (the NaN
+	// check stands alone because NaN fails every comparison).
+	if s.N < 0 || s.N > 1<<53 || math.IsNaN(s.N) {
+		return fmt.Errorf("%w: invalid report count %v", ErrBadSnapshot, s.N)
+	}
+	if len(s.Cells) != s.K {
+		return fmt.Errorf("%w: %d rows, want %d", ErrBadSnapshot, len(s.Cells), s.K)
+	}
+	want := s.rowCells()
+	for j, row := range s.Cells {
+		if len(row) != want {
+			return fmt.Errorf("%w: row %d has %d cells, want %d", ErrBadSnapshot, j, len(row), want)
+		}
+		for x, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: cell [%d, %d] is not finite", ErrBadSnapshot, j, x)
+			}
+			// An unfinalized cell is Σ±1 over the reports routed to it:
+			// an exact integer no larger in magnitude than the report
+			// count. Enforcing that here keeps a hostile snapshot from
+			// injecting state no report stream could have produced.
+			if !s.Finalized && (v != math.Trunc(v) || v > s.N || v < -s.N) {
+				return fmt.Errorf("%w: unfinalized cell [%d, %d] = %v is not an integer within ±n", ErrBadSnapshot, j, x, v)
+			}
+		}
+	}
+	return nil
+}
+
+// EncodedSize returns the exact byte length EncodeSnapshot will produce.
+func (s *Snapshot) EncodedSize() int {
+	return snapHeaderSize + 8*s.K*s.rowCells() + snapTrailerSize
+}
+
+// SnapshotEncodedSize returns the wire size of a join snapshot under the
+// given parameters — importers use it to bound request bodies before
+// reading them.
+func SnapshotEncodedSize(p core.Params) int {
+	return snapHeaderSize + 8*p.K*p.M + snapTrailerSize
+}
+
+// EncodeSnapshot validates and encodes a snapshot.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, s.EncodedSize())
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, SnapshotVersion, byte(s.Kind))
+	var flags byte
+	if s.Finalized {
+		flags |= snapFlagFinalized
+	}
+	buf = append(buf, flags, 0)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.K))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.M1))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.M2))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Epsilon))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.SeedA))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.SeedB))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.N))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.K)*uint64(s.rowCells()))
+	for _, row := range s.Cells {
+		for _, cell := range row {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(cell))
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// DecodeSnapshot decodes and fully validates a snapshot: magic, version,
+// checksum, structure, and cell finiteness. A decoded snapshot is safe
+// to hand to the restore constructors.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapHeaderSize+snapTrailerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than header and trailer", ErrBadSnapshot, len(data))
+	}
+	if [4]byte(data[:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if data[4] != SnapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, data[4])
+	}
+	body, trailer := data[:len(data)-snapTrailerSize], data[len(data)-snapTrailerSize:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (computed %08x, stored %08x)", ErrBadSnapshot, got, want)
+	}
+	flags := data[6]
+	if flags&^byte(snapFlagFinalized) != 0 {
+		return nil, fmt.Errorf("%w: unknown flag bits %02x", ErrBadSnapshot, flags)
+	}
+	if data[7] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved byte", ErrBadSnapshot)
+	}
+	s := &Snapshot{
+		Kind:      SnapshotKind(data[5]),
+		Finalized: flags&snapFlagFinalized != 0,
+		K:         int(binary.BigEndian.Uint32(data[8:12])),
+		M1:        int(binary.BigEndian.Uint32(data[12:16])),
+		M2:        int(binary.BigEndian.Uint32(data[16:20])),
+		Epsilon:   math.Float64frombits(binary.BigEndian.Uint64(data[20:28])),
+		SeedA:     int64(binary.BigEndian.Uint64(data[28:36])),
+		SeedB:     int64(binary.BigEndian.Uint64(data[36:44])),
+		N:         math.Float64frombits(binary.BigEndian.Uint64(data[44:52])),
+	}
+	cellCount := binary.BigEndian.Uint64(data[52:60])
+	// Check the declared cell count against both the actual payload and
+	// the dimensions before allocating anything, guarding against
+	// overflow: K, M1, M2 each fit in 32 bits, so K·M1 cannot overflow
+	// uint64, and the M2 factor is divided out rather than multiplied in.
+	payload := uint64(len(data) - snapHeaderSize - snapTrailerSize)
+	if cellCount > payload/8 || cellCount*8 != payload {
+		return nil, fmt.Errorf("%w: %d declared cells but %d payload bytes", ErrBadSnapshot, cellCount, payload)
+	}
+	rowCells := uint64(s.M1)
+	if s.Kind == SnapshotMatrix {
+		// Division-based check so K·M1·M2 (up to 96 bits) never has to be
+		// multiplied out: cellCount is bounded by the payload length, so
+		// both quotients are small.
+		km1 := uint64(s.K) * uint64(s.M1) // K, M1 < 2^32: no overflow
+		if km1 == 0 || s.M2 <= 0 || cellCount%km1 != 0 || cellCount/km1 != uint64(s.M2) {
+			return nil, fmt.Errorf("%w: %d cells for a %d×%d×%d matrix snapshot", ErrBadSnapshot, cellCount, s.K, s.M1, s.M2)
+		}
+		rowCells = uint64(s.M1) * uint64(s.M2)
+	} else if cellCount != uint64(s.K)*uint64(s.M1) {
+		return nil, fmt.Errorf("%w: %d cells for a %d×%d snapshot", ErrBadSnapshot, cellCount, s.K, s.M1)
+	}
+	if s.K > 0 && rowCells > 0 { // structural Validate below rejects K <= 0
+		s.Cells = make([][]float64, s.K)
+		off := snapHeaderSize
+		for j := range s.Cells {
+			row := make([]float64, rowCells)
+			for x := range row {
+				row[x] = math.Float64frombits(binary.BigEndian.Uint64(data[off : off+8]))
+				off += 8
+			}
+			s.Cells[j] = row
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CompatibleWithJoin returns nil when the snapshot carries join state
+// built under exactly (p, seed) — the precondition for merging it into
+// local aggregation state.
+func (s *Snapshot) CompatibleWithJoin(p core.Params, seed int64) error {
+	if s.Kind != SnapshotJoin {
+		return fmt.Errorf("%w: %s is not a join snapshot", ErrSnapshotMismatch, s.Fingerprint())
+	}
+	if s.K != p.K || s.M1 != p.M || s.Epsilon != p.Epsilon || s.SeedA != seed {
+		return fmt.Errorf("%w: snapshot %s vs local join(k=%d, m=%d, ε=%g, seed=%d)",
+			ErrSnapshotMismatch, s.Fingerprint(), p.K, p.M, p.Epsilon, seed)
+	}
+	return nil
+}
+
+// CompatibleWithMatrix returns nil when the snapshot carries matrix
+// state built under exactly (p, seedA, seedB).
+func (s *Snapshot) CompatibleWithMatrix(p core.MatrixParams, seedA, seedB int64) error {
+	if s.Kind != SnapshotMatrix {
+		return fmt.Errorf("%w: %s is not a matrix snapshot", ErrSnapshotMismatch, s.Fingerprint())
+	}
+	if s.K != p.K || s.M1 != p.M1 || s.M2 != p.M2 || s.Epsilon != p.Epsilon || s.SeedA != seedA || s.SeedB != seedB {
+		return fmt.Errorf("%w: snapshot %s vs local matrix(k=%d, m1=%d, m2=%d, ε=%g, seedA=%d, seedB=%d)",
+			ErrSnapshotMismatch, s.Fingerprint(), p.K, p.M1, p.M2, p.Epsilon, seedA, seedB)
+	}
+	return nil
+}
+
+// SnapshotOfAggregator wraps unfinalized join state as a snapshot
+// without copying: the snapshot shares the aggregator's live rows, so
+// the caller must not fold into the aggregator until the snapshot has
+// been encoded. The aggregator must not be finalized.
+func SnapshotOfAggregator(a *core.Aggregator) *Snapshot {
+	if a.Done() {
+		panic("protocol: SnapshotOfAggregator after Finalize")
+	}
+	p := a.Params()
+	return &Snapshot{
+		Kind:    SnapshotJoin,
+		K:       p.K,
+		M1:      p.M,
+		Epsilon: p.Epsilon,
+		SeedA:   a.Family().Seed(),
+		N:       a.N(),
+		Cells:   a.Rows(),
+	}
+}
+
+// Aggregator restores a mergeable aggregator from an unfinalized join
+// snapshot, rebuilding the hash family from the embedded seed. The
+// returned aggregator takes ownership of the snapshot's cells.
+func (s *Snapshot) Aggregator() (*core.Aggregator, error) {
+	if s.Kind != SnapshotJoin {
+		return nil, fmt.Errorf("%w: %s is not a join snapshot", ErrSnapshotMismatch, s.Fingerprint())
+	}
+	if s.Finalized {
+		return nil, fmt.Errorf("%w: finalized snapshot cannot restore a mergeable aggregator", ErrSnapshotMismatch)
+	}
+	p := core.Params{K: s.K, M: s.M1, Epsilon: s.Epsilon}
+	return core.RestoreAggregator(p, p.NewFamily(s.SeedA), s.Cells, s.N)
+}
+
+// SnapshotOfSketch wraps a finalized join sketch as a snapshot without
+// copying (finalized sketches are immutable, so sharing rows is safe).
+func SnapshotOfSketch(sk *core.Sketch) *Snapshot {
+	p := sk.Params()
+	rows := make([][]float64, p.K)
+	for j := range rows {
+		rows[j] = sk.Row(j)
+	}
+	return &Snapshot{
+		Kind:      SnapshotJoin,
+		Finalized: true,
+		K:         p.K,
+		M1:        p.M,
+		Epsilon:   p.Epsilon,
+		SeedA:     sk.Family().Seed(),
+		N:         sk.N(),
+		Cells:     rows,
+	}
+}
+
+// Sketch restores a finalized sketch from a finalized join snapshot.
+func (s *Snapshot) Sketch() (*core.Sketch, error) {
+	if s.Kind != SnapshotJoin {
+		return nil, fmt.Errorf("%w: %s is not a join snapshot", ErrSnapshotMismatch, s.Fingerprint())
+	}
+	if !s.Finalized {
+		return nil, fmt.Errorf("%w: unfinalized snapshot cannot restore a finalized sketch", ErrSnapshotMismatch)
+	}
+	p := core.Params{K: s.K, M: s.M1, Epsilon: s.Epsilon}
+	return core.RestoreSketch(p, p.NewFamily(s.SeedA), s.Cells, s.N)
+}
+
+// SnapshotOfMatrixAggregator wraps unfinalized middle-table state as a
+// snapshot without copying. The aggregator must not be finalized, and
+// must be quiescent until the snapshot is encoded.
+func SnapshotOfMatrixAggregator(ma *core.MatrixAggregator) *Snapshot {
+	if ma.Done() {
+		panic("protocol: SnapshotOfMatrixAggregator after Finalize")
+	}
+	p := ma.Params()
+	return &Snapshot{
+		Kind:    SnapshotMatrix,
+		K:       p.K,
+		M1:      p.M1,
+		M2:      p.M2,
+		Epsilon: p.Epsilon,
+		SeedA:   ma.FamilyA().Seed(),
+		SeedB:   ma.FamilyB().Seed(),
+		N:       ma.N(),
+		Cells:   ma.Mats(),
+	}
+}
+
+// MatrixAggregator restores a mergeable matrix aggregator from an
+// unfinalized matrix snapshot.
+func (s *Snapshot) MatrixAggregator() (*core.MatrixAggregator, error) {
+	if s.Kind != SnapshotMatrix {
+		return nil, fmt.Errorf("%w: %s is not a matrix snapshot", ErrSnapshotMismatch, s.Fingerprint())
+	}
+	if s.Finalized {
+		return nil, fmt.Errorf("%w: finalized snapshot cannot restore a mergeable matrix aggregator", ErrSnapshotMismatch)
+	}
+	p := core.MatrixParams{K: s.K, M1: s.M1, M2: s.M2, Epsilon: s.Epsilon}
+	famA := hashing.NewFamily(s.SeedA, p.K, p.M1)
+	famB := hashing.NewFamily(s.SeedB, p.K, p.M2)
+	return core.RestoreMatrixAggregator(p, famA, famB, s.Cells, s.N)
+}
+
+// SnapshotOfMatrixSketch wraps a finalized matrix sketch as a snapshot
+// without copying.
+func SnapshotOfMatrixSketch(ms *core.MatrixSketch) *Snapshot {
+	p := ms.Params()
+	mats := make([][]float64, p.K)
+	for j := range mats {
+		mats[j] = ms.Mat(j)
+	}
+	return &Snapshot{
+		Kind:      SnapshotMatrix,
+		Finalized: true,
+		K:         p.K,
+		M1:        p.M1,
+		M2:        p.M2,
+		Epsilon:   p.Epsilon,
+		SeedA:     ms.FamilyA().Seed(),
+		SeedB:     ms.FamilyB().Seed(),
+		N:         ms.N(),
+		Cells:     mats,
+	}
+}
+
+// MatrixSketch restores a finalized matrix sketch from a finalized
+// matrix snapshot.
+func (s *Snapshot) MatrixSketch() (*core.MatrixSketch, error) {
+	if s.Kind != SnapshotMatrix {
+		return nil, fmt.Errorf("%w: %s is not a matrix snapshot", ErrSnapshotMismatch, s.Fingerprint())
+	}
+	if !s.Finalized {
+		return nil, fmt.Errorf("%w: unfinalized snapshot cannot restore a finalized matrix sketch", ErrSnapshotMismatch)
+	}
+	p := core.MatrixParams{K: s.K, M1: s.M1, M2: s.M2, Epsilon: s.Epsilon}
+	famA := hashing.NewFamily(s.SeedA, p.K, p.M1)
+	famB := hashing.NewFamily(s.SeedB, p.K, p.M2)
+	return core.RestoreMatrixSketch(p, famA, famB, s.Cells, s.N)
+}

@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"testing"
+
+	"ldpjoin/internal/core"
+)
+
+// benchAggregator builds paper-default-sized unfinalized state (k=18,
+// m=1024): the snapshot a production collector exports per column.
+func benchAggregator(b *testing.B) *core.Aggregator {
+	b.Helper()
+	p := core.Params{K: 18, M: 1024, Epsilon: 4}
+	agg := core.NewAggregator(p, p.NewFamily(1))
+	for i := 0; i < 100000; i++ {
+		agg.Add(core.Report{Y: int8(1 - 2*(i%2)), Row: uint32(i % p.K), Col: uint32((i * 7) % p.M)})
+	}
+	return agg
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	snap := SnapshotOfAggregator(benchAggregator(b))
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	data, err := EncodeSnapshot(SnapshotOfAggregator(benchAggregator(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSnapshot(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotMerge measures the federator's hot loop: restoring a
+// snapshot and folding it into accumulated state.
+func BenchmarkSnapshotMerge(b *testing.B) {
+	agg := benchAggregator(b)
+	data, err := EncodeSnapshot(SnapshotOfAggregator(agg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := agg.Params()
+	total := core.NewAggregator(p, p.NewFamily(1))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		part, err := snap.Aggregator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total.Merge(part)
+	}
+}

@@ -1,0 +1,397 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldpjoin/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden snapshot files in testdata")
+
+func snapParams() core.Params { return core.Params{K: 4, M: 16, Epsilon: 2} }
+
+// testAggregator builds a deterministic unfinalized aggregator: the
+// report positions and signs are a fixed function of i, independent of
+// any PRNG, so golden bytes never drift.
+func testAggregator(t *testing.T) *core.Aggregator {
+	t.Helper()
+	p := snapParams()
+	agg := core.NewAggregator(p, p.NewFamily(7))
+	for i := 0; i < 200; i++ {
+		y := int8(1)
+		if i%3 == 0 {
+			y = -1
+		}
+		agg.Add(core.Report{Y: y, Row: uint32(i % p.K), Col: uint32((i * 5) % p.M)})
+	}
+	return agg
+}
+
+func testMatrixAggregator(t *testing.T) *core.MatrixAggregator {
+	t.Helper()
+	p := core.MatrixParams{K: 3, M1: 8, M2: 4, Epsilon: 2}
+	famA := core.Params{K: p.K, M: p.M1, Epsilon: p.Epsilon}.NewFamily(11)
+	famB := core.Params{K: p.K, M: p.M2, Epsilon: p.Epsilon}.NewFamily(13)
+	ma := core.NewMatrixAggregator(p, famA, famB)
+	for i := 0; i < 150; i++ {
+		y := int8(1)
+		if i%4 == 0 {
+			y = -1
+		}
+		ma.Add(core.MatrixReport{
+			Y:   y,
+			Row: uint32(i % p.K),
+			L1:  uint32((i * 3) % p.M1),
+			L2:  uint32((i * 7) % p.M2),
+		})
+	}
+	return ma
+}
+
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	return data
+}
+
+func decode(t *testing.T, data []byte) *Snapshot {
+	t.Helper()
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	return s
+}
+
+func TestSnapshotRoundTripAggregator(t *testing.T) {
+	agg := testAggregator(t)
+	wantRows := make([][]float64, len(agg.Rows()))
+	for j, row := range agg.Rows() {
+		wantRows[j] = append([]float64(nil), row...)
+	}
+
+	data := encode(t, SnapshotOfAggregator(agg))
+	restored, err := decode(t, data).Aggregator()
+	if err != nil {
+		t.Fatalf("restoring aggregator: %v", err)
+	}
+	if restored.N() != agg.N() {
+		t.Fatalf("restored N = %v, want %v", restored.N(), agg.N())
+	}
+	if restored.Family().Seed() != agg.Family().Seed() {
+		t.Fatalf("restored seed = %d, want %d", restored.Family().Seed(), agg.Family().Seed())
+	}
+	for j, row := range restored.Rows() {
+		for x, v := range row {
+			if v != wantRows[j][x] {
+				t.Fatalf("restored cell [%d,%d] = %v, want %v", j, x, v, wantRows[j][x])
+			}
+		}
+	}
+	// The restored aggregator is mergeable and finalizes identically.
+	skA := agg.Finalize()
+	skB := restored.Finalize()
+	a, _ := skA.MarshalBinary()
+	b, _ := skB.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("restored aggregator finalizes differently from the original")
+	}
+}
+
+func TestSnapshotRoundTripSketch(t *testing.T) {
+	sk := testAggregator(t).Finalize()
+	data := encode(t, SnapshotOfSketch(sk))
+	restored, err := decode(t, data).Sketch()
+	if err != nil {
+		t.Fatalf("restoring sketch: %v", err)
+	}
+	a, _ := sk.MarshalBinary()
+	b, _ := restored.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("restored sketch differs from the original")
+	}
+}
+
+func TestSnapshotRoundTripMatrixAggregator(t *testing.T) {
+	ma := testMatrixAggregator(t)
+	wantMats := make([][]float64, len(ma.Mats()))
+	for j, mat := range ma.Mats() {
+		wantMats[j] = append([]float64(nil), mat...)
+	}
+
+	data := encode(t, SnapshotOfMatrixAggregator(ma))
+	restored, err := decode(t, data).MatrixAggregator()
+	if err != nil {
+		t.Fatalf("restoring matrix aggregator: %v", err)
+	}
+	if restored.N() != ma.N() {
+		t.Fatalf("restored N = %v, want %v", restored.N(), ma.N())
+	}
+	for j, mat := range restored.Mats() {
+		for i, v := range mat {
+			if v != wantMats[j][i] {
+				t.Fatalf("restored cell [%d,%d] = %v, want %v", j, i, v, wantMats[j][i])
+			}
+		}
+	}
+	// Finalize both and compare every replica.
+	msA := ma.Finalize()
+	msB := restored.Finalize()
+	for j := 0; j < msA.K(); j++ {
+		a, b := msA.Mat(j), msB.Mat(j)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("finalized replica %d cell %d: %v vs %v", j, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripMatrixSketch(t *testing.T) {
+	ms := testMatrixAggregator(t).Finalize()
+	data := encode(t, SnapshotOfMatrixSketch(ms))
+	restored, err := decode(t, data).MatrixSketch()
+	if err != nil {
+		t.Fatalf("restoring matrix sketch: %v", err)
+	}
+	if restored.N() != ms.N() {
+		t.Fatalf("restored N = %v, want %v", restored.N(), ms.N())
+	}
+	for j := 0; j < ms.K(); j++ {
+		a, b := ms.Mat(j), restored.Mat(j)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("replica %d cell %d: %v vs %v", j, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotMergeMatchesUnion is the codec-level statement of the
+// federation guarantee: two half-population aggregators shipped through
+// snapshots and merged finalize byte-identically to one aggregator that
+// ingested the whole stream.
+func TestSnapshotMergeMatchesUnion(t *testing.T) {
+	p := snapParams()
+	fam := p.NewFamily(7)
+	rng := rand.New(rand.NewSource(99))
+	reports := make([]core.Report, 4000)
+	for i := range reports {
+		reports[i] = core.Perturb(uint64(rng.Intn(50)), p, fam, rng)
+	}
+
+	union := core.NewAggregator(p, fam)
+	half1 := core.NewAggregator(p, fam)
+	half2 := core.NewAggregator(p, fam)
+	for i, r := range reports {
+		union.Add(r)
+		if i < len(reports)/2 {
+			half1.Add(r)
+		} else {
+			half2.Add(r)
+		}
+	}
+
+	// Ship both halves through the codec, restore, merge, finalize.
+	r1, err := decode(t, encode(t, SnapshotOfAggregator(half1))).Aggregator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := decode(t, encode(t, SnapshotOfAggregator(half2))).Aggregator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Merge(r2)
+	merged, _ := r1.Finalize().MarshalBinary()
+	single, _ := union.Finalize().MarshalBinary()
+	if !bytes.Equal(merged, single) {
+		t.Fatal("merged snapshot halves do not reproduce single-node aggregation byte-for-byte")
+	}
+}
+
+func TestSnapshotCanonicalEncoding(t *testing.T) {
+	data := encode(t, SnapshotOfAggregator(testAggregator(t)))
+	re := encode(t, decode(t, data))
+	if !bytes.Equal(data, re) {
+		t.Fatal("encode(decode(data)) != data: encoding is not canonical")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	data := encode(t, SnapshotOfAggregator(testAggregator(t)))
+	// Any single corrupted byte must be rejected (CRC32 detects all
+	// bursts up to 32 bits).
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("corrupting byte %d went undetected", i)
+		}
+	}
+	// Every truncation must be rejected.
+	for n := 0; n < len(data); n += 7 {
+		if _, err := DecodeSnapshot(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := DecodeSnapshot(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing garbage went undetected")
+	}
+}
+
+func TestSnapshotConfigMismatch(t *testing.T) {
+	p := snapParams()
+	snap := decode(t, encode(t, SnapshotOfAggregator(testAggregator(t))))
+
+	if err := snap.CompatibleWithJoin(p, 7); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    core.Params
+		seed int64
+	}{
+		{"k", core.Params{K: p.K + 1, M: p.M, Epsilon: p.Epsilon}, 7},
+		{"m", core.Params{K: p.K, M: 2 * p.M, Epsilon: p.Epsilon}, 7},
+		{"epsilon", core.Params{K: p.K, M: p.M, Epsilon: p.Epsilon + 1}, 7},
+		{"seed", p, 8},
+	}
+	for _, tc := range cases {
+		if err := snap.CompatibleWithJoin(tc.p, tc.seed); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("%s mismatch: got %v, want ErrSnapshotMismatch", tc.name, err)
+		}
+	}
+	if err := snap.CompatibleWithMatrix(core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon}, 7, 7); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("join snapshot accepted as matrix: %v", err)
+	}
+}
+
+func TestSnapshotFormMismatch(t *testing.T) {
+	unfin := decode(t, encode(t, SnapshotOfAggregator(testAggregator(t))))
+	if _, err := unfin.Sketch(); err == nil {
+		t.Error("unfinalized snapshot restored as finalized sketch")
+	}
+	fin := decode(t, encode(t, SnapshotOfSketch(testAggregator(t).Finalize())))
+	if _, err := fin.Aggregator(); err == nil {
+		t.Error("finalized snapshot restored as mergeable aggregator")
+	}
+	if _, err := fin.MatrixAggregator(); err == nil {
+		t.Error("join snapshot restored as matrix aggregator")
+	}
+}
+
+func TestSnapshotValidateRejectsBadState(t *testing.T) {
+	good := SnapshotOfAggregator(testAggregator(t))
+	check := func(name string, mutate func(s *Snapshot)) {
+		s := *good
+		s.Cells = make([][]float64, len(good.Cells))
+		for j, row := range good.Cells {
+			s.Cells[j] = append([]float64(nil), row...)
+		}
+		mutate(&s)
+		if _, err := EncodeSnapshot(&s); err == nil {
+			t.Errorf("%s: encode accepted invalid snapshot", name)
+		}
+	}
+	check("nan cell", func(s *Snapshot) { s.Cells[0][0] = math.NaN() })
+	check("inf cell", func(s *Snapshot) { s.Cells[1][2] = math.Inf(1) })
+	check("negative n", func(s *Snapshot) { s.N = -1 })
+	check("nan n", func(s *Snapshot) { s.N = math.NaN() })
+	check("inf n", func(s *Snapshot) { s.N = math.Inf(1) })
+	check("n beyond 2^53", func(s *Snapshot) { s.N = 1e300 })
+	check("unfinalized fractional cell", func(s *Snapshot) { s.Cells[0][1] = 0.5 })
+	check("unfinalized cell beyond n", func(s *Snapshot) { s.Cells[0][1] = s.N + 1 })
+	check("unfinalized cell beyond -n", func(s *Snapshot) { s.Cells[0][1] = -s.N - 1 })
+	check("bad kind", func(s *Snapshot) { s.Kind = 9 })
+	check("join with m2", func(s *Snapshot) { s.M2 = 4 })
+	check("join with seedB", func(s *Snapshot) { s.SeedB = 3 })
+	check("non-power-of-two m", func(s *Snapshot) { s.M1 = 15 })
+	check("row count", func(s *Snapshot) { s.Cells = s.Cells[:1] })
+	check("row width", func(s *Snapshot) { s.Cells[0] = s.Cells[0][:3] })
+}
+
+// golden compares the canonical encoding of a deterministic snapshot
+// against the checked-in bytes; -update rewrites them.
+func golden(t *testing.T, name string, data []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run TestSnapshotGolden -update ./internal/protocol` to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("%s: encoding diverged from golden bytes (%d vs %d bytes)", name, len(data), len(want))
+	}
+	// The golden bytes themselves must decode and re-encode canonically.
+	if re := encode(t, decode(t, want)); !bytes.Equal(re, want) {
+		t.Fatalf("%s: golden bytes are not canonical", name)
+	}
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	golden(t, "join_unfinalized.snap", encode(t, SnapshotOfAggregator(testAggregator(t))))
+	golden(t, "join_finalized.snap", encode(t, SnapshotOfSketch(testAggregator(t).Finalize())))
+	golden(t, "matrix_unfinalized.snap", encode(t, SnapshotOfMatrixAggregator(testMatrixAggregator(t))))
+	golden(t, "matrix_finalized.snap", encode(t, SnapshotOfMatrixSketch(testMatrixAggregator(t).Finalize())))
+}
+
+// FuzzSnapshotRoundTrip asserts that any byte stream the decoder
+// accepts re-encodes to exactly the input (canonical encoding), and
+// that the decoder never panics on arbitrary input.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	p := snapParams()
+	agg := core.NewAggregator(p, p.NewFamily(7))
+	for i := 0; i < 64; i++ {
+		agg.Add(core.Report{Y: int8(1 - 2*(i%2)), Row: uint32(i % p.K), Col: uint32(i % p.M)})
+	}
+	if seed, err := EncodeSnapshot(SnapshotOfAggregator(agg)); err == nil {
+		f.Add(seed)
+	}
+	small := core.Params{K: 1, M: 2, Epsilon: 1}
+	sAgg := core.NewAggregator(small, small.NewFamily(1))
+	sAgg.Add(core.Report{Y: 1, Row: 0, Col: 1})
+	if seed, err := EncodeSnapshot(SnapshotOfAggregator(sAgg)); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-1])
+	}
+	f.Add([]byte("SNAP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("encoding is not canonical: %d in, %d out", len(data), len(re))
+		}
+		again, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		if again.Fingerprint() != s.Fingerprint() || again.N != s.N || again.Finalized != s.Finalized {
+			t.Fatal("round trip changed snapshot identity")
+		}
+	})
+}

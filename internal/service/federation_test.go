@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/protocol"
+)
+
+// getSnapshot pulls a column snapshot and returns the raw SNAP bytes.
+func getSnapshot(t *testing.T, base, column string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/columns/" + column + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET snapshot %s/%s: %d: %s", base, column, resp.StatusCode, data)
+	}
+	return data
+}
+
+func getSketch(t *testing.T, base, column string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/columns/" + column + "/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET sketch %s/%s: %d: %s", base, column, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestFederationByteIdentical is the acceptance test of the federation
+// subsystem: two independent service instances each ingest half of a
+// report stream, their snapshots merge into a third instance, and the
+// finalized federated sketch is byte-identical — cells and all — to a
+// single instance that ingested the concatenated stream, with an
+// identical join estimate.
+func TestFederationByteIdentical(t *testing.T) {
+	_, tsA, p := testServer(t) // collector A
+	_, tsB, _ := testServer(t) // collector B
+	_, tsF, _ := testServer(t) // federator
+	_, tsS, _ := testServer(t) // single-node reference
+
+	usersA := dataset.Zipf(1, 6000, 800, 1.2)
+	usersB := dataset.Zipf(2, 5000, 800, 1.2)
+	ordersA := dataset.Zipf(3, 7000, 800, 1.1)
+	ordersB := dataset.Zipf(4, 4000, 800, 1.1)
+
+	// The wire streams: each collector gets its own half, the reference
+	// gets both halves of each column (client seeds per half are fixed,
+	// so the report streams are literally the same bytes).
+	usersStreamA := encodeColumn(t, p, 101, usersA)
+	usersStreamB := encodeColumn(t, p, 102, usersB)
+	ordersStreamA := encodeColumn(t, p, 103, ordersA)
+	ordersStreamB := encodeColumn(t, p, 104, ordersB)
+
+	for _, in := range []struct {
+		base, column string
+		body         []byte
+	}{
+		{tsA.URL, "users", usersStreamA},
+		{tsB.URL, "users", usersStreamB},
+		{tsA.URL, "orders", ordersStreamA},
+		{tsB.URL, "orders", ordersStreamB},
+		{tsS.URL, "users", usersStreamA},
+		{tsS.URL, "users", usersStreamB},
+		{tsS.URL, "orders", ordersStreamA},
+		{tsS.URL, "orders", ordersStreamB},
+	} {
+		if code, out := post(t, in.base+"/v1/columns/"+in.column+"/reports", in.body); code != http.StatusOK {
+			t.Fatalf("ingest %s into %s: %d %v", in.column, in.base, code, out)
+		}
+	}
+
+	// Federate: pull unfinalized snapshots from both collectors, merge
+	// them into the federator, then finalize everything.
+	for _, column := range []string{"users", "orders"} {
+		for _, collector := range []string{tsA.URL, tsB.URL} {
+			snap := getSnapshot(t, collector, column)
+			if code, out := post(t, tsF.URL+"/v1/columns/"+column+"/merge", snap); code != http.StatusOK {
+				t.Fatalf("merging %s snapshot: %d %v", column, code, out)
+			}
+		}
+	}
+	for _, base := range []string{tsF.URL, tsS.URL} {
+		for _, column := range []string{"users", "orders"} {
+			if code, out := post(t, base+"/v1/columns/"+column+"/finalize", nil); code != http.StatusOK {
+				t.Fatalf("finalizing %s: %d %v", column, code, out)
+			}
+		}
+	}
+
+	// Byte-identical finalized cells...
+	for _, column := range []string{"users", "orders"} {
+		fed := getSketch(t, tsF.URL, column)
+		single := getSketch(t, tsS.URL, column)
+		if !bytes.Equal(fed, single) {
+			t.Fatalf("federated %s sketch differs from single-node ingestion", column)
+		}
+	}
+	// ...and identical join estimates.
+	codeF, outF := get(t, tsF.URL+"/v1/join?left=users&right=orders")
+	codeS, outS := get(t, tsS.URL+"/v1/join?left=users&right=orders")
+	if codeF != http.StatusOK || codeS != http.StatusOK {
+		t.Fatalf("join queries failed: %d / %d", codeF, codeS)
+	}
+	if outF["estimate"] != outS["estimate"] {
+		t.Fatalf("federated estimate %v != single-node estimate %v", outF["estimate"], outS["estimate"])
+	}
+}
+
+// TestFinalizedSnapshotExportImport: a finalized column exports a
+// finalized snapshot, which imports under a fresh name on another
+// instance and answers identical queries.
+func TestFinalizedSnapshotExportImport(t *testing.T) {
+	_, tsA, p := testServer(t)
+	_, tsB, _ := testServer(t)
+
+	data := dataset.Zipf(7, 5000, 600, 1.2)
+	if code, out := post(t, tsA.URL+"/v1/columns/src/reports", encodeColumn(t, p, 7, data)); code != http.StatusOK {
+		t.Fatalf("ingest: %d %v", code, out)
+	}
+	if code, out := post(t, tsA.URL+"/v1/columns/src/finalize", nil); code != http.StatusOK {
+		t.Fatalf("finalize: %d %v", code, out)
+	}
+	snap := getSnapshot(t, tsA.URL, "src")
+	decoded, err := protocol.DecodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Finalized {
+		t.Fatal("snapshot of a finalized column should be finalized")
+	}
+
+	if code, out := post(t, tsB.URL+"/v1/columns/imported/merge", snap); code != http.StatusOK {
+		t.Fatalf("import: %d %v", code, out)
+	}
+	if !bytes.Equal(getSketch(t, tsA.URL, "src"), getSketch(t, tsB.URL, "imported")) {
+		t.Fatal("imported finalized sketch differs from the source")
+	}
+	// Importing on top of existing finalized state is refused.
+	if code, _ := post(t, tsB.URL+"/v1/columns/imported/merge", snap); code != http.StatusConflict {
+		t.Fatalf("merge onto finalized column: got %d, want 409", code)
+	}
+}
+
+// TestMergeRejections covers the compatibility and lifecycle refusals
+// of the merge endpoint.
+func TestMergeRejections(t *testing.T) {
+	_, ts, p := testServer(t)
+
+	// Corrupt body.
+	if code, _ := post(t, ts.URL+"/v1/columns/x/merge", []byte("not a snapshot")); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: got %d, want 400", code)
+	}
+
+	// Config mismatch: snapshot from a different hash seed.
+	foreign := core.NewAggregator(p, p.NewFamily(999))
+	foreignSnap, err := protocol.EncodeSnapshot(protocol.SnapshotOfAggregator(foreign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, out := post(t, ts.URL+"/v1/columns/x/merge", foreignSnap); code != http.StatusConflict {
+		t.Fatalf("foreign-seed snapshot: got %d (%v), want 409", code, out)
+	}
+
+	// Wrong dimensions.
+	small := core.Params{K: 3, M: 64, Epsilon: p.Epsilon}
+	wrongDims := core.NewAggregator(small, small.NewFamily(42))
+	wrongSnap, err := protocol.EncodeSnapshot(protocol.SnapshotOfAggregator(wrongDims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/x/merge", wrongSnap); code != http.StatusConflict {
+		t.Fatalf("wrong-dims snapshot: got %d, want 409", code)
+	}
+
+	// Unfinalized merge into a finalized column.
+	if code, _ := post(t, ts.URL+"/v1/columns/done/reports", encodeColumn(t, p, 8, dataset.Zipf(8, 1000, 100, 1.2))); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/done/finalize", nil); code != http.StatusOK {
+		t.Fatal("finalize failed")
+	}
+	ok := core.NewAggregator(p, p.NewFamily(42))
+	okSnap, err := protocol.EncodeSnapshot(protocol.SnapshotOfAggregator(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/done/merge", okSnap); code != http.StatusConflict {
+		t.Fatalf("merge into finalized column: got %d, want 409", code)
+	}
+}
+
+// TestSnapshotPointInTime: a collecting column serves an unfinalized
+// snapshot without being consumed, and keeps accepting reports after.
+func TestSnapshotPointInTime(t *testing.T) {
+	_, ts, p := testServer(t)
+	data := dataset.Zipf(9, 4000, 500, 1.2)
+
+	if code, _ := post(t, ts.URL+"/v1/columns/live/reports", encodeColumn(t, p, 9, data)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	snap, err := protocol.DecodeSnapshot(getSnapshot(t, ts.URL, "live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Finalized {
+		t.Fatal("collecting column exported a finalized snapshot")
+	}
+	// The column is still alive: more reports, then finalize.
+	if code, _ := post(t, ts.URL+"/v1/columns/live/reports", encodeColumn(t, p, 10, data)); code != http.StatusOK {
+		t.Fatal("ingest after snapshot failed")
+	}
+	if code, out := post(t, ts.URL+"/v1/columns/live/finalize", nil); code != http.StatusOK {
+		t.Fatalf("finalize after snapshot: %d %v", code, out)
+	}
+	code, out := get(t, ts.URL+"/v1/columns/live")
+	if code != http.StatusOK || out["reports"].(float64) != float64(2*len(data)) {
+		t.Fatalf("column after snapshot+ingest: %d %v", code, out)
+	}
+
+	// Unknown columns 404.
+	resp, err := http.Get(ts.URL + "/v1/columns/nope/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown column snapshot: got %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsFederationCounters: /v1/stats reports per-column snapshot and
+// merge counters.
+func TestStatsFederationCounters(t *testing.T) {
+	_, ts, p := testServer(t)
+	data := dataset.Zipf(11, 2000, 300, 1.2)
+
+	if code, _ := post(t, ts.URL+"/v1/columns/a/reports", encodeColumn(t, p, 11, data)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	snap := getSnapshot(t, ts.URL, "a")
+	getSnapshot(t, ts.URL, "a")
+	if code, out := post(t, ts.URL+"/v1/columns/b/merge", snap); code != http.StatusOK {
+		t.Fatalf("merge: %d %v", code, out)
+	}
+
+	code, out := get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	columns, ok := out["columns"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no per-column counters: %v", out)
+	}
+	a := columns["a"].(map[string]any)
+	b := columns["b"].(map[string]any)
+	if a["snapshots"].(float64) != 2 || a["merges"].(float64) != 0 {
+		t.Fatalf("column a counters: %v", a)
+	}
+	if b["snapshots"].(float64) != 0 || b["merges"].(float64) != 1 {
+		t.Fatalf("column b counters: %v", b)
+	}
+}
+
+// TestClosedServerRefusesFederation: after Close, snapshot export and
+// merge (and ingestion) are rejected with 503 instead of racing the
+// engine shutdown.
+func TestClosedServerRefusesFederation(t *testing.T) {
+	p := core.Params{K: 9, M: 512, Epsilon: 4}
+	srv, err := New(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(srv.Close)
+	ts := hs.URL
+	data := dataset.Zipf(12, 1000, 200, 1.2)
+	if code, _ := post(t, ts+"/v1/columns/a/reports", encodeColumn(t, p, 12, data)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	srv.Close()
+	srv.Close() // idempotent
+
+	resp, err := http.Get(ts + "/v1/columns/a/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("snapshot after Close: got %d, want 503", resp.StatusCode)
+	}
+	if code, _ := post(t, ts+"/v1/columns/a/merge", []byte("x")); code != http.StatusServiceUnavailable {
+		t.Fatalf("merge after Close: got %d, want 503", code)
+	}
+	if code, _ := post(t, ts+"/v1/columns/a/reports", encodeColumn(t, p, 13, data)); code != http.StatusServiceUnavailable {
+		t.Fatalf("reports after Close: got %d, want 503", code)
+	}
+	if code, _ := post(t, ts+"/v1/columns/a/finalize", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("finalize after Close: got %d, want 503", code)
+	}
+}

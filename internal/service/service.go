@@ -14,10 +14,20 @@
 // column pair: repeated estimates of the same pair never recompute the
 // row inner products.
 //
+// Federation: sketches are linear, so aggregation state built on
+// different collectors merges exactly. GET /snapshot exports a column as
+// a SNAP-encoded snapshot (point-in-time and mergeable while the column
+// is collecting, final once it is finalized), and POST /merge folds a
+// snapshot from another collector into the local column — the pair that
+// lets N collectors each fold a shard of the population and a federator
+// combine them into the same sketch a single node would have built.
+//
 //	POST /v1/columns/{name}/reports    body: KindJoin report stream
 //	POST /v1/columns/{name}/finalize
+//	POST /v1/columns/{name}/merge      body: SNAP snapshot to fold in
 //	GET  /v1/columns/{name}            column status (JSON)
 //	GET  /v1/columns/{name}/sketch     marshaled sketch (octet-stream)
+//	GET  /v1/columns/{name}/snapshot   SNAP snapshot (octet-stream)
 //	GET  /v1/join?left=A&right=B       join estimate (JSON)
 //	GET  /v1/frequency?column=A&value=7
 //	GET  /v1/stats                     server counters (JSON)
@@ -76,12 +86,18 @@ type Server struct {
 	engine    *ingest.Engine
 	maxStream int
 
-	mu       sync.Mutex
-	pending  map[string]*ingest.Column
-	finished map[string]*core.Sketch
-	joins    map[joinKey]float64
-	hits     int64
-	misses   int64
+	// mu guards the column maps, the query cache, the counters, and the
+	// closed flag — one lifecycle: anything that can observe or mutate a
+	// column checks closed under the same lock the query cache uses.
+	mu        sync.Mutex
+	closed    bool
+	pending   map[string]*ingest.Column
+	finished  map[string]*core.Sketch
+	joins     map[joinKey]float64
+	hits      int64
+	misses    int64
+	snapshots map[string]int64
+	merges    map[string]int64
 }
 
 // New creates a server with default options; the hash family derives
@@ -109,20 +125,52 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		pending:   make(map[string]*ingest.Column),
 		finished:  make(map[string]*core.Sketch),
 		joins:     make(map[joinKey]float64),
+		snapshots: make(map[string]int64),
+		merges:    make(map[string]int64),
 	}, nil
 }
 
-// Close drains and stops the ingestion engine. The server must not
-// receive requests afterwards.
-func (s *Server) Close() { s.engine.Close() }
+// Close marks the server closed and drains and stops the ingestion
+// engine. Mutating requests and snapshot exports arriving afterwards
+// are rejected with 503 rather than racing the engine shutdown;
+// finalized columns stay queryable. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.engine.Close()
+}
+
+// refuseClosed reports whether the server is closed, writing the 503 if
+// so. The flag lives under s.mu — the same lock as the column maps and
+// the query cache — so closing and the handlers' column lookups
+// serialize on one lifecycle. A request that slips past the check while
+// Close runs still cannot corrupt anything: the engine refuses new work
+// with ErrClosed and a drained column with ErrFinalized, both of which
+// surface as clean HTTP errors.
+func (s *Server) refuseClosed(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+	}
+	return closed
+}
 
 // Handler returns the HTTP handler serving the API above.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/columns/{name}/reports", s.handleReports)
 	mux.HandleFunc("POST /v1/columns/{name}/finalize", s.handleFinalize)
+	mux.HandleFunc("POST /v1/columns/{name}/merge", s.handleMerge)
 	mux.HandleFunc("GET /v1/columns/{name}", s.handleStatus)
 	mux.HandleFunc("GET /v1/columns/{name}/sketch", s.handleExport)
+	mux.HandleFunc("GET /v1/columns/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/join", s.handleJoin)
 	mux.HandleFunc("GET /v1/frequency", s.handleFrequency)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -133,6 +181,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if s.refuseClosed(w) {
+		return
+	}
 	name := r.PathValue("name")
 	// Decode the whole stream before anything reaches the engine: a
 	// malformed or oversized stream rejects the request atomically, so
@@ -187,6 +238,9 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	if s.refuseClosed(w) {
+		return
+	}
 	name := r.PathValue("name")
 	s.mu.Lock()
 	if _, done := s.finished[name]; done {
@@ -258,6 +312,149 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// handleSnapshot exports a column as a SNAP snapshot. A collecting
+// column yields a point-in-time unfinalized (mergeable) snapshot taken
+// under the shard locks without consuming the column, so a federator
+// can poll a live collector; a finalized column yields its finalized
+// snapshot. The response carries X-Ldpjoin-Finalized so callers can
+// tell the two apart without decoding.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.refuseClosed(w) {
+		return
+	}
+	name := r.PathValue("name")
+	s.mu.Lock()
+	sk, done := s.finished[name]
+	col, collecting := s.pending[name]
+	s.mu.Unlock()
+
+	var snap *protocol.Snapshot
+	switch {
+	case done:
+		snap = protocol.SnapshotOfSketch(sk)
+	case collecting:
+		// A concurrent finalize can retire the column between the lookup
+		// and the copy; State then reports ErrFinalized and the client
+		// retries against the finalized sketch.
+		agg, err := col.State()
+		if err == ingest.ErrFinalized {
+			httpError(w, http.StatusConflict, "column %q finalized while exporting; retry", name)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "exporting column %q: %v", name, err)
+			return
+		}
+		snap = protocol.SnapshotOfAggregator(agg)
+	default:
+		httpError(w, http.StatusNotFound, "unknown column %q", name)
+		return
+	}
+	data, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding snapshot: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.snapshots[name]++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ldpjoin-Finalized", fmt.Sprintf("%v", snap.Finalized))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleMerge folds a snapshot from another collector into the named
+// column. An unfinalized snapshot merges exactly into a collecting (or
+// new) column — the same integer-cell merge the shards use, so the
+// eventual sketch is byte-identical to single-node ingestion of the
+// union stream. A finalized snapshot can only be installed under a name
+// with no local state (import); merging into or on top of finalized
+// state is refused, because that cannot be exact.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if s.refuseClosed(w) {
+		return
+	}
+	name := r.PathValue("name")
+	// A valid snapshot for this configuration has one exact size; read at
+	// most one byte more so an oversized body is rejected without
+	// buffering it.
+	limit := int64(protocol.SnapshotEncodedSize(s.params))
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading snapshot body: %v", err)
+		return
+	}
+	if int64(len(data)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes for this configuration", limit)
+		return
+	}
+	snap, err := protocol.DecodeSnapshot(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding snapshot: %v", err)
+		return
+	}
+	if err := snap.CompatibleWithJoin(s.params, s.fam.Seed()); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+
+	if snap.Finalized {
+		sk, err := snap.Sketch()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
+			return
+		}
+		s.mu.Lock()
+		if _, done := s.finished[name]; done {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "column %q is already finalized; merging finalized snapshots is not exact", name)
+			return
+		}
+		if _, collecting := s.pending[name]; collecting {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
+			return
+		}
+		s.finished[name] = sk
+		s.merges[name]++
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"column": name, "merged": snap.N, "total": snap.N, "finalized": true,
+		})
+		return
+	}
+
+	agg, err := snap.Aggregator()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
+		return
+	}
+	s.mu.Lock()
+	if _, done := s.finished[name]; done {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		return
+	}
+	col, ok := s.pending[name]
+	if !ok {
+		col = s.engine.NewColumn()
+		s.pending[name] = col
+	}
+	s.mu.Unlock()
+
+	if err := col.MergeAggregator(agg); err != nil {
+		httpError(w, http.StatusConflict, "merging into column %q: %v", name, err)
+		return
+	}
+	s.mu.Lock()
+	s.merges[name]++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "merged": snap.N, "total": col.N(), "finalized": false,
+	})
+}
+
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	left := r.URL.Query().Get("left")
 	right := r.URL.Query().Get("right")
@@ -320,12 +517,30 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	o := s.engine.Options()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Per-column federation counters: every column that has ever served a
+	// snapshot export or accepted a merge gets an entry.
+	columns := make(map[string]map[string]int64)
+	counters := func(name string) map[string]int64 {
+		c, ok := columns[name]
+		if !ok {
+			c = map[string]int64{"snapshots": 0, "merges": 0}
+			columns[name] = c
+		}
+		return c
+	}
+	for name, n := range s.snapshots {
+		counters(name)["snapshots"] = n
+	}
+	for name, n := range s.merges {
+		counters(name)["merges"] = n
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"collecting":      len(s.pending),
 		"finalized":       len(s.finished),
 		"joinCacheSize":   len(s.joins),
 		"joinCacheHits":   s.hits,
 		"joinCacheMisses": s.misses,
+		"columns":         columns,
 		"shards":          o.Shards,
 		"workers":         o.Workers,
 		"queue":           o.Queue,
