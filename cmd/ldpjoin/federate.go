@@ -105,6 +105,10 @@ collectors'.
 	fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g\n", left, right, skL.JoinSize(skR))
 }
 
+// errBodyLimit caps how much of a non-200 response body is read into an
+// error message.
+const errBodyLimit = 4 << 10
+
 // pullSnapshot fetches one column's snapshot from one collector and
 // restores it as a mergeable aggregator bound to the shared hash
 // family, verifying integrity and the configuration fingerprint.
@@ -118,13 +122,17 @@ func pullSnapshot(client *http.Client, peer, column string, params core.Params, 
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Check the status before sizing any read: the snapshot-size cap
+		// below is meaningless for an error body, and applying it first
+		// used to truncate error messages longer than one snapshot.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+		return nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
 	limit := int64(protocol.SnapshotEncodedSize(params))
 	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(data)))
 	}
 	if int64(len(data)) > limit {
 		return nil, fmt.Errorf("%s: snapshot exceeds %d bytes for this configuration", u, limit)

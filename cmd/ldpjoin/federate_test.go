@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"ldpjoin/internal/core"
@@ -115,6 +116,47 @@ func TestPullSnapshotMergesExactly(t *testing.T) {
 	// Unknown columns surface the collector's error.
 	if _, err := pullSnapshot(client, tsA.URL, "nope", p, fam); err == nil {
 		t.Fatal("missing column did not error")
+	}
+}
+
+// TestPullSnapshotErrorBodyNotTruncated pins the status-first read
+// order: an error body longer than one snapshot encoding must reach the
+// returned error whole, not cut at the snapshot-size cap, and a body
+// beyond the error cap must not be buffered without bound.
+func TestPullSnapshotErrorBodyNotTruncated(t *testing.T) {
+	p := core.Params{K: 2, M: 8, Epsilon: 4}
+	fam := p.NewFamily(1)
+	snapSize := protocol.SnapshotEncodedSize(p)
+	long := bytes.Repeat([]byte{'x'}, snapSize+50)
+	long = append(long, []byte("END-OF-ERROR")...)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write(long)
+	}))
+	t.Cleanup(ts.Close)
+
+	_, err := pullSnapshot(&http.Client{}, ts.URL, "users", p, fam)
+	if err == nil {
+		t.Fatal("non-200 response did not error")
+	}
+	if !strings.Contains(err.Error(), "END-OF-ERROR") {
+		t.Fatalf("error body truncated at the snapshot-size cap: %v", err)
+	}
+	if !strings.Contains(err.Error(), "500") {
+		t.Fatalf("error lost the status: %v", err)
+	}
+
+	huge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write(bytes.Repeat([]byte{'y'}, errBodyLimit+1000))
+	}))
+	t.Cleanup(huge.Close)
+	_, err = pullSnapshot(&http.Client{}, huge.URL, "users", p, fam)
+	if err == nil {
+		t.Fatal("non-200 response did not error")
+	}
+	if len(err.Error()) > errBodyLimit+200 {
+		t.Fatalf("error body not capped: %d bytes", len(err.Error()))
 	}
 }
 

@@ -6,21 +6,37 @@
 // per column pair) and exports sketches. See internal/service for the
 // API and internal/ingest for the engine.
 //
+// With -data set the server is durable: accepted reports and merges are
+// write-ahead logged (fsynced before the request is acknowledged),
+// finalized sketches are persisted, and SIGINT/SIGTERM triggers a
+// graceful shutdown that drains in-flight requests and checkpoints
+// collecting columns. Restarting on the same -data directory (and the
+// same -k/-m/-eps/-seed) recovers every column — byte-identically,
+// because sketch state is linear. See internal/store.
+//
 // Usage:
 //
 //	ldpjoind -addr :8080 -k 18 -m 1024 -eps 4 -seed 1 \
-//	         -shards 8 -workers 8 -queue 64 -max-reports 16777216
+//	         -shards 8 -workers 8 -queue 64 -max-reports 16777216 \
+//	         -data /var/lib/ldpjoind
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/ingest"
 	"ldpjoin/internal/service"
+	"ldpjoin/internal/store"
 )
 
 func main() {
@@ -33,16 +49,51 @@ func main() {
 	workers := flag.Int("workers", 0, "fold worker goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "ingestion queue depth in batches (0 = 4x workers)")
 	maxReports := flag.Int("max-reports", 0, "max reports per request body (0 = default; <0 = unlimited, removes the per-request memory bound)")
+	data := flag.String("data", "", "data directory for WAL + checkpoint durability (empty = in-memory only)")
+	segBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default)")
+	noSync := flag.Bool("wal-no-sync", false, "skip fsyncs (faster; survives process crashes, not power loss)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
 
 	srv, err := service.NewWithOptions(core.Params{K: *k, M: *m, Epsilon: *eps}, *seed, service.Options{
 		Ingest:           ingest.Options{Shards: *shards, Workers: *workers, Queue: *queue},
 		MaxStreamReports: *maxReports,
+		DataDir:          *data,
+		Store:            store.Options{SegmentBytes: *segBytes, NoSync: *noSync},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-	fmt.Printf("ldpjoind listening on %s (k=%d, m=%d, ε=%g, seed=%d)\n", *addr, *k, *m, *eps, *seed)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	fmt.Printf("ldpjoind listening on %s (k=%d, m=%d, ε=%g, seed=%d", *addr, *k, *m, *eps, *seed)
+	if *data != "" {
+		fmt.Printf(", data=%s", *data)
+	}
+	fmt.Println(")")
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Ordered teardown: stop accepting, drain in-flight requests, then
+	// checkpoint — the checkpoint must cover every acknowledged request,
+	// so it runs strictly after the listener has gone quiet.
+	fmt.Println("ldpjoind shutting down: draining requests, checkpointing columns")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("draining HTTP server: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		log.Fatalf("checkpointing: %v (the WAL is intact; restart will replay it)", err)
+	}
 }

@@ -35,6 +35,13 @@
 // (State), and fold in unfinalized state restored from another
 // collector's snapshot (MergeAggregator) — all exact, because
 // unfinalized cells are integers.
+//
+// The same exactness makes the engine the replay target of the durable
+// column store (internal/store): WAL recovery feeds logged report
+// batches back through Enqueue and checkpoints through MergeAggregator,
+// and because folds commute exactly, the recovered column finalizes to
+// a sketch byte-identical to the uninterrupted run — regardless of how
+// shard counts or batch interleavings differ across the restart.
 package ingest
 
 import (

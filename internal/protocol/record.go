@@ -1,0 +1,147 @@
+// WAL record framing: the on-disk unit of the durable column store
+// (internal/store). A write-ahead log is a sequence of self-delimiting,
+// integrity-checked records; each record carries one durable event of a
+// collecting column — a batch of accepted reports in the wire format
+// above, or a SNAP snapshot folded in from another collector.
+//
+//	record (all integers big-endian):
+//	  length u32 (payload bytes) | type u8 | payload | crc32 (IEEE) u32
+//
+// The CRC covers length, type, and payload, so a torn length field is
+// caught just like a torn payload. The framing is deliberately
+// tail-fragile and body-strict: a reader distinguishes only "clean end
+// of log" (io.EOF before the first header byte) from "bad record"
+// (ErrBadRecord for everything else — short header, unknown type,
+// oversize length, short payload, checksum mismatch). The store treats
+// a bad record at the tail of the last segment as a torn write left by
+// a crash — it truncates the segment to the last whole record and keeps
+// going — and a bad record anywhere else as real corruption. Like the
+// snapshot codec, the encoding is canonical: re-encoding an accepted
+// record reproduces the consumed bytes exactly (FuzzWALRecord).
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ldpjoin/internal/core"
+)
+
+// RecordType discriminates WAL records.
+type RecordType uint8
+
+const (
+	// RecordReports carries accepted join reports: length/7 wire-format
+	// reports (7 bytes each, see AppendReport) back to back.
+	RecordReports RecordType = 1
+	// RecordMerge carries one SNAP-encoded unfinalized snapshot that was
+	// merged into the column (POST /merge).
+	RecordMerge RecordType = 2
+)
+
+// MaxRecordPayload bounds a record's payload. It exists so a torn or
+// hostile length field cannot make a replayer allocate gigabytes before
+// the checksum has had a chance to reject the record; writers split
+// larger events across records (report batches split trivially) or
+// refuse them (a snapshot above the bound has no valid split).
+const MaxRecordPayload = 1 << 26 // 64 MiB
+
+// recordHeaderSize is length u32 + type u8.
+const recordHeaderSize = 5
+
+// recordTrailerSize is the CRC32 trailer.
+const recordTrailerSize = 4
+
+// RecordOverhead is the framing cost per record beyond the payload.
+const RecordOverhead = recordHeaderSize + recordTrailerSize
+
+// ErrBadRecord is returned for any byte sequence that is not a whole,
+// checksummed WAL record: a torn tail and real corruption both surface
+// as this error — where in the log it happened decides which it is.
+var ErrBadRecord = errors.New("protocol: bad WAL record")
+
+// AppendRecord frames payload as one WAL record and appends it to buf.
+// The payload must not exceed MaxRecordPayload (the writer's bug if it
+// does, hence the panic).
+func AppendRecord(buf []byte, typ RecordType, payload []byte) []byte {
+	if len(payload) > MaxRecordPayload {
+		panic(fmt.Sprintf("protocol: WAL record payload %d exceeds %d bytes", len(payload), MaxRecordPayload))
+	}
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, byte(typ))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+	return buf
+}
+
+// ReadRecord reads one record from r. It returns io.EOF at the clean
+// end of the log (no header byte left) and an error wrapping
+// ErrBadRecord for anything that is not a whole valid record. On
+// success the record consumed exactly RecordOverhead+len(payload)
+// bytes; the returned payload is freshly allocated and owned by the
+// caller.
+func ReadRecord(r io.Reader) (RecordType, []byte, error) {
+	var hdr [recordHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: torn header: %v", ErrBadRecord, err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	typ := RecordType(hdr[4])
+	if length > MaxRecordPayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadRecord, length, MaxRecordPayload)
+	}
+	if typ != RecordReports && typ != RecordMerge {
+		return 0, nil, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, typ)
+	}
+	rest := make([]byte, int(length)+recordTrailerSize)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, nil, fmt.Errorf("%w: torn payload: %v", ErrBadRecord, err)
+	}
+	payload, trailer := rest[:length], rest[length:]
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if want := binary.BigEndian.Uint32(trailer); crc != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (computed %08x, stored %08x)", ErrBadRecord, crc, want)
+	}
+	return typ, payload, nil
+}
+
+// AppendReportsPayload encodes a batch of reports as a RecordReports
+// payload: the same 7-byte wire encoding the report streams use.
+func AppendReportsPayload(buf []byte, reports []core.Report) []byte {
+	for _, r := range reports {
+		buf = AppendReport(buf, r)
+	}
+	return buf
+}
+
+// DecodeReportsPayload decodes a RecordReports payload, bounds-checking
+// every report against the expected parameters exactly like the stream
+// decoder — a corrupted-but-checksum-valid log (or a log written under
+// other parameters) surfaces as an error, never as out-of-range state
+// in a sketch.
+func DecodeReportsPayload(payload []byte, expect core.Params) ([]core.Report, error) {
+	if len(payload)%ReportSize != 0 {
+		return nil, fmt.Errorf("%w: reports payload of %d bytes is not a multiple of %d", ErrBadRecord, len(payload), ReportSize)
+	}
+	reports := make([]core.Report, 0, len(payload)/ReportSize)
+	for off := 0; off < len(payload); off += ReportSize {
+		rep, err := DecodeReport(payload[off : off+ReportSize])
+		if err != nil {
+			return nil, fmt.Errorf("%w: report %d: %v", ErrBadRecord, len(reports), err)
+		}
+		if int(rep.Row) >= expect.K || int(rep.Col) >= expect.M {
+			return nil, fmt.Errorf("%w: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
+				ErrBadRecord, len(reports), rep.Row, rep.Col, expect.K, expect.M)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -24,7 +24,7 @@ func NewReportWriter(w io.Writer, p core.Params) (*ReportWriter, error) {
 	if err := WriteHeader(bw, h); err != nil {
 		return nil, err
 	}
-	return &ReportWriter{bw: bw, buf: make([]byte, 0, reportSize)}, nil
+	return &ReportWriter{bw: bw, buf: make([]byte, 0, ReportSize)}, nil
 }
 
 // Write streams one report.
@@ -51,7 +51,7 @@ type BatchReader struct {
 	br     *bufio.Reader
 	h      Header
 	expect core.Params
-	buf    [reportSize]byte
+	buf    [ReportSize]byte
 	n      int
 }
 

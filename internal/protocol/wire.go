@@ -100,8 +100,9 @@ func ReadHeader(r io.Reader) (Header, error) {
 	return h, nil
 }
 
-// reportSize is the wire size of one KindJoin report.
-const reportSize = 7
+// ReportSize is the wire size of one KindJoin report. The WAL layer
+// uses it to split report batches into bounded records.
+const ReportSize = 7
 
 // matrixReportSize is the wire size of one KindMatrix report.
 const matrixReportSize = 11
@@ -114,9 +115,9 @@ func AppendReport(buf []byte, r core.Report) []byte {
 	return buf
 }
 
-// DecodeReport decodes one join report from exactly reportSize bytes.
+// DecodeReport decodes one join report from exactly ReportSize bytes.
 func DecodeReport(buf []byte) (core.Report, error) {
-	if len(buf) < reportSize {
+	if len(buf) < ReportSize {
 		return core.Report{}, fmt.Errorf("protocol: short report: %d bytes", len(buf))
 	}
 	y, err := decodeSign(buf[0])

@@ -22,6 +22,18 @@
 // lets N collectors each fold a shard of the population and a federator
 // combine them into the same sketch a single node would have built.
 //
+// Durability: with Options.DataDir set, every accepted report batch and
+// merge is appended to a per-column write-ahead log (internal/store)
+// and fsynced before the request is acknowledged, finalize persists the
+// finalized SNAP and retires the column's log, and Shutdown checkpoints
+// collecting columns after draining the engine. A restarted server
+// replays the store through the ingestion engine, so collecting columns
+// resume and finalized sketches reappear — and because aggregation
+// cells are exact integers, a recovered column finalizes to a sketch
+// byte-identical to an uninterrupted run. Losing collecting state would
+// mean re-collecting reports, which re-spends each user's privacy
+// budget: durability is a privacy property, not just an ops one.
+//
 //	POST /v1/columns/{name}/reports    body: KindJoin report stream
 //	POST /v1/columns/{name}/finalize
 //	POST /v1/columns/{name}/merge      body: SNAP snapshot to fold in
@@ -36,6 +48,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -46,6 +59,7 @@ import (
 	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/ingest"
 	"ldpjoin/internal/protocol"
+	"ldpjoin/internal/store"
 )
 
 // DefaultMaxStreamReports caps how many reports a single POST body may
@@ -65,6 +79,15 @@ type Options struct {
 	// request buffers its decoded reports until the stream ends — so
 	// leave it on unless every gateway is trusted.
 	MaxStreamReports int
+	// DataDir enables durability: accepted reports and merges are
+	// WAL-appended under this directory before they are acknowledged,
+	// finalized sketches are persisted, and a server reopened on the
+	// same directory (and the same params + seed) recovers every
+	// column. Empty means in-memory only, the prior behavior.
+	DataDir string
+	// Store tunes the column store when DataDir is set (segment
+	// rotation size, fsync policy).
+	Store store.Options
 }
 
 // joinKey identifies an unordered column pair; the join estimator is
@@ -85,6 +108,8 @@ type Server struct {
 	fam       *hashing.Family
 	engine    *ingest.Engine
 	maxStream int
+	st        *store.Store        // nil when DataDir is unset
+	recovered store.RecoveryStats // what startup replay rebuilt; read-only after New
 
 	// mu guards the column maps, the query cache, the counters, and the
 	// closed flag — one lifecycle: anything that can observe or mutate a
@@ -107,7 +132,11 @@ func New(p core.Params, seed int64) (*Server, error) {
 }
 
 // NewWithOptions creates a server for the given protocol parameters,
-// public hash seed, and tuning options.
+// public hash seed, and tuning options. With Options.DataDir set it
+// opens the column store and replays its state through the ingestion
+// engine before returning: collecting columns resume where the last
+// acknowledged request left them, finalized sketches are queryable
+// immediately.
 func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
@@ -117,7 +146,7 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		maxStream = DefaultMaxStreamReports
 	}
 	fam := p.NewFamily(seed)
-	return &Server{
+	s := &Server{
 		params:    p,
 		fam:       fam,
 		engine:    ingest.NewEngine(p, fam, o.Ingest),
@@ -127,23 +156,138 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		joins:     make(map[joinKey]float64),
 		snapshots: make(map[string]int64),
 		merges:    make(map[string]int64),
-	}, nil
+	}
+	if o.DataDir != "" {
+		st, err := store.Open(o.DataDir, p, seed, o.Store)
+		if err != nil {
+			s.engine.Close()
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		rec, err := st.Recover(recoverer{s})
+		if err != nil {
+			st.Close()
+			s.engine.Close()
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.st = st
+		s.recovered = rec
+	}
+	return s, nil
 }
 
-// Close marks the server closed and drains and stops the ingestion
-// engine. Mutating requests and snapshot exports arriving afterwards
-// are rejected with 503 rather than racing the engine shutdown;
-// finalized columns stay queryable. Close is idempotent.
-func (s *Server) Close() {
+// recoverer folds the column store's recovered state back into the
+// server: finalized snapshots restore straight into the query maps,
+// collecting state replays through the ingestion engine exactly like
+// live traffic. It runs before the server serves its first request, so
+// it touches the maps without locking.
+type recoverer struct{ s *Server }
+
+// col returns the in-memory column for a recovering name, creating it
+// on first use.
+func (r recoverer) col(name string) *ingest.Column {
+	col, ok := r.s.pending[name]
+	if !ok {
+		col = r.s.engine.NewColumn()
+		r.s.pending[name] = col
+	}
+	return col
+}
+
+func (r recoverer) RecoverFinalized(name string, snap *protocol.Snapshot) error {
+	sk, err := snap.Sketch()
+	if err != nil {
+		return err
+	}
+	r.s.finished[name] = sk
+	return nil
+}
+
+func (r recoverer) RecoverCheckpoint(name string, snap *protocol.Snapshot) error {
+	agg, err := snap.Aggregator()
+	if err != nil {
+		return err
+	}
+	return r.col(name).MergeAggregator(agg)
+}
+
+func (r recoverer) RecoverReports(name string, reports []core.Report) error {
+	// Re-batch at the live ingest granularity: a WAL record coalesces up
+	// to 2^20 reports, and folding that as a single task would serialize
+	// recovery on one shard. Split, and replay fans out across the
+	// engine's workers like the original traffic did (fold order cannot
+	// change the result — integer cells commute).
+	var batches [][]core.Report
+	for len(reports) > 0 {
+		n := min(protocol.DefaultBatchSize, len(reports))
+		batches = append(batches, reports[:n])
+		reports = reports[n:]
+	}
+	return r.col(name).EnqueueAll(batches)
+}
+
+func (r recoverer) RecoverMerge(name string, snap *protocol.Snapshot) error {
+	agg, err := snap.Aggregator()
+	if err != nil {
+		return err
+	}
+	return r.col(name).MergeAggregator(agg)
+}
+
+// Shutdown marks the server closed, drains and stops the ingestion
+// engine, and — when the server is durable — checkpoints every
+// collecting column into the store and closes it. The checkpoint runs
+// after the engine drain, so it covers every acknowledged request, and
+// it retires the column's WAL segments: a reopened server restores from
+// the checkpoint instead of replaying the log. Because columns register
+// in the pending map (under the lock that sets closed) before their
+// first WAL append, the snapshot of that map taken here covers every
+// column with log records — so the checkpoints also retire the records
+// of requests that were cut off mid-flight and never acknowledged,
+// instead of leaving them to resurrect on restart. Mutating requests and
+// snapshot exports arriving afterwards are rejected with 503 rather
+// than racing the shutdown; finalized columns stay queryable. Call it
+// after the HTTP listener has stopped accepting requests. Shutdown is
+// idempotent.
+func (s *Server) Shutdown() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
+	pending := make(map[string]*ingest.Column, len(s.pending))
+	for name, col := range s.pending {
+		pending[name] = col
+	}
 	s.mu.Unlock()
 	s.engine.Close()
+	if s.st == nil {
+		return nil
+	}
+	var firstErr error
+	for name, col := range pending {
+		snap, err := col.Snapshot()
+		if err == ingest.ErrFinalized {
+			continue // a concurrent finalize won; the store holds its final state
+		}
+		if err == nil {
+			err = s.st.Checkpoint(name, snap)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("service: checkpointing column %q: %w", name, err)
+		}
+	}
+	if err := s.st.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
+
+// Close is Shutdown for callers with nowhere to report a checkpoint
+// error (an unwritable disk at shutdown leaves the WAL in place, so
+// recovery replays the log instead of a checkpoint — slower, not
+// lossy).
+func (s *Server) Close() { _ = s.Shutdown() }
 
 // refuseClosed reports whether the server is closed, writing the 503 if
 // so. The flag lives under s.mu — the same lock as the column maps and
@@ -210,8 +354,28 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		}
 		batches = append(batches, batch)
 	}
+	// An empty stream (valid header, zero reports) must not create the
+	// column: a typo'd name would otherwise appear as a phantom
+	// "collecting" column in /v1/stats forever.
+	if br.Count() == 0 {
+		httpError(w, http.StatusBadRequest, "empty report stream for column %q", name)
+		return
+	}
 
+	// Register the column under the same lock acquisition as the
+	// closed and finalized checks, *before* the WAL append. The order
+	// is load-bearing twice over: a column is never created after
+	// Shutdown has snapshotted the pending map (closed is re-checked
+	// here, under the lock that set it), and every WAL record belongs
+	// to a registered column — which is what lets the shutdown
+	// checkpoint retire every record, acknowledged or not, instead of
+	// leaving unacknowledged tails to resurrect on restart.
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		return
+	}
 	if _, done := s.finished[name]; done {
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "column %q is already finalized", name)
@@ -224,12 +388,24 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// Durability before acknowledgement: the decoded reports go to the
+	// write-ahead log, fsynced, before anything is acked. A failed
+	// append rejects the request (at worst the column registered above
+	// sits empty until more reports arrive — a disk fault is an
+	// operator page either way).
+	if s.st != nil {
+		if err := s.st.AppendReports(name, batches); err != nil {
+			s.storeAppendError(w, name, err)
+			return
+		}
+	}
+
 	// Feed the engine outside the lock. EnqueueAll blocks when the fold
 	// workers are behind (backpressure) and is atomic against a
 	// concurrent finalize: the request's reports land entirely before
 	// the merge or not at all.
 	if err := col.EnqueueAll(batches); err != nil {
-		httpError(w, http.StatusConflict, "column %q: %v", name, err)
+		s.columnConflict(w, "column %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -259,7 +435,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	// finalize of the same column loses with ErrFinalized.
 	sk, err := col.Finalize()
 	if err == ingest.ErrFinalized {
-		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		s.columnConflict(w, "column %q is already finalized", name)
 		return
 	}
 	if err != nil {
@@ -271,10 +447,25 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "finalizing column %q: %v", name, err)
 		return
 	}
+	// Persist the finalized sketch and retire the column's WAL before
+	// installing it: an acknowledged finalize is durable. If persisting
+	// fails the sketch still installs — it cannot be un-finalized — but
+	// the request reports the failure; the WAL stays in place, so a
+	// restart rebuilds the column collecting and an identical sketch is
+	// one finalize away.
+	var persistErr error
+	if s.st != nil {
+		persistErr = s.st.Finalize(name, protocol.SnapshotOfSketch(sk))
+	}
 	s.mu.Lock()
 	delete(s.pending, name)
 	s.finished[name] = sk
 	s.mu.Unlock()
+	if persistErr != nil {
+		httpError(w, http.StatusInternalServerError,
+			"column %q finalized in memory, but persisting failed: %v", name, persistErr)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"column": name, "reports": sk.N()})
 }
 
@@ -405,7 +596,19 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
 			return
 		}
+		// Check and install under one lock acquisition: releasing the
+		// lock between the no-pending check and the install would let a
+		// concurrent reports request register the column in the gap —
+		// and the import would then shadow (and, durable, retire the WAL
+		// of) acknowledged reports. With the install atomic, the two
+		// requests serialize: whichever claims the name first wins, the
+		// other gets the conflict.
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "server is shut down")
+			return
+		}
 		if _, done := s.finished[name]; done {
 			s.mu.Unlock()
 			httpError(w, http.StatusConflict, "column %q is already finalized; merging finalized snapshots is not exact", name)
@@ -419,6 +622,16 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		s.finished[name] = sk
 		s.merges[name]++
 		s.mu.Unlock()
+		// An import is terminal state: persist it like a finalize. As in
+		// handleFinalize, a persist failure keeps the in-memory install
+		// (it cannot be undone observably) and reports the error.
+		if s.st != nil {
+			if err := s.st.Finalize(name, snap); err != nil {
+				httpError(w, http.StatusInternalServerError,
+					"column %q imported in memory, but persisting failed: %v", name, err)
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"column": name, "merged": snap.N, "total": snap.N, "finalized": true,
 		})
@@ -430,7 +643,16 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
 		return
 	}
+	// Same order as handleReports: register the column under the
+	// closed/finalized checks, then WAL the encoded snapshot — the
+	// already-encoded body is exactly the canonical record payload —
+	// before it can reach the column.
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		return
+	}
 	if _, done := s.finished[name]; done {
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "column %q is already finalized", name)
@@ -442,9 +664,15 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		s.pending[name] = col
 	}
 	s.mu.Unlock()
+	if s.st != nil {
+		if err := s.st.AppendMerge(name, data); err != nil {
+			s.storeAppendError(w, name, err)
+			return
+		}
+	}
 
 	if err := col.MergeAggregator(agg); err != nil {
-		httpError(w, http.StatusConflict, "merging into column %q: %v", name, err)
+		s.columnConflict(w, "merging into column %q: %v", name, err)
 		return
 	}
 	s.mu.Lock()
@@ -453,6 +681,47 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "merged": snap.N, "total": col.N(), "finalized": false,
 	})
+}
+
+// columnConflict answers an ingest lifecycle conflict (ErrFinalized,
+// ErrClosed). During shutdown those errors usually mean the column was
+// drained, or the engine stopped, underneath the request — the column
+// is checkpointed, not finalized — so a closed server answers the
+// retryable 503 instead of a 409 a gateway would treat as terminal and
+// drop its reports over.
+func (s *Server) columnConflict(w http.ResponseWriter, format string, args ...any) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		return
+	}
+	httpError(w, http.StatusConflict, format, args...)
+}
+
+// storeAppendError maps a WAL append failure to the HTTP response. A
+// sealed log usually means the column is finalized (409, do not retry)
+// — but during shutdown the checkpoint seals logs of columns that are
+// still collecting, and telling a gateway "finalized" then would make
+// it drop its reports for good. The closed flag is always set before
+// any checkpoint seals, so re-checking it here reliably turns that
+// case into the retryable 503.
+func (s *Server) storeAppendError(w http.ResponseWriter, name string, err error) {
+	if errors.Is(err, store.ErrColumnFinalized) || errors.Is(err, store.ErrClosed) {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			httpError(w, http.StatusServiceUnavailable, "server is shut down")
+			return
+		}
+		if errors.Is(err, store.ErrColumnFinalized) {
+			httpError(w, http.StatusConflict, "column %q is already finalized", name)
+			return
+		}
+	}
+	httpError(w, http.StatusInternalServerError, "persisting request for column %q: %v", name, err)
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -467,16 +736,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	est, cached := s.joins[key]
 	skL, okL := s.finished[left]
 	skR, okR := s.finished[right]
+	if cached && okL && okR {
+		// Bump the hit counter inside the lookup's critical section
+		// instead of re-acquiring the lock just for bookkeeping.
+		s.hits++
+	}
 	s.mu.Unlock()
 	if !okL || !okR {
 		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
 		return
 	}
-	if cached {
-		s.mu.Lock()
-		s.hits++
-		s.mu.Unlock()
-	} else {
+	if !cached {
 		// Compute outside the lock — the inner products scan K·M cells —
 		// then memoize: finalized sketches never change, so the entry
 		// stays valid for the life of the server.
@@ -534,7 +804,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for name, n := range s.merges {
 		counters(name)["merges"] = n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"collecting":      len(s.pending),
 		"finalized":       len(s.finished),
 		"joinCacheSize":   len(s.joins),
@@ -544,7 +814,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"shards":          o.Shards,
 		"workers":         o.Workers,
 		"queue":           o.Queue,
-	})
+	}
+	if s.st != nil {
+		ss := s.st.Stats()
+		stats["durability"] = map[string]any{
+			"walAppends":  ss.Appends,
+			"walBytes":    ss.Bytes,
+			"checkpoints": ss.Checkpoints,
+			"finalized":   ss.Finalized,
+			"recovered": map[string]any{
+				"columns":          s.recovered.Columns,
+				"finalizedColumns": s.recovered.FinalizedColumns,
+				"reports":          s.recovered.Reports,
+				"merges":           s.recovered.Merges,
+				"checkpoints":      s.recovered.Checkpoints,
+				"truncatedTails":   s.recovered.TruncatedTails,
+			},
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -207,6 +208,61 @@ func TestServiceErrorPaths(t *testing.T) {
 	// Health.
 	if code, body := get(t, ts.URL+"/v1/healthz"); code != 200 || body["status"] != "ok" {
 		t.Fatalf("health = %d %v", code, body)
+	}
+}
+
+// TestServiceRejectsEmptyStream pins the phantom-column fix: a valid
+// header with zero reports (the typical typo'd-name probe) must be
+// rejected without registering the column anywhere.
+func TestServiceRejectsEmptyStream(t *testing.T) {
+	_, ts, p := testServer(t)
+	var buf bytes.Buffer
+	w, err := protocol.NewReportWriter(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(t, ts.URL+"/v1/columns/typo/reports", buf.Bytes()); code != 400 {
+		t.Fatalf("empty stream code %d (%v), want 400", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/columns/typo"); code != 404 {
+		t.Fatalf("empty stream created a column: status code %d, want 404", code)
+	}
+	if _, body := get(t, ts.URL+"/v1/stats"); body["collecting"].(float64) != 0 {
+		t.Fatalf("empty stream polluted stats: %v", body)
+	}
+}
+
+// TestSnapshotFinalizeRace drives handleSnapshot through the window
+// where a concurrent finalize retires the column between the pending
+// lookup and the State copy: the handler must answer 409 (retry), not
+// 500, and never export half-retired state.
+func TestSnapshotFinalizeRace(t *testing.T) {
+	srv, ts, p := testServer(t)
+	if code, _ := post(t, ts.URL+"/v1/columns/R/reports", encodeColumn(t, p, 7, []uint64{1, 2, 3, 4})); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	// Reproduce the race's intermediate state deterministically: retire
+	// the column directly (as the winning finalize does first) while it
+	// still sits in the pending map (as it does until the finalize
+	// handler re-takes the lock).
+	srv.mu.Lock()
+	col := srv.pending["R"]
+	srv.mu.Unlock()
+	if col == nil {
+		t.Fatal("column R not pending")
+	}
+	if _, err := col.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/v1/columns/R/snapshot")
+	if code != 409 {
+		t.Fatalf("snapshot during finalize: code %d (%v), want 409", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "retry") {
+		t.Fatalf("conflict does not tell the client to retry: %v", body)
 	}
 }
 

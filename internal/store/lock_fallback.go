@@ -1,0 +1,14 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package store
+
+import "os"
+
+// acquireLock on platforms without flock only creates the lock file;
+// it does not exclude a second process. An O_EXCL scheme would wedge
+// the directory after every crash — worse than no exclusion for a
+// store whose whole point is crash recovery — and the deployment
+// targets (the CI matrix and the daemon) are all flock platforms.
+func acquireLock(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

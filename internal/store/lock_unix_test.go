@@ -1,0 +1,20 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStoreLockExcludesSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := Open(dir, testParams, testSeed, Options{}); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second open of a held store: got %v, want lock refusal", err)
+	}
+	st.Close()
+	// Close releases the flock, so a successor process can take over.
+	st2 := open(t, dir, Options{})
+	st2.Close()
+}

@@ -1,0 +1,595 @@
+// Package store is the durable column store of the aggregation service:
+// a per-column, segmented, CRC-framed write-ahead log of accepted
+// report batches and merges, per-column SNAP checkpoints, and a
+// manifest tying names to on-disk state. It exists because the
+// service's aggregation state is privacy-critical: losing a collecting
+// column to a restart means re-collecting reports, and every re-sent
+// report re-spends its user's privacy budget. Durability is therefore a
+// privacy property here, and the correctness bar is exact — a recovered
+// column must finalize to a sketch byte-identical to an uninterrupted
+// run, which the integer-cell linearity of the paper's sketches makes
+// achievable (replay is just re-folding; folds commute exactly).
+//
+// # Layout
+//
+//	<dir>/manifest.json            names → ids, finalized flags, and the
+//	                               configuration fingerprint (k, m, ε, seed)
+//	<dir>/col-<id>/seg-<seq>.wal   WAL segments (protocol WAL records)
+//	<dir>/col-<id>/ckpt-<seq>.snap SNAP checkpoint covering segs <= seq
+//	<dir>/col-<id>/final.snap      finalized SNAP; the column's terminal state
+//
+// # Lifecycle
+//
+// An append (reports or a merge) is framed as WAL records, written to
+// the column's current segment, and fsynced before the caller may
+// acknowledge: acknowledged means crash-durable. Segments rotate at a
+// size threshold; a restart always starts a fresh segment, so a torn
+// tail can only ever sit at the end of the highest segment, where
+// recovery truncates it (records behind a tear are unreachable, so
+// nothing may ever be appended behind one).
+//
+// A checkpoint (graceful shutdown) seals the log, writes the column's
+// merged unfinalized state as ckpt-<S>.snap where S is the highest
+// segment, then deletes the covered segments. Finalize seals, writes
+// final.snap, marks the manifest, and retires the log entirely. Both
+// file writes are atomic (temp + rename + dir fsync) and ordered
+// write-then-delete, so a crash between the two steps leaves covered
+// segments behind — recovery replays only segments above the newest
+// checkpoint, and a final.snap wins outright, so leftovers cost disk,
+// never double-counted state.
+//
+// # Recovery
+//
+// Recover walks the manifest: finalized columns yield their final
+// snapshot; collecting columns yield the newest checkpoint (if any)
+// followed by every WAL record in segments above it, in order. All
+// payloads are CRC-checked at the framing layer, bounds-checked against
+// the store's parameters, and snapshot payloads are additionally
+// fingerprint-checked — a log written under a different configuration
+// refuses to load rather than poisoning a sketch.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/protocol"
+)
+
+// DefaultSegmentBytes is the WAL segment rotation threshold unless
+// Options overrides it.
+const DefaultSegmentBytes = 8 << 20
+
+// maxReportsPerRecord bounds one RecordReports payload
+// (protocol.ReportSize bytes per report) comfortably under
+// protocol.MaxRecordPayload; larger appends split across records.
+const maxReportsPerRecord = 1 << 20
+
+// manifestName is the manifest file inside the data directory.
+const manifestName = "manifest.json"
+
+// lockName is the advisory-lock file inside the data directory: one
+// process owns a store at a time.
+const lockName = "LOCK"
+
+// manifestVersion is the manifest schema this package writes.
+const manifestVersion = 1
+
+// Options tunes a Store. The zero value selects defaults.
+type Options struct {
+	// SegmentBytes is the WAL segment rotation threshold; <= 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips every fsync. Appends then survive process crashes
+	// (the page cache persists) but not power loss or kernel panics —
+	// acceptable for tests and throwaway deployments only.
+	NoSync bool
+}
+
+func (o Options) normalized() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+var (
+	// ErrClosed is returned when the store is used after Close.
+	ErrClosed = errors.New("store: closed")
+	// ErrColumnFinalized is returned when appending to a column whose
+	// log has been sealed by Finalize or Checkpoint.
+	ErrColumnFinalized = errors.New("store: column is finalized")
+)
+
+// manifest is the JSON-encoded root of the store: the configuration
+// fingerprint everything inside was written under, and the column
+// name → directory mapping.
+type manifest struct {
+	Version int                    `json:"version"`
+	K       int                    `json:"k"`
+	M       int                    `json:"m"`
+	Epsilon float64                `json:"epsilon"`
+	Seed    int64                  `json:"seed"`
+	NextID  uint64                 `json:"nextId"`
+	Columns map[string]*columnMeta `json:"columns"`
+}
+
+type columnMeta struct {
+	ID        uint64 `json:"id"`
+	Finalized bool   `json:"finalized"`
+}
+
+// Stats counts the store's durable work since Open.
+type Stats struct {
+	Appends     int64 // acknowledged append calls (reports or merges)
+	Bytes       int64 // framed WAL bytes written
+	Checkpoints int64
+	Finalized   int64 // finalize + finalized-import persists
+}
+
+// RecoveryStats summarizes what Recover rebuilt.
+type RecoveryStats struct {
+	Columns          int64 // collecting columns rebuilt
+	FinalizedColumns int64
+	Reports          int64 // reports replayed from WAL records
+	Merges           int64 // merge records replayed
+	Checkpoints      int64 // checkpoint snapshots restored
+	TruncatedTails   int64 // segments whose torn tail was cut
+}
+
+// Replayer receives the recovered state of a store, column by column:
+// for a finalized column exactly one RecoverFinalized call; for a
+// collecting column at most one RecoverCheckpoint call followed by the
+// column's WAL events in append order. The aggregation side implements
+// this by folding into the ingestion engine — integer cells make the
+// replayed state exactly what the pre-crash process held.
+type Replayer interface {
+	RecoverFinalized(name string, snap *protocol.Snapshot) error
+	RecoverCheckpoint(name string, snap *protocol.Snapshot) error
+	RecoverReports(name string, reports []core.Report) error
+	RecoverMerge(name string, snap *protocol.Snapshot) error
+}
+
+// Store is the durable column store over one data directory. It is safe
+// for concurrent use.
+type Store struct {
+	dir    string
+	params core.Params
+	seed   int64
+	opts   Options
+	lock   *os.File // flock held for the store's lifetime
+
+	mu        sync.Mutex
+	closed    bool
+	recovered bool
+	man       manifest
+	logs      map[string]*columnLog
+	stats     Stats
+}
+
+// Open creates or reopens a data directory for the given protocol
+// configuration. A directory written under a different configuration
+// fingerprint (k, m, ε, seed) is refused: its state could neither be
+// replayed nor merged exactly. Call Recover next, then the append side.
+func Open(dir string, p core.Params, seed int64, opts Options) (*Store, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// One process per data directory: without exclusion, two servers
+	// (a supervisor restart overlapping a slow shutdown, say) would
+	// hand out the same column ids and rewrite each other's manifest —
+	// silent cross-column corruption. The flock releases automatically
+	// when the process dies, so a crash never wedges the directory.
+	lock, err := acquireLock(filepath.Join(dir, lockName))
+	if err != nil {
+		return nil, fmt.Errorf("store: data dir %s: %w", dir, err)
+	}
+	st := &Store{
+		dir:    dir,
+		params: p,
+		seed:   seed,
+		opts:   opts.normalized(),
+		lock:   lock,
+		logs:   make(map[string]*columnLog),
+	}
+	fail := func(err error) (*Store, error) {
+		lock.Close()
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		st.man = manifest{
+			Version: manifestVersion,
+			K:       p.K, M: p.M, Epsilon: p.Epsilon, Seed: seed,
+			NextID:  1,
+			Columns: make(map[string]*columnMeta),
+		}
+		if err := st.writeManifest(); err != nil {
+			return fail(err)
+		}
+	case err != nil:
+		return fail(fmt.Errorf("store: reading manifest: %w", err))
+	default:
+		if err := json.Unmarshal(data, &st.man); err != nil {
+			return fail(fmt.Errorf("store: decoding manifest: %w", err))
+		}
+		if st.man.Version != manifestVersion {
+			return fail(fmt.Errorf("store: unsupported manifest version %d", st.man.Version))
+		}
+		if st.man.K != p.K || st.man.M != p.M || st.man.Epsilon != p.Epsilon || st.man.Seed != seed {
+			return fail(fmt.Errorf("store: data dir %s was written under join(k=%d, m=%d, ε=%g, seed=%d), not join(k=%d, m=%d, ε=%g, seed=%d)",
+				dir, st.man.K, st.man.M, st.man.Epsilon, st.man.Seed, p.K, p.M, p.Epsilon, seed))
+		}
+		if st.man.Columns == nil {
+			st.man.Columns = make(map[string]*columnMeta)
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the data directory the store was opened on.
+func (st *Store) Dir() string { return st.dir }
+
+// Stats returns a copy of the durable-work counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// writeManifest persists the manifest atomically. Callers hold st.mu.
+func (st *Store) writeManifest() error {
+	data, err := json.Marshal(&st.man)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(st.dir, manifestName), data, st.opts.NoSync)
+}
+
+// colDir returns the directory of a column id.
+func (st *Store) colDir(id uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("col-%d", id))
+}
+
+// column returns the meta and open log for name, creating both on first
+// use (the manifest write makes the name durable before any record can
+// reference it). Callers must not hold st.mu.
+func (st *Store) column(name string) (*columnMeta, *columnLog, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, nil, ErrClosed
+	}
+	meta, ok := st.man.Columns[name]
+	if !ok {
+		meta = &columnMeta{ID: st.man.NextID}
+		if err := os.MkdirAll(st.colDir(meta.ID), 0o755); err != nil {
+			return nil, nil, err
+		}
+		st.man.NextID++
+		st.man.Columns[name] = meta
+		if err := st.writeManifest(); err != nil {
+			delete(st.man.Columns, name)
+			st.man.NextID--
+			return nil, nil, err
+		}
+	}
+	if meta.Finalized {
+		return meta, nil, ErrColumnFinalized
+	}
+	log, ok := st.logs[name]
+	if !ok {
+		var err error
+		if log, err = openColumnLog(st.colDir(meta.ID), st.opts.SegmentBytes, st.opts.NoSync); err != nil {
+			return nil, nil, err
+		}
+		st.logs[name] = log
+	}
+	return meta, log, nil
+}
+
+// AppendReports makes a request's accepted report batches durable:
+// framed as one or more RecordReports records, appended to the column's
+// WAL, and synced once before returning. Only acknowledge the request
+// after a nil return. Records are framed one at a time into a reused
+// buffer and written as they are built, so the peak extra memory is one
+// record (maxReportsPerRecord reports), not a second copy of the whole
+// request.
+func (st *Store) AppendReports(name string, batches [][]core.Report) error {
+	total := 0
+	for _, batch := range batches {
+		total += len(batch)
+	}
+	if total == 0 {
+		return nil
+	}
+	_, log, err := st.column(name)
+	if err != nil {
+		return err
+	}
+	bi, off := 0, 0 // cursor into batches
+	frame := make([]byte, 0, min(total, maxReportsPerRecord)*protocol.ReportSize+protocol.RecordOverhead)
+	payload := make([]byte, 0, cap(frame)-protocol.RecordOverhead)
+	next := func() []byte {
+		payload = payload[:0]
+		for bi < len(batches) && len(payload) < maxReportsPerRecord*protocol.ReportSize {
+			room := maxReportsPerRecord - len(payload)/protocol.ReportSize
+			batch := batches[bi][off:]
+			n := min(room, len(batch))
+			payload = protocol.AppendReportsPayload(payload, batch[:n])
+			if off += n; off == len(batches[bi]) {
+				bi, off = bi+1, 0
+			}
+		}
+		if len(payload) == 0 {
+			return nil
+		}
+		frame = protocol.AppendRecord(frame[:0], protocol.RecordReports, payload)
+		return frame
+	}
+	written, err := log.appendFunc(next)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.stats.Appends++
+	st.stats.Bytes += written
+	st.mu.Unlock()
+	return nil
+}
+
+// AppendMerge makes an accepted snapshot merge durable. The snapshot is
+// stored in its encoded (CRC-carrying) form; the caller has already
+// validated and fingerprint-checked it, and recovery checks both again.
+func (st *Store) AppendMerge(name string, encoded []byte) error {
+	if len(encoded) > protocol.MaxRecordPayload {
+		return fmt.Errorf("store: snapshot of %d bytes exceeds the %d-byte WAL record bound", len(encoded), protocol.MaxRecordPayload)
+	}
+	_, log, err := st.column(name)
+	if err != nil {
+		return err
+	}
+	written, err := log.append(protocol.AppendRecord(nil, protocol.RecordMerge, encoded))
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.stats.Appends++
+	st.stats.Bytes += written
+	st.mu.Unlock()
+	return nil
+}
+
+// Checkpoint seals the column's log and persists its merged unfinalized
+// state, after which the covered WAL segments are deleted. The snapshot
+// must contain everything ever appended to the column — which is why
+// the service checkpoints only at shutdown, after the ingestion engine
+// has drained. The column accepts no further appends this process
+// lifetime; a reopened store continues it from the checkpoint.
+func (st *Store) Checkpoint(name string, snap *protocol.Snapshot) error {
+	if snap.Finalized {
+		return fmt.Errorf("store: checkpoint of %q with a finalized snapshot; use Finalize", name)
+	}
+	meta, log, err := st.column(name)
+	if err != nil {
+		return err
+	}
+	covered, err := log.seal()
+	if err != nil {
+		return err
+	}
+	if covered == 0 {
+		// The column has no durable state (its first append never
+		// succeeded), so there is nothing to cover — and writing
+		// ckpt-00000000 would collide with removeCovered's keep-none
+		// sentinel.
+		return nil
+	}
+	data, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding checkpoint of %q: %w", name, err)
+	}
+	dir := st.colDir(meta.ID)
+	if err := writeFileAtomic(filepath.Join(dir, ckptName(covered)), data, st.opts.NoSync); err != nil {
+		return err
+	}
+	// The checkpoint is durable at this point; deleting the covered
+	// files is cleanup, never correctness (recovery takes the newest
+	// checkpoint and ignores covered segments), so a failed remove must
+	// not be escalated as a failed checkpoint.
+	_ = removeCovered(dir, covered, covered)
+	st.mu.Lock()
+	st.stats.Checkpoints++
+	st.mu.Unlock()
+	return nil
+}
+
+// Finalize persists a column's terminal state — its finalized SNAP —
+// and retires the WAL and any checkpoint. It also installs finalized
+// state under names with no prior log (snapshot import); in both cases
+// the column durably refuses appends from here on. The write is ordered
+// before the retirement, so a crash in between recovers as finalized
+// with some dead segment files left to delete.
+func (st *Store) Finalize(name string, snap *protocol.Snapshot) error {
+	if !snap.Finalized {
+		return fmt.Errorf("store: finalize of %q with an unfinalized snapshot", name)
+	}
+	meta, log, err := st.column(name)
+	if err != nil {
+		return err
+	}
+	if _, err := log.seal(); err != nil {
+		return err
+	}
+	data, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding finalized sketch of %q: %w", name, err)
+	}
+	dir := st.colDir(meta.ID)
+	if err := writeFileAtomic(filepath.Join(dir, finalName), data, st.opts.NoSync); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	meta.Finalized = true
+	merr := st.writeManifest()
+	st.stats.Finalized++
+	delete(st.logs, name)
+	st.mu.Unlock()
+	// As in Checkpoint: final.snap is durable and wins at recovery, so
+	// failing to delete the retired files is not a failed finalize.
+	_ = removeCovered(dir, ^uint64(0), 0)
+	return merr
+}
+
+// Recover replays the directory's durable state into r. It must be
+// called exactly once, between Open and the first append; the service
+// calls it before serving, so recovered columns exist before any
+// request can reference them.
+func (st *Store) Recover(r Replayer) (RecoveryStats, error) {
+	st.mu.Lock()
+	if st.recovered {
+		st.mu.Unlock()
+		return RecoveryStats{}, errors.New("store: Recover called twice")
+	}
+	st.recovered = true
+	columns := make(map[string]*columnMeta, len(st.man.Columns))
+	for name, meta := range st.man.Columns {
+		columns[name] = meta
+	}
+	st.mu.Unlock()
+
+	var stats RecoveryStats
+	for name, meta := range columns {
+		if err := st.recoverColumn(name, meta, r, &stats); err != nil {
+			return stats, fmt.Errorf("store: recovering column %q: %w", name, err)
+		}
+	}
+	return stats, nil
+}
+
+func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats *RecoveryStats) error {
+	dir := st.colDir(meta.ID)
+
+	// A final.snap is the terminal state and wins outright, even when a
+	// crash between its write and the retirement left segments behind.
+	// The manifest flag is fixed up if the crash hit before its write.
+	if data, err := os.ReadFile(filepath.Join(dir, finalName)); err == nil {
+		snap, err := st.decodeSnapshot(data, true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", finalName, err)
+		}
+		if err := r.RecoverFinalized(name, snap); err != nil {
+			return err
+		}
+		if !meta.Finalized {
+			st.mu.Lock()
+			meta.Finalized = true
+			err := st.writeManifest()
+			st.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		stats.FinalizedColumns++
+		return nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+
+	ckptSeq, haveCkpt, err := latestCheckpoint(dir)
+	if err != nil {
+		return err
+	}
+	if haveCkpt {
+		data, err := os.ReadFile(filepath.Join(dir, ckptName(ckptSeq)))
+		if err != nil {
+			return err
+		}
+		snap, err := st.decodeSnapshot(data, false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ckptName(ckptSeq), err)
+		}
+		if err := r.RecoverCheckpoint(name, snap); err != nil {
+			return err
+		}
+		stats.Checkpoints++
+	}
+	res, err := replaySegments(dir, ckptSeq, st.opts.NoSync, func(typ protocol.RecordType, payload []byte) error {
+		switch typ {
+		case protocol.RecordReports:
+			reports, err := protocol.DecodeReportsPayload(payload, st.params)
+			if err != nil {
+				return err
+			}
+			if err := r.RecoverReports(name, reports); err != nil {
+				return err
+			}
+			stats.Reports += int64(len(reports))
+		case protocol.RecordMerge:
+			snap, err := st.decodeSnapshot(payload, false)
+			if err != nil {
+				return err
+			}
+			if err := r.RecoverMerge(name, snap); err != nil {
+				return err
+			}
+			stats.Merges++
+		}
+		return nil
+	})
+	if res.truncated {
+		stats.TruncatedTails++
+	}
+	if err != nil {
+		return err
+	}
+	stats.Columns++
+	return nil
+}
+
+// decodeSnapshot decodes, validates, and fingerprint-checks one stored
+// SNAP payload.
+func (st *Store) decodeSnapshot(data []byte, wantFinal bool) (*protocol.Snapshot, error) {
+	snap, err := protocol.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.CompatibleWithJoin(st.params, st.seed); err != nil {
+		return nil, err
+	}
+	if snap.Finalized != wantFinal {
+		return nil, fmt.Errorf("snapshot finalized=%v, want %v", snap.Finalized, wantFinal)
+	}
+	return snap, nil
+}
+
+// Close releases open segment files. It does not checkpoint — that is
+// the service's shutdown step, because only the service knows when the
+// ingestion engine has drained. Close is idempotent.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var firstErr error
+	for _, log := range st.logs {
+		if err := log.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := st.lock.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

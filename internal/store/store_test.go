@@ -1,0 +1,401 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/protocol"
+)
+
+var testParams = core.Params{K: 5, M: 64, Epsilon: 4}
+
+const testSeed = 42
+
+// replayLog collects every Replayer callback in order for assertions.
+type replayLog struct {
+	finalized   map[string]*protocol.Snapshot
+	checkpoints map[string]*protocol.Snapshot
+	reports     map[string][]core.Report
+	merges      map[string][]*protocol.Snapshot
+}
+
+func newReplayLog() *replayLog {
+	return &replayLog{
+		finalized:   make(map[string]*protocol.Snapshot),
+		checkpoints: make(map[string]*protocol.Snapshot),
+		reports:     make(map[string][]core.Report),
+		merges:      make(map[string][]*protocol.Snapshot),
+	}
+}
+
+func (r *replayLog) RecoverFinalized(name string, snap *protocol.Snapshot) error {
+	r.finalized[name] = snap
+	return nil
+}
+
+func (r *replayLog) RecoverCheckpoint(name string, snap *protocol.Snapshot) error {
+	r.checkpoints[name] = snap
+	return nil
+}
+
+func (r *replayLog) RecoverReports(name string, reports []core.Report) error {
+	r.reports[name] = append(r.reports[name], reports...)
+	return nil
+}
+
+func (r *replayLog) RecoverMerge(name string, snap *protocol.Snapshot) error {
+	r.merges[name] = append(r.merges[name], snap)
+	return nil
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	st, err := Open(dir, testParams, testSeed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func testReports(seed int64, n int) []core.Report {
+	rng := rand.New(rand.NewSource(seed))
+	fam := testParams.NewFamily(testSeed)
+	out := make([]core.Report, n)
+	for i := range out {
+		out[i] = core.Perturb(rng.Uint64()%100, testParams, fam, rng)
+	}
+	return out
+}
+
+func testSnapshot(t *testing.T, seed int64, n int) *protocol.Snapshot {
+	t.Helper()
+	agg := core.NewAggregator(testParams, testParams.NewFamily(testSeed))
+	for _, r := range testReports(seed, n) {
+		agg.Add(r)
+	}
+	return protocol.SnapshotOfAggregator(agg)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	repA := testReports(1, 300)
+	repB := testReports(2, 100)
+	if err := st.AppendReports("a", [][]core.Report{repA[:120], repA[120:]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReports("b", [][]core.Report{repB}); err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, 3, 50)
+	enc, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendMerge("a", enc); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Appends != 3 || s.Bytes == 0 {
+		t.Fatalf("stats = %+v, want 3 appends and nonzero bytes", s)
+	}
+	st.Close()
+
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	stats, err := st2.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Columns != 2 || stats.Reports != 400 || stats.Merges != 1 || stats.TruncatedTails != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	if len(got.reports["a"]) != 300 || len(got.reports["b"]) != 100 {
+		t.Fatalf("replayed %d/%d reports, want 300/100", len(got.reports["a"]), len(got.reports["b"]))
+	}
+	for i, r := range got.reports["a"] {
+		if r != repA[i] {
+			t.Fatalf("report %d of a: %v, want %v", i, r, repA[i])
+		}
+	}
+	if len(got.merges["a"]) != 1 || got.merges["a"][0].N != snap.N {
+		t.Fatalf("merge replay = %+v", got.merges["a"])
+	}
+}
+
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	rep := testReports(1, 200)
+	if err := st.AppendReports("a", [][]core.Report{rep[:100]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReports("a", [][]core.Report{rep[100:]}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Tear the second record: cut the segment mid-payload, as a crash
+	// between write and sync would.
+	seg := findOne(t, dir, segSuffix)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-37); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	stats, err := st2.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TruncatedTails != 1 || len(got.reports["a"]) != 100 {
+		t.Fatalf("stats = %+v, %d reports; want 1 truncated tail, 100 reports", stats, len(got.reports["a"]))
+	}
+	st2.Close()
+
+	// The tear was cut, so a third recovery sees a clean log.
+	st3 := open(t, dir, Options{})
+	stats, err = st3.Recover(newReplayLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TruncatedTails != 0 || stats.Reports != 100 {
+		t.Fatalf("post-truncation stats = %+v", stats)
+	}
+}
+
+func TestStoreCorruptionMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force every append into its own segment, so damage
+	// in the first one is mid-log, not a torn tail.
+	st := open(t, dir, Options{SegmentBytes: 1})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := st.AppendReports("a", [][]core.Report{testReports(i, 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	segs := findAll(t, dir, segSuffix)
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := open(t, dir, Options{SegmentBytes: 1})
+	if _, err := st2.Recover(newReplayLog()); !errors.Is(err, protocol.ErrBadRecord) {
+		t.Fatalf("mid-log corruption: got %v, want ErrBadRecord", err)
+	}
+}
+
+func TestStoreCheckpointCoversSegments(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	rep := testReports(1, 150)
+	if err := st.AppendReports("a", [][]core.Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint("a", testSnapshot(t, 1, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReports("a", [][]core.Report{rep}); !errors.Is(err, ErrColumnFinalized) {
+		t.Fatalf("append after checkpoint: got %v, want ErrColumnFinalized", err)
+	}
+	if segs := findAll(t, dir, segSuffix); len(segs) != 0 {
+		t.Fatalf("segments not retired by checkpoint: %v", segs)
+	}
+	st.Close()
+
+	// Reopen: the checkpoint restores, then new appends land in fresh
+	// segments replayed on the next recovery.
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	stats, err := st2.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpoints != 1 || stats.Reports != 0 {
+		t.Fatalf("stats = %+v, want one checkpoint and no WAL reports", stats)
+	}
+	if got.checkpoints["a"] == nil || got.checkpoints["a"].N != 150 {
+		t.Fatalf("checkpoint replay = %+v", got.checkpoints["a"])
+	}
+	more := testReports(2, 60)
+	if err := st2.AppendReports("a", [][]core.Report{more}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3 := open(t, dir, Options{})
+	got = newReplayLog()
+	stats, err = st3.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpoints != 1 || stats.Reports != 60 {
+		t.Fatalf("checkpoint+WAL stats = %+v", stats)
+	}
+}
+
+func TestStoreFinalizeRetiresLog(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReports("a", [][]core.Report{testReports(1, 80)}); err != nil {
+		t.Fatal(err)
+	}
+	agg := core.NewAggregator(testParams, testParams.NewFamily(testSeed))
+	for _, r := range testReports(1, 80) {
+		agg.Add(r)
+	}
+	final := protocol.SnapshotOfSketch(agg.Finalize())
+	if err := st.Finalize("a", final); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReports("a", [][]core.Report{testReports(2, 5)}); !errors.Is(err, ErrColumnFinalized) {
+		t.Fatalf("append after finalize: got %v, want ErrColumnFinalized", err)
+	}
+	if segs := findAll(t, dir, segSuffix); len(segs) != 0 {
+		t.Fatalf("segments not retired by finalize: %v", segs)
+	}
+	st.Close()
+
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	stats, err := st2.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalizedColumns != 1 || stats.Columns != 0 {
+		t.Fatalf("stats = %+v, want exactly one finalized column", stats)
+	}
+	snap := got.finalized["a"]
+	if snap == nil || !snap.Finalized || snap.N != 80 {
+		t.Fatalf("finalized replay = %+v", snap)
+	}
+	reenc, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := protocol.EncodeSnapshot(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, want) {
+		t.Fatal("recovered finalized snapshot is not byte-identical")
+	}
+}
+
+func TestStoreSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{SegmentBytes: 256, NoSync: true})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := st.AppendReports("a", [][]core.Report{testReports(i, 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := findAll(t, dir, segSuffix); len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", segs)
+	}
+	st.Close()
+
+	st2 := open(t, dir, Options{})
+	stats, err := st2.Recover(newReplayLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reports != 200 {
+		t.Fatalf("replayed %d reports across segments, want 200", stats.Reports)
+	}
+}
+
+func TestStoreFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	st.Close()
+	other := testParams
+	other.Epsilon = 2
+	if _, err := Open(dir, other, testSeed, Options{}); err == nil || !strings.Contains(err.Error(), "written under") {
+		t.Fatalf("params mismatch: got %v, want fingerprint refusal", err)
+	}
+	if _, err := Open(dir, testParams, testSeed+1, Options{}); err == nil {
+		t.Fatal("seed mismatch was not refused")
+	}
+}
+
+func TestStoreClosedRefusesWork(t *testing.T) {
+	st := open(t, t.TempDir(), Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := st.AppendReports("a", [][]core.Report{testReports(1, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: got %v, want ErrClosed", err)
+	}
+	if err := st.Checkpoint("a", testSnapshot(t, 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: got %v, want ErrClosed", err)
+	}
+}
+
+// findAll returns every file under dir (recursively) with the given
+// suffix, sorted by path.
+func findAll(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, suffix) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func findOne(t *testing.T, dir, suffix string) string {
+	t.Helper()
+	all := findAll(t, dir, suffix)
+	if len(all) != 1 {
+		t.Fatalf("want exactly one %s file, got %v", suffix, all)
+	}
+	return all[0]
+}
