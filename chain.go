@@ -36,7 +36,7 @@ func NewChainProtocol(cfg Config, attrs int) (*ChainProtocol, error) {
 	endP := cfg.params()
 	fams := make([]*hashing.Family, attrs)
 	for i := range fams {
-		fams[i] = hashing.NewFamily(cfg.Seed+int64(i)*0x9e37, cfg.K, cfg.M)
+		fams[i] = hashing.NewFamily(hashing.AttributeSeed(cfg.Seed, i), cfg.K, cfg.M)
 	}
 	return &ChainProtocol{
 		cfg:   cfg,

@@ -2,10 +2,18 @@
 // logical aggregation server: it pulls a SNAP snapshot of each named
 // column from every collector, merges the unfinalized (exact integer)
 // state per column, finalizes the merged aggregators locally, and
-// answers a join-size query over the merged sketches. Because sketches
+// answers join-size queries over the merged sketches. Because sketches
 // are linear, the result is byte-identical to what a single collector
 // ingesting every report would have produced — federation costs no
 // accuracy and no privacy.
+//
+// Columns are kind-polymorphic, mirroring the service: a pulled
+// snapshot may carry join (single-attribute) or matrix (middle-table)
+// state, identified by its seed fingerprint against the shared
+// attribute-family derivation. With -path A,AB,BC,C the federator also
+// answers a chain (multi-way) join over the merged sketches, validating
+// that the named columns compose — join ends, matrix middles, adjacent
+// attribute slots — exactly like the service's query planner.
 package main
 
 import (
@@ -22,6 +30,29 @@ import (
 	"ldpjoin/internal/protocol"
 )
 
+// fedColumn is one column's merged state across the collectors.
+type fedColumn struct {
+	kind      protocol.Kind
+	attr      int
+	join      *core.Aggregator
+	matrix    *core.MatrixAggregator
+	finJoin   *core.Sketch
+	finMatrix *core.MatrixSketch
+}
+
+func (c *fedColumn) n() float64 {
+	if c.kind == protocol.KindMatrix {
+		if c.finMatrix != nil {
+			return c.finMatrix.N()
+		}
+		return c.matrix.N()
+	}
+	if c.finJoin != nil {
+		return c.finJoin.N()
+	}
+	return c.join.N()
+}
+
 func runFederate(args []string) {
 	fs := flag.NewFlagSet("federate", flag.ExitOnError)
 	fs.Usage = func() {
@@ -29,8 +60,10 @@ func runFederate(args []string) {
 
 Pull column snapshots from ldpjoind collectors, merge them exactly, and
 estimate the join size of the first two columns (or the -join pair).
-The protocol configuration (-k, -m, -eps, -seed) must match the
-collectors'.
+With -path A,AB,BC,C the named chain is pulled, merged, validated (join
+ends, matrix middles, adjacent attribute slots), and estimated as a
+multi-way join. The protocol configuration (-k, -m, -eps, -seed,
+-attrs) must match the collectors'.
 
 `)
 		fs.PrintDefaults()
@@ -38,84 +71,184 @@ collectors'.
 	peersFlag := fs.String("peers", "", "comma-separated base URLs of ldpjoind collectors (e.g. http://a:8080,http://b:8080)")
 	columnsFlag := fs.String("columns", "", "comma-separated column names to pull and merge")
 	joinFlag := fs.String("join", "", "left,right column pair to estimate (default: the first two columns)")
+	pathFlag := fs.String("path", "", "chain A,AB,BC,C to estimate as a multi-way join (its columns are pulled automatically)")
 	k := fs.Int("k", 18, "sketch depth (rows)")
 	m := fs.Int("m", 1024, "sketch width (columns, power of two)")
 	eps := fs.Float64("eps", 4, "privacy budget epsilon")
 	seed := fs.Int64("seed", 1, "public hash seed (shared with clients and collectors)")
+	attrs := fs.Int("attrs", 4, "join-attribute hash families derived from the seed (must cover every pulled column's slot)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	_ = fs.Parse(args)
 
 	peers := splitNonEmpty(*peersFlag)
 	columns := splitNonEmpty(*columnsFlag)
+	path := splitNonEmpty(*pathFlag)
+	// The chain's columns are pulled alongside the explicit ones.
+	seen := make(map[string]bool, len(columns)+len(path))
+	for _, c := range columns {
+		seen[c] = true
+	}
+	for _, c := range path {
+		if !seen[c] {
+			columns = append(columns, c)
+			seen[c] = true
+		}
+	}
 	if len(peers) == 0 || len(columns) == 0 {
 		fs.Usage()
-		fatal(fmt.Errorf("federate needs -peers and -columns"))
+		fatal(fmt.Errorf("federate needs -peers and -columns (or -path)"))
 	}
-	left, right := columns[0], ""
-	if len(columns) > 1 {
-		right = columns[1]
+	if len(path) > 0 && len(path) < 3 {
+		fatal(fmt.Errorf("-path needs at least 3 columns (join end, matrix middle(s), join end), got %d", len(path)))
 	}
+	left, right := "", ""
 	if *joinFlag != "" {
 		pair := splitNonEmpty(*joinFlag)
 		if len(pair) != 2 {
 			fatal(fmt.Errorf("-join wants exactly left,right, got %q", *joinFlag))
 		}
 		left, right = pair[0], pair[1]
+	} else if len(path) == 0 && len(columns) > 1 {
+		left, right = columns[0], columns[1]
 	}
 
 	params := core.Params{K: *k, M: *m, Epsilon: *eps}
 	if err := params.Validate(); err != nil {
 		fatal(err)
 	}
-	fam := params.NewFamily(*seed)
+	if *attrs < 2 {
+		fatal(fmt.Errorf("-attrs must be at least 2, got %d", *attrs))
+	}
+	mp := core.MatrixParams{K: *k, M1: *m, M2: *m, Epsilon: *eps}
+	fams := make([]*hashing.Family, *attrs)
+	for i := range fams {
+		fams[i] = hashing.NewFamily(hashing.AttributeSeed(*seed, i), *k, *m)
+	}
 	client := &http.Client{Timeout: *timeout}
 
-	sketches := make(map[string]*core.Sketch, len(columns))
+	merged := make(map[string]*fedColumn, len(columns))
 	for _, col := range columns {
-		var merged *core.Aggregator
+		var fed *fedColumn
 		for _, peer := range peers {
-			agg, err := pullSnapshot(client, peer, col, params, fam)
+			snap, err := fetchSnapshot(client, peer, col,
+				int64(protocol.SnapshotEncodedSize(params)), int64(protocol.SnapshotEncodedSizeMatrix(mp)))
 			if err != nil {
 				fatal(fmt.Errorf("pulling %q from %s: %w", col, peer, err))
 			}
-			if merged == nil {
-				merged = agg
-			} else {
-				merged.Merge(agg)
+			kind, attr, err := snap.Slot(params, mp, fams)
+			if err != nil {
+				fatal(fmt.Errorf("pulling %q from %s: %w", col, peer, err))
 			}
-			fmt.Printf("pulled %-12s from %-28s %10.0f reports (merged total %.0f)\n",
-				col, peer, agg.N(), merged.N())
+			if fed == nil {
+				fed = &fedColumn{kind: kind, attr: attr}
+			} else if fed.kind != kind || fed.attr != attr {
+				fatal(fmt.Errorf("column %q: %s reports %v state of attribute %d, earlier peers %v of attribute %d",
+					col, peer, kind, attr, fed.kind, fed.attr))
+			}
+			if kind == protocol.KindMatrix {
+				agg, err := snap.MatrixAggregator()
+				if err != nil {
+					fatal(fmt.Errorf("restoring %q from %s: %w", col, peer, err))
+				}
+				if fed.matrix == nil {
+					fed.matrix = agg
+				} else {
+					fed.matrix.Merge(agg)
+				}
+			} else {
+				agg, err := snap.Aggregator()
+				if err != nil {
+					fatal(fmt.Errorf("restoring %q from %s: %w", col, peer, err))
+				}
+				if fed.join == nil {
+					fed.join = agg
+				} else {
+					fed.join.Merge(agg)
+				}
+			}
+			fmt.Printf("pulled %-12s from %-28s %10.0f reports (%v, attr %d, merged total %.0f)\n",
+				col, peer, snap.N, kind, attr, fed.n())
 		}
-		sketches[col] = merged.Finalize()
+		if fed.kind == protocol.KindMatrix {
+			fed.finMatrix = fed.matrix.Finalize()
+		} else {
+			fed.finJoin = fed.join.Finalize()
+		}
+		merged[col] = fed
 	}
 
 	fmt.Println()
 	for _, col := range columns {
-		fmt.Printf("column %-12s merged sketch over %.0f reports\n", col, sketches[col].N())
+		fed := merged[col]
+		fmt.Printf("column %-12s merged %v sketch (attr %d) over %.0f reports\n", col, fed.kind, fed.attr, fed.n())
 	}
-	if right == "" {
-		fmt.Println("single column pulled; pass two columns (or -join) for a join estimate")
-		return
+
+	if right != "" {
+		skL, skR := merged[left], merged[right]
+		if skL == nil || skR == nil {
+			fatal(fmt.Errorf("-join pair %s,%s must be among the pulled columns", left, right))
+		}
+		if skL.kind != protocol.KindJoin || skR.kind != protocol.KindJoin {
+			fatal(fmt.Errorf("pairwise join needs two join columns (%s is %v, %s is %v); use -path for chains",
+				left, skL.kind, right, skR.kind))
+		}
+		fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g\n", left, right, skL.finJoin.JoinSize(skR.finJoin))
 	}
-	skL, okL := sketches[left]
-	skR, okR := sketches[right]
-	if !okL || !okR {
-		fatal(fmt.Errorf("-join pair %s,%s must be among -columns", left, right))
+
+	if len(path) > 0 {
+		est, err := chainEstimate(path, merged)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nestimated |%s| over the federation: %.6g\n", strings.Join(path, " ⋈ "), est)
 	}
-	fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g\n", left, right, skL.JoinSize(skR))
+
+	if right == "" && len(path) == 0 {
+		fmt.Println("single column pulled; pass two columns (or -join / -path) for a join estimate")
+	}
+}
+
+// chainEstimate validates the chain's composition with the same shared
+// rules the service's GET /v1/join?path= planner uses
+// (protocol.ValidateChain), then composes the §VI estimator over the
+// merged, finalized sketches.
+func chainEstimate(path []string, merged map[string]*fedColumn) (float64, error) {
+	cols := make([]*fedColumn, len(path))
+	chain := make([]protocol.ChainColumn, len(path))
+	for i, name := range path {
+		col := merged[name]
+		if col == nil {
+			return 0, fmt.Errorf("chain column %q was not pulled", name)
+		}
+		cols[i] = col
+		chain[i] = protocol.ChainColumn{Name: name, Kind: col.kind, Attr: col.attr}
+	}
+	if err := protocol.ValidateChain(chain); err != nil {
+		return 0, err
+	}
+	last := len(cols) - 1
+	mids := make([]*core.MatrixSketch, 0, len(cols)-2)
+	for _, col := range cols[1:last] {
+		mids = append(mids, col.finMatrix)
+	}
+	return core.ChainEstimate(cols[0].finJoin, mids, cols[last].finJoin), nil
 }
 
 // errBodyLimit caps how much of a non-200 response body is read into an
 // error message.
 const errBodyLimit = 4 << 10
 
-// pullSnapshot fetches one column's snapshot from one collector and
-// restores it as a mergeable aggregator bound to the shared hash
-// family, verifying integrity and the configuration fingerprint.
-// Finalized snapshots are refused: merging them cannot be exact, and a
-// federated collector should stay unfinalized until the federator has
-// pulled everything.
-func pullSnapshot(client *http.Client, peer, column string, params core.Params, fam *hashing.Family) (*core.Aggregator, error) {
+// fetchSnapshot fetches one column's snapshot bytes from one collector
+// and decodes them, verifying integrity. The response is read in two
+// stages — header first, then a body bounded by the size the header's
+// declared kind justifies (join snapshots are ~1000× smaller than
+// matrix ones at equal parameters), the same discipline the service's
+// merge handler applies — so a misbehaving peer cannot make the
+// federator buffer a matrix-sized blob for a join column. Finalized
+// snapshots are refused: merging them cannot be exact, and a federated
+// collector should stay unfinalized until the federator has pulled
+// everything.
+func fetchSnapshot(client *http.Client, peer, column string, joinLimit, matrixLimit int64) (*protocol.Snapshot, error) {
 	u := strings.TrimSuffix(peer, "/") + "/v1/columns/" + url.PathEscape(column) + "/snapshot"
 	resp, err := client.Get(u)
 	if err != nil {
@@ -129,25 +262,34 @@ func pullSnapshot(client *http.Client, peer, column string, params core.Params, 
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
 		return nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
 	}
-	limit := int64(protocol.SnapshotEncodedSize(params))
-	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	header := make([]byte, protocol.SnapshotHeaderSize)
+	if _, err := io.ReadFull(resp.Body, header); err != nil {
+		return nil, fmt.Errorf("%s: reading snapshot header: %w", u, err)
+	}
+	kind, err := protocol.PeekSnapshotKind(header)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", u, err)
+	}
+	limit := joinLimit
+	if kind == protocol.SnapshotMatrix {
+		limit = matrixLimit
+	}
+	rest, err := io.ReadAll(io.LimitReader(resp.Body, limit-int64(len(header))+1))
 	if err != nil {
 		return nil, err
 	}
+	data := append(header, rest...)
 	if int64(len(data)) > limit {
-		return nil, fmt.Errorf("%s: snapshot exceeds %d bytes for this configuration", u, limit)
+		return nil, fmt.Errorf("%s: snapshot exceeds %d bytes for its kind under this configuration", u, limit)
 	}
 	snap, err := protocol.DecodeSnapshot(data)
 	if err != nil {
 		return nil, err
 	}
-	if err := snap.CompatibleWithJoin(params, fam.Seed()); err != nil {
-		return nil, err
-	}
 	if snap.Finalized {
 		return nil, fmt.Errorf("%s: column is finalized; federation merges unfinalized snapshots — pull before finalizing the collectors", u)
 	}
-	return core.RestoreAggregator(params, fam, snap.Cells, snap.N)
+	return snap, nil
 }
 
 func splitNonEmpty(s string) []string {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/protocol"
 	"ldpjoin/internal/service"
 )
@@ -51,6 +53,30 @@ func startCollector(t *testing.T, p core.Params, seed int64, column string, clie
 	return ts
 }
 
+// pullJoinAggregator is the test-side composition of the federate pull
+// path: fetch, slot-resolve against the derived families, restore.
+func pullJoinAggregator(t *testing.T, client *http.Client, peer, column string, p core.Params, seed int64, attrs int) (*core.Aggregator, error) {
+	t.Helper()
+	mp := core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon}
+	fams := make([]*hashing.Family, attrs)
+	for i := range fams {
+		fams[i] = hashing.NewFamily(hashing.AttributeSeed(seed, i), p.K, p.M)
+	}
+	snap, err := fetchSnapshot(client, peer, column,
+		int64(protocol.SnapshotEncodedSize(p)), int64(protocol.SnapshotEncodedSizeMatrix(mp)))
+	if err != nil {
+		return nil, err
+	}
+	kind, _, err := snap.Slot(p, mp, fams)
+	if err != nil {
+		return nil, err
+	}
+	if kind != protocol.KindJoin {
+		return nil, fmt.Errorf("expected a join snapshot, got %v", kind)
+	}
+	return snap.Aggregator()
+}
+
 // TestPullSnapshotMergesExactly drives the federate pull path against
 // two live collectors and checks the merged, finalized sketch equals a
 // direct fold of the union stream.
@@ -71,11 +97,11 @@ func TestPullSnapshotMergesExactly(t *testing.T) {
 	tsB := startCollector(t, p, seed, "users", 502, dataB)
 
 	client := &http.Client{}
-	aggA, err := pullSnapshot(client, tsA.URL, "users", p, fam)
+	aggA, err := pullJoinAggregator(t, client, tsA.URL, "users", p, seed, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aggB, err := pullSnapshot(client, tsB.URL, "users", p, fam)
+	aggB, err := pullJoinAggregator(t, client, tsB.URL, "users", p, seed, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,15 +132,16 @@ func TestPullSnapshotMergesExactly(t *testing.T) {
 		t.Fatal("federated pull+merge differs from direct union fold")
 	}
 
-	// A collector with a different seed is refused by the fingerprint
-	// check, not silently merged.
-	tsC := startCollector(t, p, seed+1, "users", 503, dataA[:100])
-	if _, err := pullSnapshot(client, tsC.URL, "users", p, fam); err == nil {
+	// A collector with a different seed matches no attribute slot and is
+	// refused, not silently merged. (seed+1 is far from any
+	// AttributeSeed derivation of the federator's seed.)
+	tsC := startCollector(t, p, seed+10_000, "users", 503, dataA[:100])
+	if _, err := pullJoinAggregator(t, client, tsC.URL, "users", p, seed, 4); err == nil {
 		t.Fatal("cross-seed collector snapshot accepted")
 	}
 
 	// Unknown columns surface the collector's error.
-	if _, err := pullSnapshot(client, tsA.URL, "nope", p, fam); err == nil {
+	if _, err := pullJoinAggregator(t, client, tsA.URL, "nope", p, seed, 4); err == nil {
 		t.Fatal("missing column did not error")
 	}
 }
@@ -125,7 +152,6 @@ func TestPullSnapshotMergesExactly(t *testing.T) {
 // beyond the error cap must not be buffered without bound.
 func TestPullSnapshotErrorBodyNotTruncated(t *testing.T) {
 	p := core.Params{K: 2, M: 8, Epsilon: 4}
-	fam := p.NewFamily(1)
 	snapSize := protocol.SnapshotEncodedSize(p)
 	long := bytes.Repeat([]byte{'x'}, snapSize+50)
 	long = append(long, []byte("END-OF-ERROR")...)
@@ -135,7 +161,7 @@ func TestPullSnapshotErrorBodyNotTruncated(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 
-	_, err := pullSnapshot(&http.Client{}, ts.URL, "users", p, fam)
+	_, err := fetchSnapshot(&http.Client{}, ts.URL, "users", int64(snapSize), int64(snapSize))
 	if err == nil {
 		t.Fatal("non-200 response did not error")
 	}
@@ -151,7 +177,7 @@ func TestPullSnapshotErrorBodyNotTruncated(t *testing.T) {
 		w.Write(bytes.Repeat([]byte{'y'}, errBodyLimit+1000))
 	}))
 	t.Cleanup(huge.Close)
-	_, err = pullSnapshot(&http.Client{}, huge.URL, "users", p, fam)
+	_, err = fetchSnapshot(&http.Client{}, huge.URL, "users", int64(snapSize), int64(snapSize))
 	if err == nil {
 		t.Fatal("non-200 response did not error")
 	}

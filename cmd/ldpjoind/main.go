@@ -1,10 +1,14 @@
 // Command ldpjoind runs the LDP aggregation server over HTTP.
 //
-// Client gateways POST perturbed report streams into named columns; the
-// sharded ingestion engine folds them concurrently, and once a column is
-// finalized the server answers join-size and frequency queries (memoized
-// per column pair) and exports sketches. See internal/service for the
-// API and internal/ingest for the engine.
+// Client gateways POST perturbed report streams into named columns —
+// KindJoin streams into single-attribute join columns, KindMatrix
+// streams into middle-table matrix columns — and the sharded ingestion
+// engine folds them concurrently. Once columns are finalized the server
+// answers pairwise join queries (GET /v1/join?left=A&right=B), chain
+// (multi-way) join queries across adjacent attribute slots
+// (GET /v1/join?path=A,AB,BC,C), and frequency queries, all memoized in
+// a bounded query cache. See internal/service for the API and
+// internal/ingest for the engine.
 //
 // With -data set the server is durable: accepted reports and merges are
 // write-ahead logged (fsynced before the request is acknowledged),
@@ -45,10 +49,13 @@ func main() {
 	m := flag.Int("m", 1024, "sketch width (columns, power of two)")
 	eps := flag.Float64("eps", 4, "privacy budget epsilon")
 	seed := flag.Int64("seed", 1, "public hash seed (shared with clients)")
-	shards := flag.Int("shards", 0, "aggregation shards per column (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "aggregation shards per join column (0 = GOMAXPROCS)")
+	matrixShards := flag.Int("matrix-shards", 0, "aggregation shards per matrix column — each costs K*M*M cells of memory (0 = 1)")
 	workers := flag.Int("workers", 0, "fold worker goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "ingestion queue depth in batches (0 = 4x workers)")
 	maxReports := flag.Int("max-reports", 0, "max reports per request body (0 = default; <0 = unlimited, removes the per-request memory bound)")
+	attrs := flag.Int("attrs", 0, "join-attribute hash families derived from the seed; a chain over n attributes needs n (0 = default)")
+	queryCache := flag.Int("query-cache", 0, "max memoized query results (0 = default; <0 disables memoization)")
 	data := flag.String("data", "", "data directory for WAL + checkpoint durability (empty = in-memory only)")
 	segBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default)")
 	noSync := flag.Bool("wal-no-sync", false, "skip fsyncs (faster; survives process crashes, not power loss)")
@@ -56,10 +63,12 @@ func main() {
 	flag.Parse()
 
 	srv, err := service.NewWithOptions(core.Params{K: *k, M: *m, Epsilon: *eps}, *seed, service.Options{
-		Ingest:           ingest.Options{Shards: *shards, Workers: *workers, Queue: *queue},
-		MaxStreamReports: *maxReports,
-		DataDir:          *data,
-		Store:            store.Options{SegmentBytes: *segBytes, NoSync: *noSync},
+		Ingest:            ingest.Options{Shards: *shards, Workers: *workers, Queue: *queue, MatrixShards: *matrixShards},
+		MaxStreamReports:  *maxReports,
+		Attributes:        *attrs,
+		QueryCacheEntries: *queryCache,
+		DataDir:           *data,
+		Store:             store.Options{SegmentBytes: *segBytes, NoSync: *noSync},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,16 +5,34 @@
 // table the two-dimensional Hadamard encoding, so each tuple still costs
 // one perturbed bit.
 //
+// The example runs the estimate twice. First in-process through the
+// ChainProtocol facade, then end-to-end over HTTP: an aggregation
+// server is started, each client perturbs its own value locally and the
+// reports stream to named columns — T1 on attribute 0, the middle table
+// T2 as a KindMatrix stream spanning attributes (0, 1), T3 on attribute
+// 1 — and GET /v1/join?path=T1,T2,T3 runs the server's chain planner
+// over the finalized sketches.
+//
 // Run with: go run ./examples/multiway
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
+	"net"
+	"net/http"
 
 	"ldpjoin"
+	"ldpjoin/internal/core"
 	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/join"
+	"ldpjoin/internal/protocol"
+	"ldpjoin/internal/service"
 )
 
 func main() {
@@ -50,8 +68,137 @@ func main() {
 	}
 	fmt.Printf("3-way chain:     T1(A) ⋈ T2(A,B) ⋈ T3(B), %d rows per table\n", n)
 	fmt.Printf("exact size:      %.6g\n", truth)
-	fmt.Printf("LDP estimate:    %.6g\n", est)
+	fmt.Printf("LDP estimate:    %.6g (in-process)\n", est)
 	fmt.Printf("relative error:  %.2f%%\n", 100*abs(est-truth)/truth)
+
+	httpEst, err := overHTTP(cfg, t1, t2a, t2b, t3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LDP estimate:    %.6g (over HTTP: KindMatrix ingest + /v1/join?path=T1,T2,T3)\n", httpEst)
+	fmt.Printf("relative error:  %.2f%%\n", 100*abs(httpEst-truth)/truth)
+}
+
+// overHTTP runs the same estimate against a live aggregation server:
+// client-side perturbation, wire-format report streams, the server's
+// polymorphic columns, and its chain-join planner.
+func overHTTP(cfg ldpjoin.Config, t1, t2a, t2b, t3 []uint64) (float64, error) {
+	p := core.Params{K: cfg.K, M: cfg.M, Epsilon: cfg.Epsilon}
+	srv, err := service.New(p, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The attribute families every participant derives from the shared
+	// seed: A is attribute 0, B attribute 1.
+	famA := hashing.NewFamily(hashing.AttributeSeed(cfg.Seed, 0), cfg.K, cfg.M)
+	famB := hashing.NewFamily(hashing.AttributeSeed(cfg.Seed, 1), cfg.K, cfg.M)
+	mp := core.MatrixParams{K: cfg.K, M1: cfg.M, M2: cfg.M, Epsilon: cfg.Epsilon}
+
+	// T1(A): a KindJoin stream on attribute 0.
+	var buf bytes.Buffer
+	w, err := protocol.NewReportWriter(&buf, p)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(51))
+	for _, v := range t1 {
+		if err := w.Write(core.Perturb(v, p, famA, rng)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := post(base+"/v1/columns/T1/reports", &buf); err != nil {
+		return 0, err
+	}
+
+	// T2(A,B): a KindMatrix stream spanning attributes (0, 1).
+	mw, err := protocol.NewMatrixReportWriter(&buf, mp)
+	if err != nil {
+		return 0, err
+	}
+	rng = rand.New(rand.NewSource(52))
+	for i := range t2a {
+		if err := mw.Write(core.PerturbTuple(t2a[i], t2b[i], mp, famA, famB, rng)); err != nil {
+			return 0, err
+		}
+	}
+	if err := mw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := post(base+"/v1/columns/T2/reports?attr=0", &buf); err != nil {
+		return 0, err
+	}
+
+	// T3(B): a KindJoin stream on attribute 1.
+	w, err = protocol.NewReportWriter(&buf, p)
+	if err != nil {
+		return 0, err
+	}
+	rng = rand.New(rand.NewSource(53))
+	for _, v := range t3 {
+		if err := w.Write(core.Perturb(v, p, famB, rng)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := post(base+"/v1/columns/T3/reports?attr=1", &buf); err != nil {
+		return 0, err
+	}
+
+	for _, col := range []string{"T1", "T2", "T3"} {
+		if err := post(base+"/v1/columns/"+col+"/finalize", nil); err != nil {
+			return 0, err
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/join?path=T1,T2,T3")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Estimate float64 `json:"estimate"`
+		Error    string  `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("chain query: %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.Estimate, nil
+}
+
+func post(url string, body *bytes.Buffer) error {
+	var rd io.Reader
+	if body != nil {
+		rd = body
+	}
+	resp, err := http.Post(url, "application/octet-stream", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("POST %s: %d: %s", url, resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }
 
 func abs(x float64) float64 {

@@ -128,6 +128,17 @@ func (p Pair) Sign(d uint64) int {
 // M returns the bucket range.
 func (p Pair) M() int { return int(p.m) }
 
+// AttributeSeed derives the hash-family seed of join attribute attr from
+// a deployment's base seed. Every participant of a multi-way join — the
+// chain-protocol facade, the aggregation service, the federator — uses
+// this one derivation, so a sketch built for attribute i on any of them
+// is combinable with one built for attribute i on any other. Attribute 0
+// is the base seed itself, which keeps single-attribute deployments (and
+// their persisted state) valid as attribute-0 state of a chain.
+func AttributeSeed(seed int64, attr int) int64 {
+	return seed + int64(attr)*0x9e37
+}
+
 // Family is the ordered collection of k (h_j, ξ_j) pairs shared by the two
 // endpoints of a join: sketches can only be combined when built from the
 // same Family, exactly as the paper requires the same hash functions on

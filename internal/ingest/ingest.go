@@ -69,6 +69,15 @@ type Options struct {
 	// Workers is the number of fold goroutines. It never affects results,
 	// only throughput. <= 0 selects GOMAXPROCS.
 	Workers int
+	// MatrixShards is the number of per-column partial aggregators a
+	// matrix column keeps. Matrix state is K·M1·M2 cells *per shard*, so
+	// the default is 1: batches folding into one matrix column serialize
+	// on its mutex, while distinct columns still fold concurrently on
+	// the worker pool (the same trade CollectMatrix makes). Raise it
+	// only when a single hot matrix column is the ingest bottleneck and
+	// the memory multiplier is acceptable; results never depend on it.
+	// <= 0 selects 1.
+	MatrixShards int
 	// Queue bounds the task queue (in batches); producers block when it
 	// is full. <= 0 selects 4×Workers.
 	Queue int
@@ -80,6 +89,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MatrixShards <= 0 {
+		o.MatrixShards = 1
 	}
 	if o.Queue <= 0 {
 		o.Queue = 4 * o.Workers
@@ -212,11 +224,24 @@ type shard struct {
 	agg *core.Aggregator
 }
 
-// NewColumn creates an empty column on the engine.
+// NewColumn creates an empty column on the engine, aggregating under the
+// engine's own hash family (join attribute 0 of a chain deployment).
 func (e *Engine) NewColumn() *Column {
+	return e.NewColumnWithFamily(e.fam)
+}
+
+// NewColumnWithFamily creates an empty column aggregating under fam
+// instead of the engine's family — the scalar end column of a chain
+// whose join attribute is not attribute 0. The family must share the
+// engine's dimensions (the sketch shape, queue, and worker pool are all
+// per-engine; only the hash functions differ per attribute).
+func (e *Engine) NewColumnWithFamily(fam *hashing.Family) *Column {
+	if fam.K() != e.params.K || fam.M() != e.params.M {
+		panic("ingest: column family does not match engine params")
+	}
 	c := &Column{eng: e, shards: make([]*shard, e.opts.Shards)}
 	for i := range c.shards {
-		c.shards[i] = &shard{agg: core.NewAggregator(e.params, e.fam)}
+		c.shards[i] = &shard{agg: core.NewAggregator(e.params, fam)}
 	}
 	return c
 }
@@ -379,7 +404,9 @@ func (c *Column) State() (*core.Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
-	total := core.NewAggregator(c.eng.params, c.eng.fam)
+	// Use shard 0's family, not the engine's: a NewColumnWithFamily
+	// column aggregates under its own attribute family.
+	total := core.NewAggregator(c.eng.params, c.shards[0].agg.Family())
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		total.Merge(sh.agg)

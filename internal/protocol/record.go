@@ -1,8 +1,9 @@
 // WAL record framing: the on-disk unit of the durable column store
 // (internal/store). A write-ahead log is a sequence of self-delimiting,
 // integrity-checked records; each record carries one durable event of a
-// collecting column — a batch of accepted reports in the wire format
-// above, or a SNAP snapshot folded in from another collector.
+// collecting column — a batch of accepted join or matrix reports in the
+// wire formats above, or a SNAP snapshot folded in from another
+// collector.
 //
 //	record (all integers big-endian):
 //	  length u32 (payload bytes) | type u8 | payload | crc32 (IEEE) u32
@@ -38,16 +39,24 @@ const (
 	// reports (7 bytes each, see AppendReport) back to back.
 	RecordReports RecordType = 1
 	// RecordMerge carries one SNAP-encoded unfinalized snapshot that was
-	// merged into the column (POST /merge).
+	// merged into the column (POST /merge). The snapshot's own kind byte
+	// says whether it is join or matrix state.
 	RecordMerge RecordType = 2
+	// RecordMatrixReports carries accepted matrix (middle-table) reports:
+	// length/11 wire-format reports (11 bytes each, see
+	// AppendMatrixReport) back to back.
+	RecordMatrixReports RecordType = 3
 )
 
 // MaxRecordPayload bounds a record's payload. It exists so a torn or
 // hostile length field cannot make a replayer allocate gigabytes before
 // the checksum has had a chance to reject the record; writers split
 // larger events across records (report batches split trivially) or
-// refuse them (a snapshot above the bound has no valid split).
-const MaxRecordPayload = 1 << 26 // 64 MiB
+// refuse them (a snapshot above the bound has no valid split). The
+// bound must admit one whole matrix snapshot — the largest unsplittable
+// event — at realistic parameters: the default deployment (k=18,
+// m=1024) encodes to ~151 MiB, hence 256 MiB.
+const MaxRecordPayload = 1 << 28 // 256 MiB
 
 // recordHeaderSize is length u32 + type u8.
 const recordHeaderSize = 5
@@ -97,7 +106,7 @@ func ReadRecord(r io.Reader) (RecordType, []byte, error) {
 	if length > MaxRecordPayload {
 		return 0, nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadRecord, length, MaxRecordPayload)
 	}
-	if typ != RecordReports && typ != RecordMerge {
+	if typ != RecordReports && typ != RecordMerge && typ != RecordMatrixReports {
 		return 0, nil, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, typ)
 	}
 	rest := make([]byte, int(length)+recordTrailerSize)
@@ -140,6 +149,38 @@ func DecodeReportsPayload(payload []byte, expect core.Params) ([]core.Report, er
 		if int(rep.Row) >= expect.K || int(rep.Col) >= expect.M {
 			return nil, fmt.Errorf("%w: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
 				ErrBadRecord, len(reports), rep.Row, rep.Col, expect.K, expect.M)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// AppendMatrixReportsPayload encodes a batch of matrix reports as a
+// RecordMatrixReports payload: the same 11-byte wire encoding the
+// KindMatrix report streams use.
+func AppendMatrixReportsPayload(buf []byte, reports []core.MatrixReport) []byte {
+	for _, r := range reports {
+		buf = AppendMatrixReport(buf, r)
+	}
+	return buf
+}
+
+// DecodeMatrixReportsPayload decodes a RecordMatrixReports payload,
+// bounds-checking every report against the expected matrix parameters
+// exactly like the stream decoder.
+func DecodeMatrixReportsPayload(payload []byte, expect core.MatrixParams) ([]core.MatrixReport, error) {
+	if len(payload)%MatrixReportSize != 0 {
+		return nil, fmt.Errorf("%w: matrix reports payload of %d bytes is not a multiple of %d", ErrBadRecord, len(payload), MatrixReportSize)
+	}
+	reports := make([]core.MatrixReport, 0, len(payload)/MatrixReportSize)
+	for off := 0; off < len(payload); off += MatrixReportSize {
+		rep, err := DecodeMatrixReport(payload[off : off+MatrixReportSize])
+		if err != nil {
+			return nil, fmt.Errorf("%w: matrix report %d: %v", ErrBadRecord, len(reports), err)
+		}
+		if int(rep.Row) >= expect.K || int(rep.L1) >= expect.M1 || int(rep.L2) >= expect.M2 {
+			return nil, fmt.Errorf("%w: matrix report %d indices (%d,%d,%d) out of sketch bounds (%d,%d,%d)",
+				ErrBadRecord, len(reports), rep.Row, rep.L1, rep.L2, expect.K, expect.M1, expect.M2)
 		}
 		reports = append(reports, rep)
 	}

@@ -17,6 +17,10 @@ func testRecords() [][2]any {
 			{Y: 1, Row: 8, Col: 42},
 		})},
 		{RecordMerge, []byte("not a real snapshot, framing does not care")},
+		{RecordMatrixReports, AppendMatrixReportsPayload(nil, []core.MatrixReport{
+			{Y: 1, Row: 0, L1: 0, L2: 0},
+			{Y: -1, Row: 7, L1: 63, L2: 12},
+		})},
 		{RecordReports, []byte{}},
 	}
 }
@@ -149,6 +153,63 @@ func TestDecodeReportsPayload(t *testing.T) {
 	if _, err := DecodeReportsPayload(oob, p); !errors.Is(err, ErrBadRecord) {
 		t.Fatalf("out-of-bounds report: got %v, want ErrBadRecord", err)
 	}
+}
+
+func TestDecodeMatrixReportsPayload(t *testing.T) {
+	p := core.MatrixParams{K: 8, M1: 64, M2: 32, Epsilon: 4}
+	in := []core.MatrixReport{{Y: 1, Row: 7, L1: 63, L2: 31}, {Y: -1, Row: 0, L1: 0, L2: 0}}
+	out, err := DecodeMatrixReportsPayload(AppendMatrixReportsPayload(nil, in), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %v vs %v", out, in)
+	}
+	if _, err := DecodeMatrixReportsPayload([]byte{1, 2, 3}, p); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("ragged payload: got %v, want ErrBadRecord", err)
+	}
+	for _, oob := range []core.MatrixReport{
+		{Y: 1, Row: 8, L1: 0, L2: 0},
+		{Y: 1, Row: 0, L1: 64, L2: 0},
+		{Y: 1, Row: 0, L1: 0, L2: 32},
+	} {
+		payload := AppendMatrixReportsPayload(nil, []core.MatrixReport{oob})
+		if _, err := DecodeMatrixReportsPayload(payload, p); !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("out-of-bounds report %v: got %v, want ErrBadRecord", oob, err)
+		}
+	}
+}
+
+// FuzzMatrixReportsPayload drives the matrix WAL payload decoder over
+// arbitrary bytes: it must never panic, must reject anything that is not
+// whole in-bounds reports, and must be canonical — re-encoding an
+// accepted payload reproduces the input bit for bit.
+func FuzzMatrixReportsPayload(f *testing.F) {
+	p := core.MatrixParams{K: 8, M1: 64, M2: 32, Epsilon: 4}
+	f.Add(AppendMatrixReportsPayload(nil, []core.MatrixReport{
+		{Y: 1, Row: 0, L1: 0, L2: 0},
+		{Y: -1, Row: 7, L1: 63, L2: 31},
+	}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, MatrixReportSize))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reports, err := DecodeMatrixReportsPayload(data, p)
+		if err != nil {
+			if !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		for i, r := range reports {
+			if (r.Y != 1 && r.Y != -1) || int(r.Row) >= p.K || int(r.L1) >= p.M1 || int(r.L2) >= p.M2 {
+				t.Fatalf("accepted out-of-bounds report %d: %v", i, r)
+			}
+		}
+		if !bytes.Equal(AppendMatrixReportsPayload(nil, reports), data) {
+			t.Fatal("accepted payload is not canonical")
+		}
+	})
 }
 
 // FuzzWALRecord drives the record reader over arbitrary bytes: it must

@@ -1,0 +1,112 @@
+// Attribute-slot resolution and chain-composition rules, shared by the
+// aggregation service and the federator so the two can never diverge on
+// which snapshots they accept or which chains they consider composable.
+//
+// A deployment derives one hash family per join attribute from its base
+// seed (hashing.AttributeSeed); a join column occupies one slot, a
+// matrix column the pair (attr, attr+1). Because the seeds are derived,
+// a snapshot's embedded seed fingerprint identifies its slot exactly —
+// no side channel needed — and a chain composes exactly when its
+// columns' slots advance by one.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+)
+
+// String renders the column kind a stream (or column) carries.
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindMatrix:
+		return "matrix"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Slot maps the snapshot to the column kind and attribute slot its seed
+// fingerprint identifies within the deployment's family set, fully
+// validating compatibility with the deployment's parameters on the way.
+// A snapshot whose fingerprint matches no slot cannot be merged
+// anywhere and is refused.
+func (s *Snapshot) Slot(p core.Params, mp core.MatrixParams, fams []*hashing.Family) (Kind, int, error) {
+	switch s.Kind {
+	case SnapshotJoin:
+		for i, fam := range fams {
+			if s.SeedA != fam.Seed() {
+				continue
+			}
+			if err := s.CompatibleWithJoin(p, fam.Seed()); err != nil {
+				return 0, 0, err
+			}
+			return KindJoin, i, nil
+		}
+	case SnapshotMatrix:
+		for i := 0; i+1 < len(fams); i++ {
+			if s.SeedA != fams[i].Seed() || s.SeedB != fams[i+1].Seed() {
+				continue
+			}
+			if err := s.CompatibleWithMatrix(mp, s.SeedA, s.SeedB); err != nil {
+				return 0, 0, err
+			}
+			return KindMatrix, i, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("snapshot %s matches no attribute slot of this deployment (%d families from the shared seed)",
+		s.Fingerprint(), len(fams))
+}
+
+// Chain-composition failures, distinguished so callers can map them to
+// their own protocols (the HTTP service answers 400 for a malformed
+// request and 409 for columns that exist but do not compose).
+var (
+	// ErrChainLength marks a path with fewer than 3 columns.
+	ErrChainLength = errors.New("chain needs at least 3 columns (join end, matrix middle(s), join end)")
+	// ErrChainKind marks a column kind in the wrong chain position.
+	ErrChainKind = errors.New("chain column kind does not fit its position")
+	// ErrChainOrder marks attribute slots that do not advance by one.
+	ErrChainOrder = errors.New("chain attribute slots do not compose")
+)
+
+// ChainColumn is one resolved column of a chain-join path.
+type ChainColumn struct {
+	Name string
+	Kind Kind
+	Attr int
+}
+
+// ValidateChain checks that the columns compose as a chain join: join
+// columns at both ends, matrix columns in every middle position, and
+// attribute slots advancing by one (the left end on attribute a, middle
+// i spanning (a+i, a+i+1), the right end on a+middles) — which is
+// precisely "each matrix's left family equals its predecessor's right
+// family". Errors wrap ErrChainLength, ErrChainKind, or ErrChainOrder.
+func ValidateChain(cols []ChainColumn) error {
+	if len(cols) < 3 {
+		return fmt.Errorf("%w: got %d", ErrChainLength, len(cols))
+	}
+	last := len(cols) - 1
+	for i, col := range cols {
+		endPos := i == 0 || i == last
+		if endPos && col.Kind != KindJoin {
+			return fmt.Errorf("%w: position %d (%q) must be a join column, got %s", ErrChainKind, i, col.Name, col.Kind)
+		}
+		if !endPos && col.Kind != KindMatrix {
+			return fmt.Errorf("%w: position %d (%q) must be a matrix column, got %s", ErrChainKind, i, col.Name, col.Kind)
+		}
+	}
+	base := cols[0].Attr
+	for i, col := range cols[1:] {
+		if col.Attr != base+i {
+			return fmt.Errorf("%w: %q occupies attribute %d, but position %d needs attribute %d (its left family must equal the previous column's right family)",
+				ErrChainOrder, col.Name, col.Attr, i+1, base+i)
+		}
+	}
+	return nil
+}

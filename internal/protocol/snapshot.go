@@ -171,6 +171,41 @@ func SnapshotEncodedSize(p core.Params) int {
 	return snapHeaderSize + 8*p.K*p.M + snapTrailerSize
 }
 
+// SnapshotEncodedSizeMatrix returns the wire size of a matrix snapshot
+// under the given matrix parameters.
+func SnapshotEncodedSizeMatrix(p core.MatrixParams) int {
+	return snapHeaderSize + 8*p.K*p.M1*p.M2 + snapTrailerSize
+}
+
+// SnapshotHeaderSize is the wire size of a snapshot header. Importers
+// read exactly this much to learn a snapshot's kind (PeekSnapshotKind)
+// before deciding how large a body to accept — a join snapshot is
+// ~K·M cells, a matrix snapshot K·M², so sizing the read by the
+// declared kind keeps the per-request buffer proportional.
+const SnapshotHeaderSize = snapHeaderSize
+
+// PeekSnapshotKind inspects the leading bytes of an encoded snapshot
+// and returns its kind without decoding anything else. The prefix must
+// carry at least the magic, version, and kind bytes; nothing is
+// authenticated here — DecodeSnapshot still validates the whole
+// encoding, checksum included.
+func PeekSnapshotKind(prefix []byte) (SnapshotKind, error) {
+	if len(prefix) < 6 {
+		return 0, fmt.Errorf("%w: %d bytes is too short to carry a kind", ErrBadSnapshot, len(prefix))
+	}
+	if [4]byte(prefix[:4]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if prefix[4] != SnapshotVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, prefix[4])
+	}
+	kind := SnapshotKind(prefix[5])
+	if kind != SnapshotJoin && kind != SnapshotMatrix {
+		return 0, fmt.Errorf("%w: unknown snapshot kind %d", ErrBadSnapshot, kind)
+	}
+	return kind, nil
+}
+
 // EncodeSnapshot validates and encodes a snapshot.
 func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	if err := s.Validate(); err != nil {

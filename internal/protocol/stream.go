@@ -63,6 +63,14 @@ func NewBatchReader(r io.Reader, expect core.Params) (*BatchReader, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewBatchReaderFrom(br, h, expect)
+}
+
+// NewBatchReaderFrom builds a batch reader over a stream whose header
+// has already been read — the kind-dispatch path of a server that peeks
+// at the header before choosing a column kind. br must be positioned at
+// the first report.
+func NewBatchReaderFrom(br *bufio.Reader, h Header, expect core.Params) (*BatchReader, error) {
 	if h.Kind != KindJoin {
 		return nil, fmt.Errorf("protocol: expected join stream, got kind %d", h.Kind)
 	}
@@ -154,7 +162,7 @@ func NewMatrixReportWriter(w io.Writer, p core.MatrixParams) (*MatrixReportWrite
 	if err := WriteHeader(bw, h); err != nil {
 		return nil, err
 	}
-	return &MatrixReportWriter{bw: bw, buf: make([]byte, 0, matrixReportSize)}, nil
+	return &MatrixReportWriter{bw: bw, buf: make([]byte, 0, MatrixReportSize)}, nil
 }
 
 // Write streams one matrix report.
@@ -167,41 +175,103 @@ func (w *MatrixReportWriter) Write(r core.MatrixReport) error {
 // Flush pushes buffered reports to the underlying writer.
 func (w *MatrixReportWriter) Flush() error { return w.bw.Flush() }
 
-// ReadMatrixStream reads a KindMatrix stream until EOF, passing every
-// report to sink after bounds-checking it against the expected
-// parameters.
-func ReadMatrixStream(r io.Reader, expect core.MatrixParams, sink func(core.MatrixReport)) (Header, int, error) {
+// MatrixBatchReader incrementally decodes a KindMatrix report stream
+// into batches: the middle-table counterpart of BatchReader, with the
+// same contract — header validated up front, every report bounds-checked
+// before it is handed out, a failing batch discarded whole.
+type MatrixBatchReader struct {
+	br     *bufio.Reader
+	h      Header
+	expect core.MatrixParams
+	buf    [MatrixReportSize]byte
+	n      int
+}
+
+// NewMatrixBatchReader reads the stream header from r and validates it
+// against the expected matrix parameters.
+func NewMatrixBatchReader(r io.Reader, expect core.MatrixParams) (*MatrixBatchReader, error) {
 	br := bufio.NewReader(r)
 	h, err := ReadHeader(br)
 	if err != nil {
-		return Header{}, 0, err
+		return nil, err
 	}
+	return NewMatrixBatchReaderFrom(br, h, expect)
+}
+
+// NewMatrixBatchReaderFrom builds a matrix batch reader over a stream
+// whose header has already been read; br must be positioned at the first
+// report.
+func NewMatrixBatchReaderFrom(br *bufio.Reader, h Header, expect core.MatrixParams) (*MatrixBatchReader, error) {
 	if h.Kind != KindMatrix {
-		return h, 0, fmt.Errorf("protocol: expected matrix stream, got kind %d", h.Kind)
+		return nil, fmt.Errorf("protocol: expected matrix stream, got kind %d", h.Kind)
 	}
 	if h.K != expect.K || h.M != expect.M1 || h.M2 != expect.M2 || h.Epsilon != expect.Epsilon {
-		return h, 0, fmt.Errorf("protocol: matrix stream params (k=%d,m1=%d,m2=%d,eps=%g) do not match server (k=%d,m1=%d,m2=%d,eps=%g)",
+		return nil, fmt.Errorf("protocol: matrix stream params (k=%d,m1=%d,m2=%d,eps=%g) do not match server (k=%d,m1=%d,m2=%d,eps=%g)",
 			h.K, h.M, h.M2, h.Epsilon, expect.K, expect.M1, expect.M2, expect.Epsilon)
 	}
-	buf := make([]byte, matrixReportSize)
-	n := 0
-	for {
-		if _, err := io.ReadFull(br, buf); err != nil {
+	return &MatrixBatchReader{br: br, h: h, expect: expect}, nil
+}
+
+// Header returns the validated stream header.
+func (r *MatrixBatchReader) Header() Header { return r.h }
+
+// Count returns the number of reports decoded so far.
+func (r *MatrixBatchReader) Count() int { return r.n }
+
+// Next decodes up to max matrix reports (DefaultBatchSize when max <= 0)
+// into a freshly allocated batch, which the caller owns. At the clean
+// end of the stream it returns (nil, io.EOF).
+func (r *MatrixBatchReader) Next(max int) ([]core.MatrixReport, error) {
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	var batch []core.MatrixReport
+	for len(batch) < max {
+		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
 			if err == io.EOF {
-				return h, n, nil
+				if len(batch) > 0 {
+					return batch, nil
+				}
+				return nil, io.EOF
 			}
-			return h, n, fmt.Errorf("protocol: reading matrix report %d: %w", n, err)
+			return nil, fmt.Errorf("protocol: reading matrix report %d: %w", r.n, err)
 		}
-		rep, err := DecodeMatrixReport(buf)
+		rep, err := DecodeMatrixReport(r.buf[:])
 		if err != nil {
-			return h, n, err
+			return nil, err
 		}
-		if int(rep.Row) >= expect.K || int(rep.L1) >= expect.M1 || int(rep.L2) >= expect.M2 {
-			return h, n, fmt.Errorf("protocol: matrix report %d indices (%d,%d,%d) out of bounds (%d,%d,%d)",
-				n, rep.Row, rep.L1, rep.L2, expect.K, expect.M1, expect.M2)
+		if int(rep.Row) >= r.expect.K || int(rep.L1) >= r.expect.M1 || int(rep.L2) >= r.expect.M2 {
+			return nil, fmt.Errorf("protocol: matrix report %d indices (%d,%d,%d) out of bounds (%d,%d,%d)",
+				r.n, rep.Row, rep.L1, rep.L2, r.expect.K, r.expect.M1, r.expect.M2)
 		}
-		sink(rep)
-		n++
+		batch = append(batch, rep)
+		r.n++
+	}
+	return batch, nil
+}
+
+// ReadMatrixStream reads a KindMatrix stream until EOF, passing every
+// report to sink after bounds-checking it against the expected
+// parameters. Like ReadStream it is the push-based convenience over the
+// batch reader, and delivers only whole batches.
+func ReadMatrixStream(r io.Reader, expect core.MatrixParams, sink func(core.MatrixReport)) (Header, int, error) {
+	br, err := NewMatrixBatchReader(r, expect)
+	if err != nil {
+		return Header{}, 0, err
+	}
+	delivered := 0
+	for {
+		batch, err := br.Next(0)
+		if err == io.EOF {
+			return br.Header(), delivered, nil
+		}
+		if err != nil {
+			return br.Header(), delivered, err
+		}
+		for _, rep := range batch {
+			sink(rep)
+		}
+		delivered += len(batch)
 	}
 }
 

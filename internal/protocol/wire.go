@@ -104,8 +104,10 @@ func ReadHeader(r io.Reader) (Header, error) {
 // uses it to split report batches into bounded records.
 const ReportSize = 7
 
-// matrixReportSize is the wire size of one KindMatrix report.
-const matrixReportSize = 11
+// MatrixReportSize is the wire size of one KindMatrix report. Like
+// ReportSize it doubles as the WAL layer's record-splitting unit for
+// matrix report batches.
+const MatrixReportSize = 11
 
 // AppendReport encodes one join report.
 func AppendReport(buf []byte, r core.Report) []byte {
@@ -141,9 +143,9 @@ func AppendMatrixReport(buf []byte, r core.MatrixReport) []byte {
 }
 
 // DecodeMatrixReport decodes one matrix report from exactly
-// matrixReportSize bytes.
+// MatrixReportSize bytes.
 func DecodeMatrixReport(buf []byte) (core.MatrixReport, error) {
-	if len(buf) < matrixReportSize {
+	if len(buf) < MatrixReportSize {
 		return core.MatrixReport{}, fmt.Errorf("protocol: short matrix report: %d bytes", len(buf))
 	}
 	y, err := decodeSign(buf[0])

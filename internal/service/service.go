@@ -4,23 +4,40 @@
 // answers join-size and frequency queries and exports sketches for
 // persistence. It is the deployable face of the paper's server side.
 //
+// Columns are polymorphic over the sketch kind. A KindJoin stream feeds
+// a single-attribute LDPJoinSketch column; a KindMatrix stream feeds a
+// two-attribute (middle-table) matrix column, the §VI building block of
+// chain joins. The kind comes from the stream header, is persisted in
+// the store manifest, and is enforced on every later request — a name
+// claimed by one kind refuses the other. Each column also occupies a
+// join-attribute slot (?attr=, default 0): attribute i's hash family
+// derives from the shared seed via hashing.AttributeSeed, a join column
+// aggregates under attribute attr, and a matrix column spans attributes
+// (attr, attr+1). Two columns are chain-composable exactly when their
+// slots are adjacent, which is what the join planner checks.
+//
 // Ingestion runs on the sharded streaming engine (internal/ingest):
 // each request body is decoded in full (bounded by MaxStreamReports, so
 // a malformed or oversized stream is rejected atomically), then fed
 // through the engine's bounded queue — blocking the handler when the
 // fold workers fall behind, which is the server's backpressure — and
-// folded into per-shard aggregators that merge exactly on finalize. Finalized sketches are immutable, so join
-// estimates are memoized in a query cache keyed by the (unordered)
-// column pair: repeated estimates of the same pair never recompute the
-// row inner products.
+// folded into per-shard aggregators that merge exactly on finalize.
+//
+// Queries: GET /v1/join?left=A&right=B answers a pairwise estimate;
+// GET /v1/join?path=A,AB,BC,C runs the chain planner — ends must be
+// join columns, every middle a matrix column, slots adjacent — and
+// composes core.ChainEstimate across them. Finalized sketches are
+// immutable, so every query result (pairwise, chain, frequency) is
+// memoized in one bounded query cache; when the cache is full the
+// oldest entry is evicted, and /v1/stats counts hits, misses, and
+// evictions.
 //
 // Federation: sketches are linear, so aggregation state built on
-// different collectors merges exactly. GET /snapshot exports a column as
-// a SNAP-encoded snapshot (point-in-time and mergeable while the column
-// is collecting, final once it is finalized), and POST /merge folds a
-// snapshot from another collector into the local column — the pair that
-// lets N collectors each fold a shard of the population and a federator
-// combine them into the same sketch a single node would have built.
+// different collectors merges exactly. GET /snapshot exports a column
+// (join or matrix) as a SNAP-encoded snapshot, and POST /merge folds a
+// snapshot from another collector into the local column, inferring the
+// column's kind and attribute slot from the snapshot's seed
+// fingerprint.
 //
 // Durability: with Options.DataDir set, every accepted report batch and
 // merge is appended to a per-column write-ahead log (internal/store)
@@ -29,30 +46,35 @@
 // collecting columns after draining the engine. A restarted server
 // replays the store through the ingestion engine, so collecting columns
 // resume and finalized sketches reappear — and because aggregation
-// cells are exact integers, a recovered column finalizes to a sketch
-// byte-identical to an uninterrupted run. Losing collecting state would
-// mean re-collecting reports, which re-spends each user's privacy
-// budget: durability is a privacy property, not just an ops one.
+// cells are exact integers for both kinds, a recovered column finalizes
+// to a sketch byte-identical to an uninterrupted run. Losing collecting
+// state would mean re-collecting reports, which re-spends each user's
+// privacy budget: durability is a privacy property, not just an ops
+// one.
 //
-//	POST /v1/columns/{name}/reports    body: KindJoin report stream
+//	POST /v1/columns/{name}/reports    body: KindJoin or KindMatrix report
+//	                                   stream; ?attr= selects the slot
 //	POST /v1/columns/{name}/finalize
 //	POST /v1/columns/{name}/merge      body: SNAP snapshot to fold in
 //	GET  /v1/columns/{name}            column status (JSON)
-//	GET  /v1/columns/{name}/sketch     marshaled sketch (octet-stream)
+//	GET  /v1/columns/{name}/sketch     marshaled join sketch (octet-stream)
 //	GET  /v1/columns/{name}/snapshot   SNAP snapshot (octet-stream)
-//	GET  /v1/join?left=A&right=B       join estimate (JSON)
+//	GET  /v1/join?left=A&right=B       pairwise join estimate (JSON)
+//	GET  /v1/join?path=A,AB,BC,C       chain (multi-way) join estimate
 //	GET  /v1/frequency?column=A&value=7
 //	GET  /v1/stats                     server counters (JSON)
 //	GET  /v1/healthz
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 
 	"ldpjoin/internal/core"
@@ -65,9 +87,20 @@ import (
 // DefaultMaxStreamReports caps how many reports a single POST body may
 // carry unless Options overrides it (4Mi reports ≈ 28 MiB of wire). The
 // cap also bounds per-request memory: a request is decoded in full
-// (≈ 12 bytes per report) before it reaches the engine, so the rejection
-// of a malformed stream stays atomic.
+// before it reaches the engine, so the rejection of a malformed stream
+// stays atomic.
 const DefaultMaxStreamReports = 1 << 22
+
+// DefaultAttributes is how many join-attribute hash families the server
+// derives unless Options overrides it — enough for a 4-way chain
+// (attributes 0..3) out of the box.
+const DefaultAttributes = 4
+
+// DefaultQueryCacheEntries bounds the unified query cache unless
+// Options overrides it. Estimates are one float (or two for a
+// frequency) per entry, so the default costs a few hundred KiB at
+// worst while still absorbing any realistic dashboard workload.
+const DefaultQueryCacheEntries = 4096
 
 // Options tunes the server. The zero value selects defaults.
 type Options struct {
@@ -79,6 +112,15 @@ type Options struct {
 	// request buffers its decoded reports until the stream ends — so
 	// leave it on unless every gateway is trusted.
 	MaxStreamReports int
+	// Attributes is the number of join-attribute hash families the
+	// server derives (attribute 0 is the base seed's family). A chain
+	// over n attributes needs Attributes >= n. 0 selects
+	// DefaultAttributes.
+	Attributes int
+	// QueryCacheEntries caps the unified query cache (join, chain, and
+	// frequency estimates): 0 selects DefaultQueryCacheEntries,
+	// negative disables memoization entirely.
+	QueryCacheEntries int
 	// DataDir enables durability: accepted reports and merges are
 	// WAL-appended under this directory before they are acknowledged,
 	// finalized sketches are persisted, and a server reopened on the
@@ -90,22 +132,104 @@ type Options struct {
 	Store store.Options
 }
 
-// joinKey identifies an unordered column pair; the join estimator is
-// symmetric, so (A,B) and (B,A) share a cache slot.
-type joinKey struct{ left, right string }
+// pendingColumn is a collecting column of either kind: exactly one of
+// join/matrix is set, per kind.
+type pendingColumn struct {
+	kind   protocol.Kind
+	attr   int
+	join   *ingest.Column
+	matrix *ingest.MatrixColumn
+}
 
-func makeJoinKey(a, b string) joinKey {
-	if b < a {
-		a, b = b, a
+// n returns the reports accepted so far.
+func (c *pendingColumn) n() int64 {
+	if c.kind == protocol.KindMatrix {
+		return c.matrix.N()
 	}
-	return joinKey{a, b}
+	return c.join.N()
+}
+
+// finishedColumn is a finalized column of either kind.
+type finishedColumn struct {
+	kind   protocol.Kind
+	attr   int
+	join   *core.Sketch
+	matrix *core.MatrixSketch
+}
+
+// n returns the reports the finalized sketch summarizes.
+func (c *finishedColumn) n() float64 {
+	if c.kind == protocol.KindMatrix {
+		return c.matrix.N()
+	}
+	return c.join.N()
+}
+
+// queryCache memoizes query results under a size cap. Finalized
+// sketches never change, so entries never go stale — the cap exists
+// only to stop an adversarial query mix (distinct frequency values,
+// say) from growing the map without bound. Eviction is oldest-first;
+// the callers hold the server lock.
+type queryCache struct {
+	capacity  int
+	entries   map[string]any
+	order     []string // insertion order; entries[order[head:]] is live
+	head      int
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{capacity: capacity, entries: make(map[string]any)}
+}
+
+// get returns the memoized result for key, counting a hit when found.
+func (c *queryCache) get(key string) (any, bool) {
+	v, ok := c.entries[key]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// put memoizes a freshly computed result, counting the miss that led to
+// it and evicting the oldest entries once the cap is reached. With the
+// cache disabled (capacity <= 0) only the miss is counted.
+func (c *queryCache) put(key string, v any) {
+	c.misses++
+	if c.capacity <= 0 {
+		return
+	}
+	if _, exists := c.entries[key]; exists {
+		// A concurrent request computed the same entry between our get
+		// and put; overwrite (the values are equal) without reordering.
+		c.entries[key] = v
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		victim := c.order[c.head]
+		c.order[c.head] = ""
+		c.head++
+		delete(c.entries, victim)
+		c.evictions++
+	}
+	// Compact the retired prefix once it dominates the slice, so the
+	// order log does not grow with evictions.
+	if c.head > 1024 && c.head > len(c.order)/2 {
+		c.order = append([]string(nil), c.order[c.head:]...)
+		c.head = 0
+	}
+	c.entries[key] = v
+	c.order = append(c.order, key)
 }
 
 // Server aggregates LDP reports into named columns. It is safe for
 // concurrent use; Close releases the engine workers.
 type Server struct {
 	params    core.Params
-	fam       *hashing.Family
+	matrixP   core.MatrixParams
+	fams      []*hashing.Family // fams[i] is join attribute i's family
 	engine    *ingest.Engine
 	maxStream int
 	st        *store.Store        // nil when DataDir is unset
@@ -116,11 +240,9 @@ type Server struct {
 	// column checks closed under the same lock the query cache uses.
 	mu        sync.Mutex
 	closed    bool
-	pending   map[string]*ingest.Column
-	finished  map[string]*core.Sketch
-	joins     map[joinKey]float64
-	hits      int64
-	misses    int64
+	pending   map[string]*pendingColumn
+	finished  map[string]*finishedColumn
+	cache     *queryCache
 	snapshots map[string]int64
 	merges    map[string]int64
 }
@@ -145,15 +267,30 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 	if maxStream == 0 {
 		maxStream = DefaultMaxStreamReports
 	}
-	fam := p.NewFamily(seed)
+	attrs := o.Attributes
+	if attrs == 0 {
+		attrs = DefaultAttributes
+	}
+	if attrs < 2 {
+		return nil, fmt.Errorf("service: need at least 2 attribute families (matrix columns span a pair), got %d", attrs)
+	}
+	cacheCap := o.QueryCacheEntries
+	if cacheCap == 0 {
+		cacheCap = DefaultQueryCacheEntries
+	}
+	fams := make([]*hashing.Family, attrs)
+	for i := range fams {
+		fams[i] = hashing.NewFamily(hashing.AttributeSeed(seed, i), p.K, p.M)
+	}
 	s := &Server{
 		params:    p,
-		fam:       fam,
-		engine:    ingest.NewEngine(p, fam, o.Ingest),
+		matrixP:   core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon},
+		fams:      fams,
+		engine:    ingest.NewEngine(p, fams[0], o.Ingest),
 		maxStream: maxStream,
-		pending:   make(map[string]*ingest.Column),
-		finished:  make(map[string]*core.Sketch),
-		joins:     make(map[joinKey]float64),
+		pending:   make(map[string]*pendingColumn),
+		finished:  make(map[string]*finishedColumn),
+		cache:     newQueryCache(cacheCap),
 		snapshots: make(map[string]int64),
 		merges:    make(map[string]int64),
 	}
@@ -183,34 +320,81 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 type recoverer struct{ s *Server }
 
 // col returns the in-memory column for a recovering name, creating it
-// on first use.
-func (r recoverer) col(name string) *ingest.Column {
-	col, ok := r.s.pending[name]
-	if !ok {
-		col = r.s.engine.NewColumn()
-		r.s.pending[name] = col
+// with the kind and attribute families the manifest recorded.
+func (r recoverer) col(info store.ColumnInfo) (*pendingColumn, error) {
+	col, ok := r.s.pending[info.Name]
+	if ok {
+		return col, nil
 	}
-	return col
+	maxAttr := info.Attr
+	if info.Kind == protocol.KindMatrix {
+		maxAttr++
+	}
+	if info.Attr < 0 || maxAttr >= len(r.s.fams) {
+		return nil, fmt.Errorf("recovered column %q needs attribute %d; raise Options.Attributes (%d)",
+			info.Name, maxAttr, len(r.s.fams))
+	}
+	col = &pendingColumn{kind: info.Kind, attr: info.Attr}
+	if info.Kind == protocol.KindMatrix {
+		col.matrix = r.s.engine.NewMatrixColumn(r.s.matrixP, r.s.fams[info.Attr], r.s.fams[info.Attr+1])
+	} else {
+		col.join = r.s.engine.NewColumnWithFamily(r.s.fams[info.Attr])
+	}
+	r.s.pending[info.Name] = col
+	return col, nil
 }
 
-func (r recoverer) RecoverFinalized(name string, snap *protocol.Snapshot) error {
-	sk, err := snap.Sketch()
-	if err != nil {
-		return err
+func (r recoverer) RecoverFinalized(info store.ColumnInfo, snap *protocol.Snapshot) error {
+	fin := &finishedColumn{kind: info.Kind, attr: info.Attr}
+	if snap.Kind == protocol.SnapshotMatrix {
+		ms, err := snap.MatrixSketch()
+		if err != nil {
+			return err
+		}
+		fin.matrix = ms
+	} else {
+		sk, err := snap.Sketch()
+		if err != nil {
+			return err
+		}
+		fin.join = sk
 	}
-	r.s.finished[name] = sk
+	r.s.finished[info.Name] = fin
 	return nil
 }
 
-func (r recoverer) RecoverCheckpoint(name string, snap *protocol.Snapshot) error {
+func (r recoverer) RecoverCheckpoint(info store.ColumnInfo, snap *protocol.Snapshot) error {
+	return r.recoverSnapshotMerge(info, snap)
+}
+
+func (r recoverer) RecoverMerge(info store.ColumnInfo, snap *protocol.Snapshot) error {
+	return r.recoverSnapshotMerge(info, snap)
+}
+
+func (r recoverer) recoverSnapshotMerge(info store.ColumnInfo, snap *protocol.Snapshot) error {
+	col, err := r.col(info)
+	if err != nil {
+		return err
+	}
+	if snap.Kind == protocol.SnapshotMatrix {
+		agg, err := snap.MatrixAggregator()
+		if err != nil {
+			return err
+		}
+		return col.matrix.MergeAggregator(agg)
+	}
 	agg, err := snap.Aggregator()
 	if err != nil {
 		return err
 	}
-	return r.col(name).MergeAggregator(agg)
+	return col.join.MergeAggregator(agg)
 }
 
-func (r recoverer) RecoverReports(name string, reports []core.Report) error {
+func (r recoverer) RecoverReports(info store.ColumnInfo, reports []core.Report) error {
+	col, err := r.col(info)
+	if err != nil {
+		return err
+	}
 	// Re-batch at the live ingest granularity: a WAL record coalesces up
 	// to 2^20 reports, and folding that as a single task would serialize
 	// recovery on one shard. Split, and replay fans out across the
@@ -222,15 +406,21 @@ func (r recoverer) RecoverReports(name string, reports []core.Report) error {
 		batches = append(batches, reports[:n])
 		reports = reports[n:]
 	}
-	return r.col(name).EnqueueAll(batches)
+	return col.join.EnqueueAll(batches)
 }
 
-func (r recoverer) RecoverMerge(name string, snap *protocol.Snapshot) error {
-	agg, err := snap.Aggregator()
+func (r recoverer) RecoverMatrixReports(info store.ColumnInfo, reports []core.MatrixReport) error {
+	col, err := r.col(info)
 	if err != nil {
 		return err
 	}
-	return r.col(name).MergeAggregator(agg)
+	var batches [][]core.MatrixReport
+	for len(reports) > 0 {
+		n := min(protocol.DefaultBatchSize, len(reports))
+		batches = append(batches, reports[:n])
+		reports = reports[n:]
+	}
+	return col.matrix.EnqueueAll(batches)
 }
 
 // Shutdown marks the server closed, drains and stops the ingestion
@@ -255,7 +445,7 @@ func (s *Server) Shutdown() error {
 		return nil
 	}
 	s.closed = true
-	pending := make(map[string]*ingest.Column, len(s.pending))
+	pending := make(map[string]*pendingColumn, len(s.pending))
 	for name, col := range s.pending {
 		pending[name] = col
 	}
@@ -266,12 +456,18 @@ func (s *Server) Shutdown() error {
 	}
 	var firstErr error
 	for name, col := range pending {
-		snap, err := col.Snapshot()
+		var snap *protocol.Snapshot
+		var err error
+		if col.kind == protocol.KindMatrix {
+			snap, err = col.matrix.Snapshot()
+		} else {
+			snap, err = col.join.Snapshot()
+		}
 		if err == ingest.ErrFinalized {
 			continue // a concurrent finalize won; the store holds its final state
 		}
 		if err == nil {
-			err = s.st.Checkpoint(name, snap)
+			err = s.st.Checkpoint(name, col.attr, snap)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("service: checkpointing column %q: %w", name, err)
@@ -324,41 +520,100 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// attrParam parses the ?attr= slot of an ingesting request. A matrix
+// column spans (attr, attr+1), so its slot must leave room for the
+// right attribute.
+func (s *Server) attrParam(r *http.Request, kind protocol.Kind) (int, error) {
+	raw := r.URL.Query().Get("attr")
+	if raw == "" {
+		return 0, nil
+	}
+	attr, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid ?attr=%q", raw)
+	}
+	maxAttr := attr
+	if kind == protocol.KindMatrix {
+		maxAttr++
+	}
+	if attr < 0 || maxAttr >= len(s.fams) {
+		return 0, fmt.Errorf("attribute %d out of range: the server derives %d attribute families (a matrix column spans attr and attr+1)",
+			attr, len(s.fams))
+	}
+	return attr, nil
+}
+
+// registerPending looks up or creates the collecting column for a
+// mutating request, under the same lock acquisition as the closed,
+// finalized, and kind/attribute checks — before any WAL append, see
+// handleReports. When it returns ok=false the HTTP error has already
+// been written.
+func (s *Server) registerPending(w http.ResponseWriter, name string, kind protocol.Kind, attr int) (*pendingColumn, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		return nil, false
+	}
+	if _, done := s.finished[name]; done {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		return nil, false
+	}
+	col, ok := s.pending[name]
+	if ok {
+		if col.kind != kind || col.attr != attr {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "column %q is %s state of attribute %d, not %s state of attribute %d",
+				name, col.kind.String(), col.attr, kind.String(), attr)
+			return nil, false
+		}
+	} else {
+		col = &pendingColumn{kind: kind, attr: attr}
+		if kind == protocol.KindMatrix {
+			col.matrix = s.engine.NewMatrixColumn(s.matrixP, s.fams[attr], s.fams[attr+1])
+		} else {
+			col.join = s.engine.NewColumnWithFamily(s.fams[attr])
+		}
+		s.pending[name] = col
+	}
+	s.mu.Unlock()
+	return col, true
+}
+
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if s.refuseClosed(w) {
 		return
 	}
 	name := r.PathValue("name")
-	// Decode the whole stream before anything reaches the engine: a
-	// malformed or oversized stream rejects the request atomically, so
-	// partially-applied garbage never reaches a sketch.
-	br, err := protocol.NewBatchReader(r.Body, s.params)
+	// Read the stream header first: its kind byte decides which column
+	// kind this request feeds. Then decode the whole stream before
+	// anything reaches the engine — a malformed or oversized stream
+	// rejects the request atomically, so partially-applied garbage never
+	// reaches a sketch.
+	body := bufio.NewReader(r.Body)
+	h, err := protocol.ReadHeader(body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
 		return
 	}
-	var batches [][]core.Report
-	for {
-		batch, err := br.Next(protocol.DefaultBatchSize)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
-			return
-		}
-		if s.maxStream >= 0 && br.Count() > s.maxStream {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"stream exceeds %d reports per request", s.maxStream)
-			return
-		}
-		batches = append(batches, batch)
+	attr, err := s.attrParam(r, h.Kind)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	// An empty stream (valid header, zero reports) must not create the
-	// column: a typo'd name would otherwise appear as a phantom
-	// "collecting" column in /v1/stats forever.
-	if br.Count() == 0 {
-		httpError(w, http.StatusBadRequest, "empty report stream for column %q", name)
+	if h.Kind == protocol.KindMatrix {
+		s.handleMatrixReports(w, name, attr, body, h)
+		return
+	}
+
+	br, err := protocol.NewBatchReaderFrom(body, h, s.params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
+		return
+	}
+	batches, ok := readAllBatches(w, s, name, br.Next, br.Count)
+	if !ok {
 		return
 	}
 
@@ -366,27 +621,14 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	// closed and finalized checks, *before* the WAL append. The order
 	// is load-bearing twice over: a column is never created after
 	// Shutdown has snapshotted the pending map (closed is re-checked
-	// here, under the lock that set it), and every WAL record belongs
+	// there, under the lock that set it), and every WAL record belongs
 	// to a registered column — which is what lets the shutdown
 	// checkpoint retire every record, acknowledged or not, instead of
 	// leaving unacknowledged tails to resurrect on restart.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is shut down")
-		return
-	}
-	if _, done := s.finished[name]; done {
-		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "column %q is already finalized", name)
-		return
-	}
-	col, ok := s.pending[name]
+	col, ok := s.registerPending(w, name, protocol.KindJoin, attr)
 	if !ok {
-		col = s.engine.NewColumn()
-		s.pending[name] = col
+		return
 	}
-	s.mu.Unlock()
 
 	// Durability before acknowledgement: the decoded reports go to the
 	// write-ahead log, fsynced, before anything is acked. A failed
@@ -394,7 +636,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	// sits empty until more reports arrive — a disk fault is an
 	// operator page either way).
 	if s.st != nil {
-		if err := s.st.AppendReports(name, batches); err != nil {
+		if err := s.st.AppendReports(name, attr, batches); err != nil {
 			s.storeAppendError(w, name, err)
 			return
 		}
@@ -404,12 +646,76 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	// workers are behind (backpressure) and is atomic against a
 	// concurrent finalize: the request's reports land entirely before
 	// the merge or not at all.
-	if err := col.EnqueueAll(batches); err != nil {
+	if err := col.join.EnqueueAll(batches); err != nil {
 		s.columnConflict(w, "column %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"column": name, "ingested": br.Count(), "total": col.N(),
+		"column": name, "kind": protocol.KindJoin.String(), "ingested": br.Count(), "total": col.join.N(),
+	})
+}
+
+// readAllBatches drains a batch reader (join or matrix) into owned
+// batches, enforcing the per-request report cap and the no-empty-stream
+// rule — an empty stream (valid header, zero reports) must not create
+// the column, or a typo'd name would appear as a phantom "collecting"
+// column in /v1/stats forever. When it returns ok=false the HTTP error
+// has already been written.
+func readAllBatches[T any](w http.ResponseWriter, s *Server, name string,
+	next func(int) ([]T, error), count func() int) ([][]T, bool) {
+	var batches [][]T
+	for {
+		batch, err := next(protocol.DefaultBatchSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "decoding report stream: %v", err)
+			return nil, false
+		}
+		if s.maxStream >= 0 && count() > s.maxStream {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"stream exceeds %d reports per request", s.maxStream)
+			return nil, false
+		}
+		batches = append(batches, batch)
+	}
+	if count() == 0 {
+		httpError(w, http.StatusBadRequest, "empty report stream for column %q", name)
+		return nil, false
+	}
+	return batches, true
+}
+
+// handleMatrixReports is the KindMatrix branch of handleReports: the
+// same decode-register-log-enqueue order over the matrix column path.
+func (s *Server) handleMatrixReports(w http.ResponseWriter, name string, attr int, body *bufio.Reader, h protocol.Header) {
+	br, err := protocol.NewMatrixBatchReaderFrom(body, h, s.matrixP)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding matrix report stream: %v", err)
+		return
+	}
+	batches, ok := readAllBatches(w, s, name, br.Next, br.Count)
+	if !ok {
+		return
+	}
+
+	col, ok := s.registerPending(w, name, protocol.KindMatrix, attr)
+	if !ok {
+		return
+	}
+	if s.st != nil {
+		if err := s.st.AppendMatrixReports(name, attr, batches); err != nil {
+			s.storeAppendError(w, name, err)
+			return
+		}
+	}
+	if err := col.matrix.EnqueueAll(batches); err != nil {
+		s.columnConflict(w, "column %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "kind": protocol.KindMatrix.String(), "ingested": br.Count(), "total": col.matrix.N(),
 	})
 }
 
@@ -433,7 +739,21 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	// Finalize drains the column's queued folds; do it outside the lock
 	// so ingestion into other columns proceeds meanwhile. A concurrent
 	// finalize of the same column loses with ErrFinalized.
-	sk, err := col.Finalize()
+	fin := &finishedColumn{kind: col.kind, attr: col.attr}
+	var snap *protocol.Snapshot
+	var err error
+	var n float64
+	if col.kind == protocol.KindMatrix {
+		fin.matrix, err = col.matrix.Finalize()
+		if err == nil {
+			snap, n = protocol.SnapshotOfMatrixSketch(fin.matrix), fin.matrix.N()
+		}
+	} else {
+		fin.join, err = col.join.Finalize()
+		if err == nil {
+			snap, n = protocol.SnapshotOfSketch(fin.join), fin.join.N()
+		}
+	}
 	if err == ingest.ErrFinalized {
 		s.columnConflict(w, "column %q is already finalized", name)
 		return
@@ -455,30 +775,36 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	// one finalize away.
 	var persistErr error
 	if s.st != nil {
-		persistErr = s.st.Finalize(name, protocol.SnapshotOfSketch(sk))
+		persistErr = s.st.Finalize(name, col.attr, snap)
 	}
 	s.mu.Lock()
 	delete(s.pending, name)
-	s.finished[name] = sk
+	s.finished[name] = fin
 	s.mu.Unlock()
 	if persistErr != nil {
 		httpError(w, http.StatusInternalServerError,
 			"column %q finalized in memory, but persisting failed: %v", name, persistErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"column": name, "reports": sk.N()})
+	writeJSON(w, http.StatusOK, map[string]any{"column": name, "kind": col.kind.String(), "reports": n})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sk, ok := s.finished[name]; ok {
-		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "finalized", "reports": sk.N()})
+	if fin, ok := s.finished[name]; ok {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"column": name, "kind": fin.kind.String(), "attr": fin.attr,
+			"state": "finalized", "reports": fin.n(),
+		})
 		return
 	}
 	if col, ok := s.pending[name]; ok {
-		writeJSON(w, http.StatusOK, map[string]any{"column": name, "state": "collecting", "reports": col.N()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"column": name, "kind": col.kind.String(), "attr": col.attr,
+			"state": "collecting", "reports": col.n(),
+		})
 		return
 	}
 	httpError(w, http.StatusNotFound, "unknown column %q", name)
@@ -487,13 +813,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	sk, ok := s.finished[name]
+	fin, ok := s.finished[name]
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
 		return
 	}
-	data, err := sk.MarshalBinary()
+	if fin.kind != protocol.KindJoin {
+		httpError(w, http.StatusConflict, "column %q is a matrix column; export it via /snapshot", name)
+		return
+	}
+	data, err := fin.join.MarshalBinary()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "encoding sketch: %v", err)
 		return
@@ -515,19 +845,34 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	s.mu.Lock()
-	sk, done := s.finished[name]
+	fin, done := s.finished[name]
 	col, collecting := s.pending[name]
 	s.mu.Unlock()
 
 	var snap *protocol.Snapshot
 	switch {
 	case done:
-		snap = protocol.SnapshotOfSketch(sk)
+		if fin.kind == protocol.KindMatrix {
+			snap = protocol.SnapshotOfMatrixSketch(fin.matrix)
+		} else {
+			snap = protocol.SnapshotOfSketch(fin.join)
+		}
 	case collecting:
 		// A concurrent finalize can retire the column between the lookup
 		// and the copy; State then reports ErrFinalized and the client
 		// retries against the finalized sketch.
-		agg, err := col.State()
+		var err error
+		if col.kind == protocol.KindMatrix {
+			var agg *core.MatrixAggregator
+			if agg, err = col.matrix.State(); err == nil {
+				snap = protocol.SnapshotOfMatrixAggregator(agg)
+			}
+		} else {
+			var agg *core.Aggregator
+			if agg, err = col.join.State(); err == nil {
+				snap = protocol.SnapshotOfAggregator(agg)
+			}
+		}
 		if err == ingest.ErrFinalized {
 			httpError(w, http.StatusConflict, "column %q finalized while exporting; retry", name)
 			return
@@ -536,7 +881,6 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, "exporting column %q: %v", name, err)
 			return
 		}
-		snap = protocol.SnapshotOfAggregator(agg)
 	default:
 		httpError(w, http.StatusNotFound, "unknown column %q", name)
 		return
@@ -561,23 +905,50 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // eventual sketch is byte-identical to single-node ingestion of the
 // union stream. A finalized snapshot can only be installed under a name
 // with no local state (import); merging into or on top of finalized
-// state is refused, because that cannot be exact.
+// state is refused, because that cannot be exact. The column's kind and
+// attribute slot come from the snapshot's seed fingerprint.
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if s.refuseClosed(w) {
 		return
 	}
 	name := r.PathValue("name")
-	// A valid snapshot for this configuration has one exact size; read at
-	// most one byte more so an oversized body is rejected without
-	// buffering it.
+	// Read the fixed-size header first: its kind byte picks the exact
+	// body bound — a join snapshot is K·M cells, a matrix snapshot K·M²
+	// (~1000× larger at defaults) — so a request is never buffered
+	// beyond the size its declared kind justifies, and garbage bodies
+	// are rejected after 60 bytes.
+	header := make([]byte, protocol.SnapshotHeaderSize)
+	if _, err := io.ReadFull(r.Body, header); err != nil {
+		httpError(w, http.StatusBadRequest, "reading snapshot header: %v", err)
+		return
+	}
+	snapKind, err := protocol.PeekSnapshotKind(header)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding snapshot: %v", err)
+		return
+	}
 	limit := int64(protocol.SnapshotEncodedSize(s.params))
-	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if snapKind == protocol.SnapshotMatrix {
+		limit = int64(protocol.SnapshotEncodedSizeMatrix(s.matrixP))
+		// A durable merge must fit one WAL record, and a matrix snapshot
+		// has no valid split. Refuse oversized configurations up front —
+		// before buffering anything — with an actionable message instead
+		// of a 500 from the append layer after 100s of MiB of work.
+		if s.st != nil && limit > protocol.MaxRecordPayload {
+			httpError(w, http.StatusConflict,
+				"matrix snapshots encode to %d bytes under this configuration, above the %d-byte WAL record bound: durable matrix merges need a smaller sketch width (or an in-memory server)",
+				limit, protocol.MaxRecordPayload)
+			return
+		}
+	}
+	rest, err := io.ReadAll(io.LimitReader(r.Body, limit-int64(len(header))+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading snapshot body: %v", err)
 		return
 	}
+	data := append(header, rest...)
 	if int64(len(data)) > limit {
-		httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes for this configuration", limit)
+		httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds the %d-byte bound its kind has under this configuration", limit)
 		return
 	}
 	snap, err := protocol.DecodeSnapshot(data)
@@ -585,13 +956,19 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding snapshot: %v", err)
 		return
 	}
-	if err := snap.CompatibleWithJoin(s.params, s.fam.Seed()); err != nil {
+	kind, attr, err := snap.Slot(s.params, s.matrixP, s.fams)
+	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
 
 	if snap.Finalized {
-		sk, err := snap.Sketch()
+		fin := &finishedColumn{kind: kind, attr: attr}
+		if kind == protocol.KindMatrix {
+			fin.matrix, err = snap.MatrixSketch()
+		} else {
+			fin.join, err = snap.Sketch()
+		}
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
 			return
@@ -619,67 +996,66 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
 			return
 		}
-		s.finished[name] = sk
+		s.finished[name] = fin
 		s.merges[name]++
 		s.mu.Unlock()
 		// An import is terminal state: persist it like a finalize. As in
 		// handleFinalize, a persist failure keeps the in-memory install
 		// (it cannot be undone observably) and reports the error.
 		if s.st != nil {
-			if err := s.st.Finalize(name, snap); err != nil {
+			if err := s.st.Finalize(name, attr, snap); err != nil {
 				httpError(w, http.StatusInternalServerError,
 					"column %q imported in memory, but persisting failed: %v", name, err)
 				return
 			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"column": name, "merged": snap.N, "total": snap.N, "finalized": true,
+			"column": name, "kind": kind.String(), "merged": snap.N, "total": snap.N, "finalized": true,
 		})
 		return
 	}
 
-	agg, err := snap.Aggregator()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
-		return
-	}
 	// Same order as handleReports: register the column under the
 	// closed/finalized checks, then WAL the encoded snapshot — the
 	// already-encoded body is exactly the canonical record payload —
 	// before it can reach the column.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is shut down")
-		return
-	}
-	if _, done := s.finished[name]; done {
-		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "column %q is already finalized", name)
-		return
-	}
-	col, ok := s.pending[name]
+	col, ok := s.registerPending(w, name, kind, attr)
 	if !ok {
-		col = s.engine.NewColumn()
-		s.pending[name] = col
+		return
 	}
-	s.mu.Unlock()
 	if s.st != nil {
-		if err := s.st.AppendMerge(name, data); err != nil {
+		if err := s.st.AppendMerge(name, kind, attr, data); err != nil {
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 
-	if err := col.MergeAggregator(agg); err != nil {
-		s.columnConflict(w, "merging into column %q: %v", name, err)
-		return
+	if kind == protocol.KindMatrix {
+		agg, err := snap.MatrixAggregator()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
+			return
+		}
+		if err := col.matrix.MergeAggregator(agg); err != nil {
+			s.columnConflict(w, "merging into column %q: %v", name, err)
+			return
+		}
+	} else {
+		agg, err := snap.Aggregator()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
+			return
+		}
+		if err := col.join.MergeAggregator(agg); err != nil {
+			s.columnConflict(w, "merging into column %q: %v", name, err)
+			return
+		}
 	}
 	s.mu.Lock()
 	s.merges[name]++
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"column": name, "merged": snap.N, "total": col.N(), "finalized": false,
+		"column": name, "kind": kind.String(), "merged": snap.N, "total": col.n(), "finalized": false,
 	})
 }
 
@@ -724,41 +1100,160 @@ func (s *Server) storeAppendError(w http.ResponseWriter, name string, err error)
 	httpError(w, http.StatusInternalServerError, "persisting request for column %q: %v", name, err)
 }
 
+// cacheKey builds a collision-proof cache key from a query type and its
+// components. Column names can contain any byte (ServeMux
+// percent-decodes path values), so no separator is safe on its own —
+// each component is length-prefixed instead, which makes the encoding
+// injective regardless of content.
+func cacheKey(typ string, parts ...string) string {
+	var b strings.Builder
+	b.WriteString(typ)
+	for _, p := range parts {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+func pairJoinKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return cacheKey("join", a, b)
+}
+
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
-	left := r.URL.Query().Get("left")
-	right := r.URL.Query().Get("right")
-	if left == "" || right == "" {
-		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns")
+	q := r.URL.Query()
+	if path := q.Get("path"); path != "" {
+		s.handleChainJoin(w, path)
 		return
 	}
-	key := makeJoinKey(left, right)
+	left := q.Get("left")
+	right := q.Get("right")
+	if left == "" || right == "" {
+		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns, or a ?path= chain")
+		return
+	}
+	key := pairJoinKey(left, right)
 	s.mu.Lock()
-	est, cached := s.joins[key]
-	skL, okL := s.finished[left]
-	skR, okR := s.finished[right]
-	if cached && okL && okR {
-		// Bump the hit counter inside the lookup's critical section
-		// instead of re-acquiring the lock just for bookkeeping.
-		s.hits++
+	finL, okL := s.finished[left]
+	finR, okR := s.finished[right]
+	var est float64
+	var cached bool
+	if okL && okR {
+		// The lookup and the hit-count share the critical section.
+		if v, ok := s.cache.get(key); ok {
+			est, cached = v.(float64), true
+		}
 	}
 	s.mu.Unlock()
 	if !okL || !okR {
 		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
 		return
 	}
+	if finL.kind != protocol.KindJoin || finR.kind != protocol.KindJoin {
+		httpError(w, http.StatusBadRequest, "pairwise join needs two join columns (%q is %s, %q is %s); matrix columns join via ?path=",
+			left, finL.kind.String(), right, finR.kind.String())
+		return
+	}
 	if !cached {
 		// Compute outside the lock — the inner products scan K·M cells —
 		// then memoize: finalized sketches never change, so the entry
-		// stays valid for the life of the server.
-		est = skL.JoinSize(skR)
+		// stays valid until capacity evicts it.
+		est = finL.join.JoinSize(finR.join)
 		s.mu.Lock()
-		s.misses++
-		s.joins[key] = est
+		s.cache.put(key, est)
 		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"left": left, "right": right, "estimate": est, "cached": cached,
 	})
+}
+
+// handleChainJoin is the multi-way query planner: ?path=A,AB,BC,C names
+// a chain whose ends are join columns and whose middles are matrix
+// columns. The planner resolves every column, validates the composition
+// — kinds in end/middle position and attribute slots strictly adjacent,
+// so each matrix's left family is its predecessor's right family — and
+// composes core.ChainEstimate over the finalized sketches, memoizing
+// the estimate under the literal path.
+func (s *Server) handleChainJoin(w http.ResponseWriter, path string) {
+	var names []string
+	for _, part := range strings.Split(path, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	key := cacheKey("chain", names...)
+
+	if len(names) < 3 {
+		httpError(w, http.StatusBadRequest, "?path= %v", protocol.ErrChainLength)
+		return
+	}
+
+	s.mu.Lock()
+	cols := make([]*finishedColumn, len(names))
+	var missing []string
+	for i, name := range names {
+		col, ok := s.finished[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		cols[i] = col
+	}
+	var est float64
+	var cached bool
+	if missing == nil {
+		if v, ok := s.cache.get(key); ok {
+			est, cached = v.(float64), true
+		}
+	}
+	s.mu.Unlock()
+	if missing != nil {
+		httpError(w, http.StatusNotFound, "chain columns not finalized: %s", strings.Join(missing, ", "))
+		return
+	}
+
+	// The composition rules — join ends, matrix middles, attribute
+	// slots advancing by one — live in protocol.ValidateChain, shared
+	// with the federator so the two can never diverge.
+	chain := make([]protocol.ChainColumn, len(cols))
+	for i, col := range cols {
+		chain[i] = protocol.ChainColumn{Name: names[i], Kind: col.kind, Attr: col.attr}
+	}
+	if err := protocol.ValidateChain(chain); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, protocol.ErrChainOrder) {
+			// The columns exist and are well-formed; they just don't
+			// compose — a conflict, not a malformed request.
+			code = http.StatusConflict
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+
+	last := len(cols) - 1
+	if !cached {
+		mids := make([]*core.MatrixSketch, 0, len(cols)-2)
+		for _, col := range cols[1:last] {
+			mids = append(mids, col.matrix)
+		}
+		est = core.ChainEstimate(cols[0].join, mids, cols[last].join)
+		s.mu.Lock()
+		s.cache.put(key, est)
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path": names, "estimate": est, "cached": cached,
+	})
+}
+
+// freqResult is the memoized value of a frequency query.
+type freqResult struct {
+	mean   float64
+	median float64
 }
 
 func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
@@ -769,17 +1264,38 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "frequency needs ?column= and a numeric ?value=")
 		return
 	}
+	key := cacheKey("freq", name, valueStr)
 	s.mu.Lock()
-	sk, ok := s.finished[name]
+	fin, ok := s.finished[name]
+	var res freqResult
+	var cached bool
+	if ok && fin.kind == protocol.KindJoin {
+		if v, hit := s.cache.get(key); hit {
+			res, cached = v.(freqResult), true
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
 		return
 	}
+	if fin.kind != protocol.KindJoin {
+		httpError(w, http.StatusBadRequest, "column %q is a matrix column; frequency queries need a join column", name)
+		return
+	}
+	if !cached {
+		// A finalized sketch never changes, so the estimate is memoized
+		// alongside join results in the unified query cache.
+		res = freqResult{mean: fin.join.Frequency(value), median: fin.join.FrequencyMedian(value)}
+		s.mu.Lock()
+		s.cache.put(key, res)
+		s.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "value": value,
-		"estimate":       sk.Frequency(value),
-		"estimateMedian": sk.FrequencyMedian(value),
+		"estimate":       res.mean,
+		"estimateMedian": res.median,
+		"cached":         cached,
 	})
 }
 
@@ -805,15 +1321,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		counters(name)["merges"] = n
 	}
 	stats := map[string]any{
-		"collecting":      len(s.pending),
-		"finalized":       len(s.finished),
-		"joinCacheSize":   len(s.joins),
-		"joinCacheHits":   s.hits,
-		"joinCacheMisses": s.misses,
-		"columns":         columns,
-		"shards":          o.Shards,
-		"workers":         o.Workers,
-		"queue":           o.Queue,
+		"collecting": len(s.pending),
+		"finalized":  len(s.finished),
+		"queryCache": map[string]any{
+			"size":      len(s.cache.entries),
+			"capacity":  s.cache.capacity,
+			"hits":      s.cache.hits,
+			"misses":    s.cache.misses,
+			"evictions": s.cache.evictions,
+		},
+		"attributes":   len(s.fams),
+		"columns":      columns,
+		"shards":       o.Shards,
+		"matrixShards": o.MatrixShards,
+		"workers":      o.Workers,
+		"queue":        o.Queue,
 	}
 	if s.st != nil {
 		ss := s.st.Stats()

@@ -254,7 +254,7 @@ func TestSnapshotFinalizeRace(t *testing.T) {
 	if col == nil {
 		t.Fatal("column R not pending")
 	}
-	if _, err := col.Finalize(); err != nil {
+	if _, err := col.join.Finalize(); err != nil {
 		t.Fatal(err)
 	}
 	code, body := get(t, ts.URL+"/v1/columns/R/snapshot")
@@ -311,8 +311,9 @@ func TestServiceJoinCache(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("stats code %d", code)
 	}
-	if body["joinCacheSize"].(float64) != 1 || body["joinCacheHits"].(float64) != 2 || body["joinCacheMisses"].(float64) != 1 {
-		t.Fatalf("stats = %v", body)
+	qc := body["queryCache"].(map[string]any)
+	if qc["size"].(float64) != 1 || qc["hits"].(float64) != 2 || qc["misses"].(float64) != 1 || qc["evictions"].(float64) != 0 {
+		t.Fatalf("query cache stats = %v", qc)
 	}
 }
 

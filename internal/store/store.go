@@ -58,6 +58,7 @@ import (
 	"sync"
 
 	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/protocol"
 )
 
@@ -119,9 +120,19 @@ type manifest struct {
 	Columns map[string]*columnMeta `json:"columns"`
 }
 
+// columnMeta records a column's durable identity. Kind discriminates the
+// sketch shape (reusing the wire stream kinds; a zero from a manifest
+// written before kinds existed normalizes to KindJoin). Attr is the
+// column's join-attribute slot: a join column aggregates under the hash
+// family of attribute Attr, a matrix column under the families of
+// attributes (Attr, Attr+1) — all derived from the store's base seed via
+// hashing.AttributeSeed, which is what lets recovery re-derive the exact
+// families without persisting them.
 type columnMeta struct {
-	ID        uint64 `json:"id"`
-	Finalized bool   `json:"finalized"`
+	ID        uint64        `json:"id"`
+	Finalized bool          `json:"finalized"`
+	Kind      protocol.Kind `json:"kind,omitempty"`
+	Attr      int           `json:"attr,omitempty"`
 }
 
 // Stats counts the store's durable work since Open.
@@ -136,23 +147,36 @@ type Stats struct {
 type RecoveryStats struct {
 	Columns          int64 // collecting columns rebuilt
 	FinalizedColumns int64
-	Reports          int64 // reports replayed from WAL records
+	Reports          int64 // reports replayed from WAL records (join + matrix)
 	Merges           int64 // merge records replayed
 	Checkpoints      int64 // checkpoint snapshots restored
 	TruncatedTails   int64 // segments whose torn tail was cut
 }
 
+// ColumnInfo identifies a recovering column: its name, manifest kind,
+// and the join-attribute slot its hash families derive from (a matrix
+// column spans attributes Attr and Attr+1).
+type ColumnInfo struct {
+	Name string
+	Kind protocol.Kind
+	Attr int
+}
+
 // Replayer receives the recovered state of a store, column by column:
 // for a finalized column exactly one RecoverFinalized call; for a
 // collecting column at most one RecoverCheckpoint call followed by the
-// column's WAL events in append order. The aggregation side implements
-// this by folding into the ingestion engine — integer cells make the
-// replayed state exactly what the pre-crash process held.
+// column's WAL events in append order. Snapshot-carrying calls receive
+// join or matrix snapshots according to col.Kind; report records arrive
+// through RecoverReports or RecoverMatrixReports to match. The
+// aggregation side implements this by folding into the ingestion
+// engine — integer cells make the replayed state exactly what the
+// pre-crash process held.
 type Replayer interface {
-	RecoverFinalized(name string, snap *protocol.Snapshot) error
-	RecoverCheckpoint(name string, snap *protocol.Snapshot) error
-	RecoverReports(name string, reports []core.Report) error
-	RecoverMerge(name string, snap *protocol.Snapshot) error
+	RecoverFinalized(col ColumnInfo, snap *protocol.Snapshot) error
+	RecoverCheckpoint(col ColumnInfo, snap *protocol.Snapshot) error
+	RecoverReports(col ColumnInfo, reports []core.Report) error
+	RecoverMatrixReports(col ColumnInfo, reports []core.MatrixReport) error
+	RecoverMerge(col ColumnInfo, snap *protocol.Snapshot) error
 }
 
 // Store is the durable column store over one data directory. It is safe
@@ -232,8 +256,23 @@ func Open(dir string, p core.Params, seed int64, opts Options) (*Store, error) {
 		if st.man.Columns == nil {
 			st.man.Columns = make(map[string]*columnMeta)
 		}
+		// Manifests written before column kinds existed carry no kind
+		// byte; every column they name is a join column on attribute 0.
+		for _, meta := range st.man.Columns {
+			if meta.Kind == 0 {
+				meta.Kind = protocol.KindJoin
+			}
+		}
 	}
 	return st, nil
+}
+
+// matrixParams derives the matrix-column shape of this store's
+// configuration: K replicas of M×M cells under the scalar budget — the
+// same derivation the service and the chain protocol use, so state is
+// interchangeable across all three.
+func (st *Store) matrixParams() core.MatrixParams {
+	return core.MatrixParams{K: st.params.K, M1: st.params.M, M2: st.params.M, Epsilon: st.params.Epsilon}
 }
 
 // Dir returns the data directory the store was opened on.
@@ -261,9 +300,13 @@ func (st *Store) colDir(id uint64) string {
 }
 
 // column returns the meta and open log for name, creating both on first
-// use (the manifest write makes the name durable before any record can
-// reference it). Callers must not hold st.mu.
-func (st *Store) column(name string) (*columnMeta, *columnLog, error) {
+// use (the manifest write makes the name durable — kind and attribute
+// included — before any record can reference it). A name that already
+// exists under a different kind or attribute is refused: the WAL and
+// snapshot payloads of the two kinds are not interchangeable, and
+// neither are the hash families of two attribute slots. Callers must not
+// hold st.mu.
+func (st *Store) column(name string, kind protocol.Kind, attr int) (*columnMeta, *columnLog, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
@@ -271,7 +314,7 @@ func (st *Store) column(name string) (*columnMeta, *columnLog, error) {
 	}
 	meta, ok := st.man.Columns[name]
 	if !ok {
-		meta = &columnMeta{ID: st.man.NextID}
+		meta = &columnMeta{ID: st.man.NextID, Kind: kind, Attr: attr}
 		if err := os.MkdirAll(st.colDir(meta.ID), 0o755); err != nil {
 			return nil, nil, err
 		}
@@ -282,6 +325,10 @@ func (st *Store) column(name string) (*columnMeta, *columnLog, error) {
 			st.man.NextID--
 			return nil, nil, err
 		}
+	}
+	if meta.Kind != kind || meta.Attr != attr {
+		return nil, nil, fmt.Errorf("store: column %q is %v state of attribute %d, not %v state of attribute %d",
+			name, meta.Kind, meta.Attr, kind, attr)
 	}
 	if meta.Finalized {
 		return meta, nil, ErrColumnFinalized
@@ -297,14 +344,33 @@ func (st *Store) column(name string) (*columnMeta, *columnLog, error) {
 	return meta, log, nil
 }
 
-// AppendReports makes a request's accepted report batches durable:
+// AppendReports makes a request's accepted join report batches durable:
 // framed as one or more RecordReports records, appended to the column's
-// WAL, and synced once before returning. Only acknowledge the request
-// after a nil return. Records are framed one at a time into a reused
-// buffer and written as they are built, so the peak extra memory is one
-// record (maxReportsPerRecord reports), not a second copy of the whole
+// WAL, and synced once before returning. attr is the column's
+// join-attribute slot (0 for a plain pairwise deployment). Only
+// acknowledge the request after a nil return.
+func (st *Store) AppendReports(name string, attr int, batches [][]core.Report) error {
+	return appendReportRecords(st, name, protocol.KindJoin, attr,
+		protocol.RecordReports, protocol.ReportSize, protocol.AppendReportsPayload, batches)
+}
+
+// AppendMatrixReports is AppendReports for a matrix column: accepted
+// middle-table report batches framed as RecordMatrixReports records.
+// attr is the left attribute of the pair the column spans.
+func (st *Store) AppendMatrixReports(name string, attr int, batches [][]core.MatrixReport) error {
+	return appendReportRecords(st, name, protocol.KindMatrix, attr,
+		protocol.RecordMatrixReports, protocol.MatrixReportSize, protocol.AppendMatrixReportsPayload, batches)
+}
+
+// appendReportRecords frames report batches — itemSize wire bytes per
+// report, encoded by encode — as records of rtype, splitting at
+// maxReportsPerRecord, and appends them to the column's WAL with one
+// sync. Records are framed one at a time into a reused buffer and
+// written as they are built, so the peak extra memory is one record
+// (maxReportsPerRecord reports), not a second copy of the whole
 // request.
-func (st *Store) AppendReports(name string, batches [][]core.Report) error {
+func appendReportRecords[T any](st *Store, name string, kind protocol.Kind, attr int,
+	rtype protocol.RecordType, itemSize int, encode func([]byte, []T) []byte, batches [][]T) error {
 	total := 0
 	for _, batch := range batches {
 		total += len(batch)
@@ -312,20 +378,20 @@ func (st *Store) AppendReports(name string, batches [][]core.Report) error {
 	if total == 0 {
 		return nil
 	}
-	_, log, err := st.column(name)
+	_, log, err := st.column(name, kind, attr)
 	if err != nil {
 		return err
 	}
 	bi, off := 0, 0 // cursor into batches
-	frame := make([]byte, 0, min(total, maxReportsPerRecord)*protocol.ReportSize+protocol.RecordOverhead)
+	frame := make([]byte, 0, min(total, maxReportsPerRecord)*itemSize+protocol.RecordOverhead)
 	payload := make([]byte, 0, cap(frame)-protocol.RecordOverhead)
 	next := func() []byte {
 		payload = payload[:0]
-		for bi < len(batches) && len(payload) < maxReportsPerRecord*protocol.ReportSize {
-			room := maxReportsPerRecord - len(payload)/protocol.ReportSize
+		for bi < len(batches) && len(payload) < maxReportsPerRecord*itemSize {
+			room := maxReportsPerRecord - len(payload)/itemSize
 			batch := batches[bi][off:]
 			n := min(room, len(batch))
-			payload = protocol.AppendReportsPayload(payload, batch[:n])
+			payload = encode(payload, batch[:n])
 			if off += n; off == len(batches[bi]) {
 				bi, off = bi+1, 0
 			}
@@ -333,7 +399,7 @@ func (st *Store) AppendReports(name string, batches [][]core.Report) error {
 		if len(payload) == 0 {
 			return nil
 		}
-		frame = protocol.AppendRecord(frame[:0], protocol.RecordReports, payload)
+		frame = protocol.AppendRecord(frame[:0], rtype, payload)
 		return frame
 	}
 	written, err := log.appendFunc(next)
@@ -350,11 +416,13 @@ func (st *Store) AppendReports(name string, batches [][]core.Report) error {
 // AppendMerge makes an accepted snapshot merge durable. The snapshot is
 // stored in its encoded (CRC-carrying) form; the caller has already
 // validated and fingerprint-checked it, and recovery checks both again.
-func (st *Store) AppendMerge(name string, encoded []byte) error {
+// kind and attr name the column the merge lands in, exactly as in the
+// report appends.
+func (st *Store) AppendMerge(name string, kind protocol.Kind, attr int, encoded []byte) error {
 	if len(encoded) > protocol.MaxRecordPayload {
 		return fmt.Errorf("store: snapshot of %d bytes exceeds the %d-byte WAL record bound", len(encoded), protocol.MaxRecordPayload)
 	}
-	_, log, err := st.column(name)
+	_, log, err := st.column(name, kind, attr)
 	if err != nil {
 		return err
 	}
@@ -375,11 +443,11 @@ func (st *Store) AppendMerge(name string, encoded []byte) error {
 // the service checkpoints only at shutdown, after the ingestion engine
 // has drained. The column accepts no further appends this process
 // lifetime; a reopened store continues it from the checkpoint.
-func (st *Store) Checkpoint(name string, snap *protocol.Snapshot) error {
+func (st *Store) Checkpoint(name string, attr int, snap *protocol.Snapshot) error {
 	if snap.Finalized {
 		return fmt.Errorf("store: checkpoint of %q with a finalized snapshot; use Finalize", name)
 	}
-	meta, log, err := st.column(name)
+	meta, log, err := st.column(name, kindOfSnapshot(snap), attr)
 	if err != nil {
 		return err
 	}
@@ -419,11 +487,11 @@ func (st *Store) Checkpoint(name string, snap *protocol.Snapshot) error {
 // the column durably refuses appends from here on. The write is ordered
 // before the retirement, so a crash in between recovers as finalized
 // with some dead segment files left to delete.
-func (st *Store) Finalize(name string, snap *protocol.Snapshot) error {
+func (st *Store) Finalize(name string, attr int, snap *protocol.Snapshot) error {
 	if !snap.Finalized {
 		return fmt.Errorf("store: finalize of %q with an unfinalized snapshot", name)
 	}
-	meta, log, err := st.column(name)
+	meta, log, err := st.column(name, kindOfSnapshot(snap), attr)
 	if err != nil {
 		return err
 	}
@@ -478,16 +546,17 @@ func (st *Store) Recover(r Replayer) (RecoveryStats, error) {
 
 func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats *RecoveryStats) error {
 	dir := st.colDir(meta.ID)
+	col := ColumnInfo{Name: name, Kind: meta.Kind, Attr: meta.Attr}
 
 	// A final.snap is the terminal state and wins outright, even when a
 	// crash between its write and the retirement left segments behind.
 	// The manifest flag is fixed up if the crash hit before its write.
 	if data, err := os.ReadFile(filepath.Join(dir, finalName)); err == nil {
-		snap, err := st.decodeSnapshot(data, true)
+		snap, err := st.decodeSnapshot(meta, data, true)
 		if err != nil {
 			return fmt.Errorf("%s: %w", finalName, err)
 		}
-		if err := r.RecoverFinalized(name, snap); err != nil {
+		if err := r.RecoverFinalized(col, snap); err != nil {
 			return err
 		}
 		if !meta.Finalized {
@@ -514,11 +583,11 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 		if err != nil {
 			return err
 		}
-		snap, err := st.decodeSnapshot(data, false)
+		snap, err := st.decodeSnapshot(meta, data, false)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ckptName(ckptSeq), err)
 		}
-		if err := r.RecoverCheckpoint(name, snap); err != nil {
+		if err := r.RecoverCheckpoint(col, snap); err != nil {
 			return err
 		}
 		stats.Checkpoints++
@@ -526,20 +595,35 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 	res, err := replaySegments(dir, ckptSeq, st.opts.NoSync, func(typ protocol.RecordType, payload []byte) error {
 		switch typ {
 		case protocol.RecordReports:
+			if meta.Kind != protocol.KindJoin {
+				return fmt.Errorf("%w: join report record in a %v column's log", protocol.ErrBadRecord, meta.Kind)
+			}
 			reports, err := protocol.DecodeReportsPayload(payload, st.params)
 			if err != nil {
 				return err
 			}
-			if err := r.RecoverReports(name, reports); err != nil {
+			if err := r.RecoverReports(col, reports); err != nil {
+				return err
+			}
+			stats.Reports += int64(len(reports))
+		case protocol.RecordMatrixReports:
+			if meta.Kind != protocol.KindMatrix {
+				return fmt.Errorf("%w: matrix report record in a %v column's log", protocol.ErrBadRecord, meta.Kind)
+			}
+			reports, err := protocol.DecodeMatrixReportsPayload(payload, st.matrixParams())
+			if err != nil {
+				return err
+			}
+			if err := r.RecoverMatrixReports(col, reports); err != nil {
 				return err
 			}
 			stats.Reports += int64(len(reports))
 		case protocol.RecordMerge:
-			snap, err := st.decodeSnapshot(payload, false)
+			snap, err := st.decodeSnapshot(meta, payload, false)
 			if err != nil {
 				return err
 			}
-			if err := r.RecoverMerge(name, snap); err != nil {
+			if err := r.RecoverMerge(col, snap); err != nil {
 				return err
 			}
 			stats.Merges++
@@ -556,15 +640,36 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 	return nil
 }
 
+// kindOfSnapshot maps a snapshot's shape to the column kind it persists.
+func kindOfSnapshot(snap *protocol.Snapshot) protocol.Kind {
+	if snap.Kind == protocol.SnapshotMatrix {
+		return protocol.KindMatrix
+	}
+	return protocol.KindJoin
+}
+
 // decodeSnapshot decodes, validates, and fingerprint-checks one stored
-// SNAP payload.
-func (st *Store) decodeSnapshot(data []byte, wantFinal bool) (*protocol.Snapshot, error) {
+// SNAP payload against the column's kind and attribute-derived hash
+// seeds — a log written under other families refuses to load rather than
+// poisoning a sketch.
+func (st *Store) decodeSnapshot(meta *columnMeta, data []byte, wantFinal bool) (*protocol.Snapshot, error) {
 	snap, err := protocol.DecodeSnapshot(data)
 	if err != nil {
 		return nil, err
 	}
-	if err := snap.CompatibleWithJoin(st.params, st.seed); err != nil {
-		return nil, err
+	switch meta.Kind {
+	case protocol.KindJoin:
+		if err := snap.CompatibleWithJoin(st.params, hashing.AttributeSeed(st.seed, meta.Attr)); err != nil {
+			return nil, err
+		}
+	case protocol.KindMatrix:
+		seedA := hashing.AttributeSeed(st.seed, meta.Attr)
+		seedB := hashing.AttributeSeed(st.seed, meta.Attr+1)
+		if err := snap.CompatibleWithMatrix(st.matrixParams(), seedA, seedB); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown column kind %d", meta.Kind)
 	}
 	if snap.Finalized != wantFinal {
 		return nil, fmt.Errorf("snapshot finalized=%v, want %v", snap.Finalized, wantFinal)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
 	"ldpjoin/internal/protocol"
 )
 
@@ -19,38 +20,52 @@ const testSeed = 42
 
 // replayLog collects every Replayer callback in order for assertions.
 type replayLog struct {
-	finalized   map[string]*protocol.Snapshot
-	checkpoints map[string]*protocol.Snapshot
-	reports     map[string][]core.Report
-	merges      map[string][]*protocol.Snapshot
+	finalized     map[string]*protocol.Snapshot
+	checkpoints   map[string]*protocol.Snapshot
+	reports       map[string][]core.Report
+	matrixReports map[string][]core.MatrixReport
+	merges        map[string][]*protocol.Snapshot
+	infos         map[string]ColumnInfo
 }
 
 func newReplayLog() *replayLog {
 	return &replayLog{
-		finalized:   make(map[string]*protocol.Snapshot),
-		checkpoints: make(map[string]*protocol.Snapshot),
-		reports:     make(map[string][]core.Report),
-		merges:      make(map[string][]*protocol.Snapshot),
+		finalized:     make(map[string]*protocol.Snapshot),
+		checkpoints:   make(map[string]*protocol.Snapshot),
+		reports:       make(map[string][]core.Report),
+		matrixReports: make(map[string][]core.MatrixReport),
+		merges:        make(map[string][]*protocol.Snapshot),
+		infos:         make(map[string]ColumnInfo),
 	}
 }
 
-func (r *replayLog) RecoverFinalized(name string, snap *protocol.Snapshot) error {
-	r.finalized[name] = snap
+func (r *replayLog) RecoverFinalized(col ColumnInfo, snap *protocol.Snapshot) error {
+	r.infos[col.Name] = col
+	r.finalized[col.Name] = snap
 	return nil
 }
 
-func (r *replayLog) RecoverCheckpoint(name string, snap *protocol.Snapshot) error {
-	r.checkpoints[name] = snap
+func (r *replayLog) RecoverCheckpoint(col ColumnInfo, snap *protocol.Snapshot) error {
+	r.infos[col.Name] = col
+	r.checkpoints[col.Name] = snap
 	return nil
 }
 
-func (r *replayLog) RecoverReports(name string, reports []core.Report) error {
-	r.reports[name] = append(r.reports[name], reports...)
+func (r *replayLog) RecoverReports(col ColumnInfo, reports []core.Report) error {
+	r.infos[col.Name] = col
+	r.reports[col.Name] = append(r.reports[col.Name], reports...)
 	return nil
 }
 
-func (r *replayLog) RecoverMerge(name string, snap *protocol.Snapshot) error {
-	r.merges[name] = append(r.merges[name], snap)
+func (r *replayLog) RecoverMatrixReports(col ColumnInfo, reports []core.MatrixReport) error {
+	r.infos[col.Name] = col
+	r.matrixReports[col.Name] = append(r.matrixReports[col.Name], reports...)
+	return nil
+}
+
+func (r *replayLog) RecoverMerge(col ColumnInfo, snap *protocol.Snapshot) error {
+	r.infos[col.Name] = col
+	r.merges[col.Name] = append(r.merges[col.Name], snap)
 	return nil
 }
 
@@ -91,10 +106,10 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 	repA := testReports(1, 300)
 	repB := testReports(2, 100)
-	if err := st.AppendReports("a", [][]core.Report{repA[:120], repA[120:]}); err != nil {
+	if err := st.AppendReports("a", 0, [][]core.Report{repA[:120], repA[120:]}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendReports("b", [][]core.Report{repB}); err != nil {
+	if err := st.AppendReports("b", 0, [][]core.Report{repB}); err != nil {
 		t.Fatal(err)
 	}
 	snap := testSnapshot(t, 3, 50)
@@ -102,7 +117,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendMerge("a", enc); err != nil {
+	if err := st.AppendMerge("a", protocol.KindJoin, 0, enc); err != nil {
 		t.Fatal(err)
 	}
 	if s := st.Stats(); s.Appends != 3 || s.Bytes == 0 {
@@ -139,10 +154,10 @@ func TestStoreTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := testReports(1, 200)
-	if err := st.AppendReports("a", [][]core.Report{rep[:100]}); err != nil {
+	if err := st.AppendReports("a", 0, [][]core.Report{rep[:100]}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendReports("a", [][]core.Report{rep[100:]}); err != nil {
+	if err := st.AppendReports("a", 0, [][]core.Report{rep[100:]}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -189,7 +204,7 @@ func TestStoreCorruptionMidLogFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := int64(0); i < 3; i++ {
-		if err := st.AppendReports("a", [][]core.Report{testReports(i, 10)}); err != nil {
+		if err := st.AppendReports("a", 0, [][]core.Report{testReports(i, 10)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -221,13 +236,13 @@ func TestStoreCheckpointCoversSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := testReports(1, 150)
-	if err := st.AppendReports("a", [][]core.Report{rep}); err != nil {
+	if err := st.AppendReports("a", 0, [][]core.Report{rep}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Checkpoint("a", testSnapshot(t, 1, 150)); err != nil {
+	if err := st.Checkpoint("a", 0, testSnapshot(t, 1, 150)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendReports("a", [][]core.Report{rep}); !errors.Is(err, ErrColumnFinalized) {
+	if err := st.AppendReports("a", 0, [][]core.Report{rep}); !errors.Is(err, ErrColumnFinalized) {
 		t.Fatalf("append after checkpoint: got %v, want ErrColumnFinalized", err)
 	}
 	if segs := findAll(t, dir, segSuffix); len(segs) != 0 {
@@ -250,7 +265,7 @@ func TestStoreCheckpointCoversSegments(t *testing.T) {
 		t.Fatalf("checkpoint replay = %+v", got.checkpoints["a"])
 	}
 	more := testReports(2, 60)
-	if err := st2.AppendReports("a", [][]core.Report{more}); err != nil {
+	if err := st2.AppendReports("a", 0, [][]core.Report{more}); err != nil {
 		t.Fatal(err)
 	}
 	st2.Close()
@@ -272,7 +287,7 @@ func TestStoreFinalizeRetiresLog(t *testing.T) {
 	if _, err := st.Recover(newReplayLog()); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendReports("a", [][]core.Report{testReports(1, 80)}); err != nil {
+	if err := st.AppendReports("a", 0, [][]core.Report{testReports(1, 80)}); err != nil {
 		t.Fatal(err)
 	}
 	agg := core.NewAggregator(testParams, testParams.NewFamily(testSeed))
@@ -280,10 +295,10 @@ func TestStoreFinalizeRetiresLog(t *testing.T) {
 		agg.Add(r)
 	}
 	final := protocol.SnapshotOfSketch(agg.Finalize())
-	if err := st.Finalize("a", final); err != nil {
+	if err := st.Finalize("a", 0, final); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendReports("a", [][]core.Report{testReports(2, 5)}); !errors.Is(err, ErrColumnFinalized) {
+	if err := st.AppendReports("a", 0, [][]core.Report{testReports(2, 5)}); !errors.Is(err, ErrColumnFinalized) {
 		t.Fatalf("append after finalize: got %v, want ErrColumnFinalized", err)
 	}
 	if segs := findAll(t, dir, segSuffix); len(segs) != 0 {
@@ -324,7 +339,7 @@ func TestStoreSegmentRotation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := int64(0); i < 10; i++ {
-		if err := st.AppendReports("a", [][]core.Report{testReports(i, 20)}); err != nil {
+		if err := st.AppendReports("a", 0, [][]core.Report{testReports(i, 20)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -363,11 +378,153 @@ func TestStoreClosedRefusesWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.Close()
-	if err := st.AppendReports("a", [][]core.Report{testReports(1, 1)}); !errors.Is(err, ErrClosed) {
+	if err := st.AppendReports("a", 0, [][]core.Report{testReports(1, 1)}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("append after close: got %v, want ErrClosed", err)
 	}
-	if err := st.Checkpoint("a", testSnapshot(t, 1, 1)); !errors.Is(err, ErrClosed) {
+	if err := st.Checkpoint("a", 0, testSnapshot(t, 1, 1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("checkpoint after close: got %v, want ErrClosed", err)
+	}
+}
+
+func testMatrixReports(seed int64, n int) []core.MatrixReport {
+	rng := rand.New(rand.NewSource(seed))
+	mp := core.MatrixParams{K: testParams.K, M1: testParams.M, M2: testParams.M, Epsilon: testParams.Epsilon}
+	famA := core.Params{K: mp.K, M: mp.M1, Epsilon: mp.Epsilon}.NewFamily(hashing.AttributeSeed(testSeed, 0))
+	famB := core.Params{K: mp.K, M: mp.M2, Epsilon: mp.Epsilon}.NewFamily(hashing.AttributeSeed(testSeed, 1))
+	out := make([]core.MatrixReport, n)
+	for i := range out {
+		out[i] = core.PerturbTuple(rng.Uint64()%100, rng.Uint64()%100, mp, famA, famB, rng)
+	}
+	return out
+}
+
+// TestStoreMatrixColumn: a matrix column's WAL records, checkpoint, and
+// finalized snapshot all round-trip through recovery, carrying the
+// manifest kind and attribute with them; a name claimed by one kind
+// refuses appends of the other.
+func TestStoreMatrixColumn(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	rep := testMatrixReports(1, 250)
+	if err := st.AppendMatrixReports("ab", 0, [][]core.MatrixReport{rep[:100], rep[100:]}); err != nil {
+		t.Fatal(err)
+	}
+	// Kind and attribute are part of the column's identity.
+	if err := st.AppendReports("ab", 0, [][]core.Report{testReports(2, 5)}); err == nil {
+		t.Fatal("join append into a matrix column was accepted")
+	}
+	if err := st.AppendMatrixReports("ab", 1, [][]core.MatrixReport{rep[:5]}); err == nil {
+		t.Fatal("attribute-mismatched append was accepted")
+	}
+	st.Close()
+
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	stats, err := st2.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Columns != 1 || stats.Reports != 250 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	if info := got.infos["ab"]; info.Kind != protocol.KindMatrix || info.Attr != 0 {
+		t.Fatalf("recovered column info = %+v", info)
+	}
+	for i, r := range got.matrixReports["ab"] {
+		if r != rep[i] {
+			t.Fatalf("matrix report %d: %v, want %v", i, r, rep[i])
+		}
+	}
+
+	// Checkpoint with matrix state, reopen, finalize, reopen again.
+	mp := core.MatrixParams{K: testParams.K, M1: testParams.M, M2: testParams.M, Epsilon: testParams.Epsilon}
+	famA := core.Params{K: mp.K, M: mp.M1, Epsilon: mp.Epsilon}.NewFamily(hashing.AttributeSeed(testSeed, 0))
+	famB := core.Params{K: mp.K, M: mp.M2, Epsilon: mp.Epsilon}.NewFamily(hashing.AttributeSeed(testSeed, 1))
+	agg := core.NewMatrixAggregator(mp, famA, famB)
+	for _, r := range rep {
+		agg.Add(r)
+	}
+	if err := st2.Checkpoint("ab", 0, protocol.SnapshotOfMatrixAggregator(agg)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3 := open(t, dir, Options{})
+	got = newReplayLog()
+	stats, err = st3.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpoints != 1 || stats.Reports != 0 {
+		t.Fatalf("checkpoint recovery stats = %+v", stats)
+	}
+	ckpt := got.checkpoints["ab"]
+	if ckpt == nil || ckpt.Kind != protocol.SnapshotMatrix || ckpt.N != 250 {
+		t.Fatalf("checkpoint replay = %+v", ckpt)
+	}
+	restored, err := ckpt.MatrixAggregator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := protocol.SnapshotOfMatrixSketch(restored.Finalize())
+	if err := st3.Finalize("ab", 0, final); err != nil {
+		t.Fatal(err)
+	}
+	st3.Close()
+
+	st4 := open(t, dir, Options{})
+	got = newReplayLog()
+	stats, err = st4.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalizedColumns != 1 || stats.Columns != 0 {
+		t.Fatalf("finalized recovery stats = %+v", stats)
+	}
+	snap := got.finalized["ab"]
+	if snap == nil || snap.Kind != protocol.SnapshotMatrix || !snap.Finalized {
+		t.Fatalf("finalized replay = %+v", snap)
+	}
+	reenc, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := protocol.EncodeSnapshot(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, want) {
+		t.Fatal("recovered finalized matrix snapshot is not byte-identical")
+	}
+}
+
+// TestStoreRejectsAttrMismatchedSnapshot: a merge record whose snapshot
+// seeds do not match the column's attribute slot refuses to replay.
+func TestStoreRejectsAttrMismatchedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot built under attribute 1's family, logged into an
+	// attribute-0 column: the append layer trusts the service, so the
+	// record lands — recovery must be the backstop that rejects it.
+	foreign := core.NewAggregator(testParams, testParams.NewFamily(hashing.AttributeSeed(testSeed, 1)))
+	enc, err := protocol.EncodeSnapshot(protocol.SnapshotOfAggregator(foreign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendMerge("a", protocol.KindJoin, 0, enc); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := open(t, dir, Options{})
+	if _, err := st2.Recover(newReplayLog()); err == nil || !errors.Is(err, protocol.ErrSnapshotMismatch) {
+		t.Fatalf("attr-mismatched merge replay: got %v, want ErrSnapshotMismatch", err)
 	}
 }
 
