@@ -1,13 +1,16 @@
 // Command ldpjoin runs a single private join-size estimation on a
-// generated workload and reports the estimate against the exact answer,
-// or — in federate mode — merges sketch snapshots pulled from several
-// ldpjoind collectors and answers the join query over the federation.
+// generated workload and reports the estimate against the exact answer;
+// in federate mode it merges sketch snapshots pulled from several
+// ldpjoind collectors and answers the join query over the federation;
+// in loadtest mode it hammers a live ldpjoind's query API with a
+// weighted concurrent mix and reports QPS and latency percentiles.
 //
 // Usage:
 //
 //	ldpjoin -dataset zipf1.1 -method plus -eps 4 -scale 0.005
 //	ldpjoin -dataset movielens -method sketch -k 18 -m 1024
 //	ldpjoin federate -peers http://a:8080,http://b:8080 -columns users,orders
+//	ldpjoin loadtest -server http://a:8080 -concurrency 32 -duration 30s
 //
 // Methods: sketch (LDPJoinSketch), plus (LDPJoinSketch+), fagms
 // (non-private fast-AGMS), krr, hcms, flh.
@@ -28,6 +31,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "federate" {
 		runFederate(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
+		runLoadtest(os.Args[2:])
 		return
 	}
 	dsName := flag.String("dataset", "zipf1.1", "dataset name (see DESIGN.md Table II) or zipfA.B")

@@ -1,0 +1,193 @@
+package service
+
+// Service read-path benchmarks feeding the BENCH trajectory: the
+// acceptance bar for the lock-free overhaul is that concurrent reads
+// scale with GOMAXPROCS (b.RunParallel) without regressing
+// single-threaded latency (the Serial twins). "cached" measures the
+// memoized path — registry load + sharded cache hit — and "uncached"
+// the full K·M-cell estimate with memoization disabled, which is what
+// contended on the old global mutex.
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/protocol"
+)
+
+// benchServer builds an in-process server with two finalized join
+// columns (A, B on attribute 0), a matrix column AB spanning (0, 1),
+// and a join column C on attribute 1 — enough for every query shape.
+// cacheEntries configures the query cache (negative disables it).
+func benchServer(b *testing.B, cacheEntries int) http.Handler {
+	b.Helper()
+	p := core.Params{K: 9, M: 512, Epsilon: 4}
+	mp := core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon}
+	const seed = 42
+	srv, err := NewWithOptions(p, seed, Options{QueryCacheEntries: cacheEntries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	const n, domain = 5000, 400
+	rng := rand.New(rand.NewSource(7))
+	fams := srv.fams
+	ingest := func(target string, stream []byte) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", target, bytes.NewReader(stream)))
+		if rec.Code != 200 {
+			b.Fatalf("bench seed %s: %d %s", target, rec.Code, rec.Body)
+		}
+	}
+	encode := func(attr int) []byte {
+		var buf bytes.Buffer
+		w, err := protocol.NewReportWriter(&buf, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.Write(core.Perturb(uint64(rng.Intn(domain)), p, fams[attr], rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	encodeMatrix := func(attr int) []byte {
+		var buf bytes.Buffer
+		w, err := protocol.NewMatrixReportWriter(&buf, mp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.Write(core.PerturbTuple(uint64(rng.Intn(domain)), uint64(rng.Intn(domain)), mp, fams[attr], fams[attr+1], rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ingest("/v1/columns/A/reports", encode(0))
+	ingest("/v1/columns/B/reports", encode(0))
+	ingest("/v1/columns/AB/reports?attr=0", encodeMatrix(0))
+	ingest("/v1/columns/C/reports?attr=1", encode(1))
+	for _, col := range []string{"A", "B", "AB", "C"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/columns/"+col+"/finalize", nil))
+		if rec.Code != 200 {
+			b.Fatalf("bench finalize %s: %d %s", col, rec.Code, rec.Body)
+		}
+	}
+	return h
+}
+
+// benchGet drives one GET through the handler and fails the benchmark
+// on a non-200.
+func benchGet(b *testing.B, h http.Handler, target string) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	if rec.Code != 200 {
+		b.Fatalf("%s: %d %s", target, rec.Code, rec.Body)
+	}
+}
+
+// BenchmarkServiceJoinParallel is the ISSUE 5 acceptance benchmark:
+// repeated cached and uncached pairwise joins under b.RunParallel.
+// Throughput should scale with GOMAXPROCS now that the read path takes
+// no global lock.
+func BenchmarkServiceJoinParallel(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		h := benchServer(b, 0)
+		benchGet(b, h, "/v1/join?left=A&right=B") // warm the entry
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchGet(b, h, "/v1/join?left=A&right=B")
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		h := benchServer(b, -1) // memoization off: every join scans K·M cells
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchGet(b, h, "/v1/join?left=A&right=B")
+			}
+		})
+	})
+}
+
+// BenchmarkServiceJoinSerial is the single-threaded latency guard for
+// the same two paths: the lock-free read path must not cost the
+// uncontended caller anything.
+func BenchmarkServiceJoinSerial(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		h := benchServer(b, 0)
+		benchGet(b, h, "/v1/join?left=A&right=B")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchGet(b, h, "/v1/join?left=A&right=B")
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		h := benchServer(b, -1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchGet(b, h, "/v1/join?left=A&right=B")
+		}
+	})
+}
+
+// BenchmarkServiceChainParallel exercises the chain planner's memoized
+// path concurrently: after the first request the estimate is a cache
+// hit that skips validation entirely.
+func BenchmarkServiceChainParallel(b *testing.B) {
+	h := benchServer(b, 0)
+	benchGet(b, h, "/v1/join?path=A,AB,C")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchGet(b, h, "/v1/join?path=A,AB,C")
+		}
+	})
+}
+
+// BenchmarkServiceStatsParallel measures /v1/stats, now wait-free up to
+// a momentary pending-map count: stats pollers ride along with queries
+// instead of serializing them.
+func BenchmarkServiceStatsParallel(b *testing.B) {
+	h := benchServer(b, 0)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchGet(b, h, "/v1/stats")
+		}
+	})
+}
+
+// BenchmarkServiceFrequencyParallel mixes cache hits and misses:
+// rotating values churn the sharded cache's put/evict path from every
+// goroutine at once.
+func BenchmarkServiceFrequencyParallel(b *testing.B) {
+	h := benchServer(b, 256)
+	var i atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v := i.Add(1) % 512
+			benchGet(b, h, "/v1/frequency?column=A&value="+strconv.FormatInt(v, 10))
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package service
+
+// Read-path concurrency regressions: a stalled reader must not hold the
+// lifecycle mutex across the network write, every route must keep its
+// post-Close contract, memoized chain queries must skip the planner,
+// and the lock-free registry + sharded cache must survive a -race
+// hammering of queries against finalize/merge.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ldpjoin/internal/dataset"
+)
+
+// gateWriter is an http.ResponseWriter whose first Write parks until
+// the test releases it — a deterministic stand-in for a client reading
+// its response one byte per minute.
+type gateWriter struct {
+	started chan struct{} // closed when the handler reaches Write
+	release chan struct{} // Write parks until this closes
+	once    sync.Once
+	header  http.Header
+}
+
+func newGateWriter() *gateWriter {
+	return &gateWriter{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		header:  make(http.Header),
+	}
+}
+
+func (g *gateWriter) Header() http.Header { return g.header }
+
+func (g *gateWriter) WriteHeader(int) {}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return len(p), nil
+}
+
+// serve runs one request straight through the handler (no TCP) and
+// returns the recorder.
+func serve(h http.Handler, method, target string, body []byte) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	return rec
+}
+
+// TestStalledReaderDoesNotBlockIngest pins the satellite fix for
+// handleStats/handleStatus holding s.mu across writeJSON: with a
+// /v1/stats (and a collecting-column status) response parked
+// mid-write, ingestion into another column must still complete.
+// Before the fix this deadlocked until the slow client went away —
+// the ingest handler's registerPending sat behind the stalled
+// reader's deferred unlock.
+func TestStalledReaderDoesNotBlockIngest(t *testing.T) {
+	srv, _, p := testServer(t)
+	h := srv.Handler()
+
+	// One collecting column so the status route exercises its
+	// pending-map branch (the finalized branch never locks at all).
+	if rec := serve(h, "POST", "/v1/columns/A/reports", encodeColumn(t, p, 31, []uint64{1, 2, 3, 4})); rec.Code != 200 {
+		t.Fatalf("seed ingest: %d %s", rec.Code, rec.Body)
+	}
+
+	for i, route := range []string{"/v1/stats", "/v1/columns/A"} {
+		gw := newGateWriter()
+		stalled := make(chan struct{})
+		go func() {
+			defer close(stalled)
+			h.ServeHTTP(gw, httptest.NewRequest("GET", route, nil))
+		}()
+		<-gw.started // the handler is inside the network write now
+
+		done := make(chan int, 1)
+		go func() {
+			rec := serve(h, "POST", fmt.Sprintf("/v1/columns/B%d/reports", i), encodeColumn(t, p, int64(40+i), []uint64{5, 6, 7}))
+			done <- rec.Code
+		}()
+		select {
+		case code := <-done:
+			if code != 200 {
+				t.Fatalf("ingest during stalled %s read: code %d", route, code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("ingest blocked behind a stalled %s reader", route)
+		}
+		close(gw.release)
+		<-stalled
+	}
+}
+
+// TestCloseRouteStatuses pins every route's post-Close contract in one
+// table: mutating and export handlers answer the retryable 503,
+// finalized state stays queryable. This is the regression test for the
+// satellite fix that /sketch (export) was missing the refuseClosed
+// guard /snapshot already had.
+func TestCloseRouteStatuses(t *testing.T) {
+	srv, ts, p := testServer(t)
+	for _, col := range []string{"A", "B"} {
+		if code, _ := post(t, ts.URL+"/v1/columns/"+col+"/reports", encodeColumn(t, p, 51, []uint64{1, 2, 3, 4, 5})); code != 200 {
+			t.Fatalf("ingest %s failed", col)
+		}
+	}
+	for _, col := range []string{"A", "B"} {
+		if code, _ := post(t, ts.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 {
+			t.Fatalf("finalize %s failed", col)
+		}
+	}
+	// C stays collecting across the shutdown.
+	if code, _ := post(t, ts.URL+"/v1/columns/C/reports", encodeColumn(t, p, 52, []uint64{6, 7, 8})); code != 200 {
+		t.Fatal("ingest C failed")
+	}
+	srv.Close()
+
+	stream := encodeColumn(t, p, 53, []uint64{9})
+	for _, tc := range []struct {
+		method, target string
+		body           []byte
+		want           int
+	}{
+		{"POST", "/v1/columns/C/reports", stream, 503},
+		{"POST", "/v1/columns/C/finalize", nil, 503},
+		{"POST", "/v1/columns/C/merge", []byte("x"), 503},
+		{"GET", "/v1/columns/A/snapshot", nil, 503},
+		{"GET", "/v1/columns/A/sketch", nil, 503},
+		{"GET", "/v1/columns/A", nil, 200},
+		{"GET", "/v1/columns/C", nil, 200},
+		{"GET", "/v1/join?left=A&right=B", nil, 200},
+		{"GET", "/v1/frequency?column=A&value=1", nil, 200},
+		{"GET", "/v1/stats", nil, 200},
+		{"GET", "/v1/healthz", nil, 200},
+	} {
+		rec := serve(srv.Handler(), tc.method, tc.target, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s after Close: code %d (%s), want %d", tc.method, tc.target, rec.Code, rec.Body, tc.want)
+		}
+	}
+}
+
+// plannerValidations reads the chain planner's validation counter from
+// /v1/stats.
+func plannerValidations(t *testing.T, url string) float64 {
+	t.Helper()
+	code, stats := get(t, url+"/v1/stats")
+	if code != 200 {
+		t.Fatalf("stats code %d", code)
+	}
+	return stats["planner"].(map[string]any)["chainValidations"].(float64)
+}
+
+// TestChainCacheHitSkipsPlanner pins the satellite fix: a memoized
+// chain query must return without re-running protocol.ValidateChain
+// over the path — entries are only ever stored for chains that already
+// validated against immutable columns. Error results, by contrast, are
+// never cached, so a non-composing path re-validates every time.
+func TestChainCacheHitSkipsPlanner(t *testing.T) {
+	_, ts := matrixServer(t, "")
+	data := dataset.Zipf(85, 800, 120, 1.3)
+	if code, _ := post(t, ts.URL+"/v1/columns/T1/reports", encodeAttrColumn(t, 0, 86, data)); code != 200 {
+		t.Fatal("ingest T1 failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/AB/reports?attr=0", encodeMatrixColumn(t, 0, 87, data, data)); code != 200 {
+		t.Fatal("ingest AB failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/T3/reports?attr=1", encodeAttrColumn(t, 1, 88, data)); code != 200 {
+		t.Fatal("ingest T3 failed")
+	}
+	for _, col := range []string{"T1", "AB", "T3"} {
+		if code, _ := post(t, ts.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 {
+			t.Fatalf("finalize %s failed", col)
+		}
+	}
+	if v := plannerValidations(t, ts.URL); v != 0 {
+		t.Fatalf("planner ran before any chain query: %v validations", v)
+	}
+
+	code, body := get(t, ts.URL+"/v1/join?path=T1,AB,T3")
+	if code != 200 || body["cached"] != false {
+		t.Fatalf("first chain query: %d %v", code, body)
+	}
+	if v := plannerValidations(t, ts.URL); v != 1 {
+		t.Fatalf("first chain query ran %v validations, want 1", v)
+	}
+	code, body = get(t, ts.URL+"/v1/join?path=T1,AB,T3")
+	if code != 200 || body["cached"] != true {
+		t.Fatalf("repeat chain query: %d %v", code, body)
+	}
+	if v := plannerValidations(t, ts.URL); v != 1 {
+		t.Fatalf("cached chain query did planner work: %v validations, want still 1", v)
+	}
+
+	// A rejected chain is not memoized: both attempts validate.
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, ts.URL+"/v1/join?path=T1,T3,T1"); code != 400 {
+			t.Fatalf("invalid chain attempt %d: code %d, want 400", i, code)
+		}
+	}
+	if v := plannerValidations(t, ts.URL); v != 3 {
+		t.Fatalf("validations after two rejected chains = %v, want 3", v)
+	}
+}
+
+// TestReadPathConcurrencyRace hammers joins, chains, frequency, status,
+// and stats against concurrent ingest, finalize, and merge. Run under
+// -race (CI always does) it proves the copy-on-write registry, the
+// sharded singleflight cache, and the atomic counters publish safely —
+// the old global mutex is gone, so every unsynchronized access here
+// would be a detector hit.
+func TestReadPathConcurrencyRace(t *testing.T) {
+	srv, err := NewWithOptions(mtParams, mtSeed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	data := dataset.Zipf(90, 600, 100, 1.3)
+	seedCols := map[string][]byte{
+		"/v1/columns/T1/reports":        encodeAttrColumn(t, 0, 91, data),
+		"/v1/columns/B0/reports":        encodeAttrColumn(t, 0, 92, data),
+		"/v1/columns/AB/reports?attr=0": encodeMatrixColumn(t, 0, 93, data, data),
+		"/v1/columns/T3/reports?attr=1": encodeAttrColumn(t, 1, 94, data),
+	}
+	for target, stream := range seedCols {
+		if rec := serve(h, "POST", target, stream); rec.Code != 200 {
+			t.Fatalf("seed %s: %d %s", target, rec.Code, rec.Body)
+		}
+	}
+	for _, col := range []string{"T1", "B0", "AB", "T3"} {
+		if rec := serve(h, "POST", "/v1/columns/"+col+"/finalize", nil); rec.Code != 200 {
+			t.Fatalf("seed finalize %s: %d %s", col, rec.Code, rec.Body)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers: every query shape in a tight loop until the writers are
+	// done.
+	readerTargets := []func(i int) string{
+		func(int) string { return "/v1/join?left=T1&right=B0" },
+		func(int) string { return "/v1/join?path=T1,AB,T3" },
+		func(i int) string { return "/v1/frequency?column=T1&value=" + strconv.Itoa(i%64) },
+		func(int) string { return "/v1/stats" },
+		func(int) string { return "/v1/columns/T1" },
+	}
+	for r, target := range readerTargets {
+		wg.Add(1)
+		go func(r int, target func(int) string) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rec := serve(h, "GET", target(i), nil); rec.Code != 200 {
+					t.Errorf("reader %d: %s -> %d %s", r, target(i), rec.Code, rec.Body)
+					return
+				}
+			}
+		}(r, target)
+	}
+
+	// Writers: fresh columns ingest and finalize (installing into the
+	// registry under the readers), and collecting-state snapshots merge
+	// into new names.
+	const writerCols = 12
+	var writers sync.WaitGroup
+	writers.Add(2)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < writerCols; i++ {
+			name := "W" + strconv.Itoa(i)
+			stream := encodeAttrColumn(t, 0, int64(200+i), data[:100])
+			if rec := serve(h, "POST", "/v1/columns/"+name+"/reports", stream); rec.Code != 200 {
+				t.Errorf("writer ingest %s: %d %s", name, rec.Code, rec.Body)
+				return
+			}
+			if rec := serve(h, "POST", "/v1/columns/"+name+"/finalize", nil); rec.Code != 200 {
+				t.Errorf("writer finalize %s: %d %s", name, rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer writers.Done()
+		for i := 0; i < writerCols; i++ {
+			src := "S" + strconv.Itoa(i)
+			stream := encodeAttrColumn(t, 0, int64(300+i), data[:100])
+			if rec := serve(h, "POST", "/v1/columns/"+src+"/reports", stream); rec.Code != 200 {
+				t.Errorf("merge source ingest %s: %d %s", src, rec.Code, rec.Body)
+				return
+			}
+			snap := serve(h, "GET", "/v1/columns/"+src+"/snapshot", nil)
+			if snap.Code != 200 {
+				t.Errorf("snapshot %s: %d %s", src, snap.Code, snap.Body)
+				return
+			}
+			if rec := serve(h, "POST", "/v1/columns/M"+strconv.Itoa(i)+"/merge", snap.Body.Bytes()); rec.Code != 200 {
+				t.Errorf("merge M%d: %d %s", i, rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+}

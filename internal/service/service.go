@@ -27,10 +27,13 @@
 // GET /v1/join?path=A,AB,BC,C runs the chain planner — ends must be
 // join columns, every middle a matrix column, slots adjacent — and
 // composes core.ChainEstimate across them. Finalized sketches are
-// immutable, so every query result (pairwise, chain, frequency) is
-// memoized in one bounded query cache; when the cache is full the
-// oldest entry is evicted, and /v1/stats counts hits, misses, and
-// evictions.
+// immutable, so the whole query path is lock-free: finalized columns
+// resolve through an atomic copy-on-write registry, and every query
+// result (pairwise, chain, frequency) is memoized in one bounded,
+// sharded query cache with per-key singleflight — concurrent misses on
+// the same key compute once and share the result. When the cache is
+// full the oldest entry is evicted, and /v1/stats counts hits, misses,
+// evictions, and coalesced computes.
 //
 // Federation: sketches are linear, so aggregation state built on
 // different collectors merges exactly. GET /snapshot exports a column
@@ -76,6 +79,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
@@ -165,67 +169,15 @@ func (c *finishedColumn) n() float64 {
 	return c.join.N()
 }
 
-// queryCache memoizes query results under a size cap. Finalized
-// sketches never change, so entries never go stale — the cap exists
-// only to stop an adversarial query mix (distinct frequency values,
-// say) from growing the map without bound. Eviction is oldest-first;
-// the callers hold the server lock.
-type queryCache struct {
-	capacity  int
-	entries   map[string]any
-	order     []string // insertion order; entries[order[head:]] is live
-	head      int
-	hits      int64
-	misses    int64
-	evictions int64
-}
-
-func newQueryCache(capacity int) *queryCache {
-	return &queryCache{capacity: capacity, entries: make(map[string]any)}
-}
-
-// get returns the memoized result for key, counting a hit when found.
-func (c *queryCache) get(key string) (any, bool) {
-	v, ok := c.entries[key]
-	if ok {
-		c.hits++
-	}
-	return v, ok
-}
-
-// put memoizes a freshly computed result, counting the miss that led to
-// it and evicting the oldest entries once the cap is reached. With the
-// cache disabled (capacity <= 0) only the miss is counted.
-func (c *queryCache) put(key string, v any) {
-	c.misses++
-	if c.capacity <= 0 {
-		return
-	}
-	if _, exists := c.entries[key]; exists {
-		// A concurrent request computed the same entry between our get
-		// and put; overwrite (the values are equal) without reordering.
-		c.entries[key] = v
-		return
-	}
-	for len(c.entries) >= c.capacity {
-		victim := c.order[c.head]
-		c.order[c.head] = ""
-		c.head++
-		delete(c.entries, victim)
-		c.evictions++
-	}
-	// Compact the retired prefix once it dominates the slice, so the
-	// order log does not grow with evictions.
-	if c.head > 1024 && c.head > len(c.order)/2 {
-		c.order = append([]string(nil), c.order[c.head:]...)
-		c.head = 0
-	}
-	c.entries[key] = v
-	c.order = append(c.order, key)
-}
-
 // Server aggregates LDP reports into named columns. It is safe for
 // concurrent use; Close releases the engine workers.
+//
+// The read path is lock-free: finalized columns live in a copy-on-write
+// registry (immutable sketches make a pointer load a complete lookup),
+// query results memoize in a sharded singleflight cache that owns its
+// locking, and the stats counters are atomics. The lifecycle mutex mu
+// below guards only what actually mutates: the collecting-column map,
+// the closed flag, and writes (never reads) of the finished registry.
 type Server struct {
 	params    core.Params
 	matrixP   core.MatrixParams
@@ -235,16 +187,24 @@ type Server struct {
 	st        *store.Store        // nil when DataDir is unset
 	recovered store.RecoveryStats // what startup replay rebuilt; read-only after New
 
-	// mu guards the column maps, the query cache, the counters, and the
-	// closed flag — one lifecycle: anything that can observe or mutate a
-	// column checks closed under the same lock the query cache uses.
-	mu        sync.Mutex
-	closed    bool
-	pending   map[string]*pendingColumn
-	finished  map[string]*finishedColumn
-	cache     *queryCache
-	snapshots map[string]int64
-	merges    map[string]int64
+	// mu is the lifecycle mutex: it guards the pending map and every
+	// *write* to closed and the finished registry, so "is this name
+	// pending / finalized / too late" is answered consistently by anyone
+	// holding it. Reads of closed and finished go through the atomics
+	// and never take it.
+	mu      sync.Mutex
+	closed  atomic.Bool // written under mu; read lock-free
+	pending map[string]*pendingColumn
+
+	finished  finishedRegistry // finalized columns; lock-free reads
+	cache     *queryCache      // sharded, owns its locking
+	snapshots counterMap       // per-column snapshot exports
+	merges    counterMap       // per-column merges
+
+	// chainValidations counts planner runs (protocol.ValidateChain over
+	// a full path). Memoized chain queries skip the planner, so the
+	// counter lets tests — and operators — see that they do.
+	chainValidations atomic.Int64
 }
 
 // New creates a server with default options; the hash family derives
@@ -289,11 +249,9 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		engine:    ingest.NewEngine(p, fams[0], o.Ingest),
 		maxStream: maxStream,
 		pending:   make(map[string]*pendingColumn),
-		finished:  make(map[string]*finishedColumn),
 		cache:     newQueryCache(cacheCap),
-		snapshots: make(map[string]int64),
-		merges:    make(map[string]int64),
 	}
+	s.finished.init()
 	if o.DataDir != "" {
 		st, err := store.Open(o.DataDir, p, seed, o.Store)
 		if err != nil {
@@ -313,10 +271,10 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 }
 
 // recoverer folds the column store's recovered state back into the
-// server: finalized snapshots restore straight into the query maps,
-// collecting state replays through the ingestion engine exactly like
-// live traffic. It runs before the server serves its first request, so
-// it touches the maps without locking.
+// server: finalized snapshots restore straight into the finished
+// registry, collecting state replays through the ingestion engine
+// exactly like live traffic. It runs before the server serves its
+// first request, so it touches the maps without locking.
 type recoverer struct{ s *Server }
 
 // col returns the in-memory column for a recovering name, creating it
@@ -359,7 +317,10 @@ func (r recoverer) RecoverFinalized(info store.ColumnInfo, snap *protocol.Snapsh
 		}
 		fin.join = sk
 	}
-	r.s.finished[info.Name] = fin
+	// Recovery runs single-threaded before the first request, so it may
+	// grow the registry's map in place instead of copy-and-swapping once
+	// per recovered column.
+	r.s.finished.seed(info.Name, fin)
 	return nil
 }
 
@@ -440,11 +401,11 @@ func (r recoverer) RecoverMatrixReports(info store.ColumnInfo, reports []core.Ma
 // idempotent.
 func (s *Server) Shutdown() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
 	pending := make(map[string]*pendingColumn, len(s.pending))
 	for name, col := range s.pending {
 		pending[name] = col
@@ -486,20 +447,19 @@ func (s *Server) Shutdown() error {
 func (s *Server) Close() { _ = s.Shutdown() }
 
 // refuseClosed reports whether the server is closed, writing the 503 if
-// so. The flag lives under s.mu — the same lock as the column maps and
-// the query cache — so closing and the handlers' column lookups
-// serialize on one lifecycle. A request that slips past the check while
-// Close runs still cannot corrupt anything: the engine refuses new work
-// with ErrClosed and a drained column with ErrFinalized, both of which
-// surface as clean HTTP errors.
+// so. The flag is an atomic written only under s.mu: this fast-path
+// read costs no lock, while the lifecycle decisions that matter —
+// registerPending's re-check, Shutdown's pending-map snapshot — read it
+// under the mutex and stay exactly ordered. A request that slips past
+// the check while Close runs still cannot corrupt anything: the engine
+// refuses new work with ErrClosed and a drained column with
+// ErrFinalized, both of which surface as clean HTTP errors.
 func (s *Server) refuseClosed(w http.ResponseWriter) bool {
-	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	if s.closed.Load() {
 		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		return true
 	}
-	return closed
+	return false
 }
 
 // Handler returns the HTTP handler serving the API above.
@@ -550,12 +510,12 @@ func (s *Server) attrParam(r *http.Request, kind protocol.Kind) (int, error) {
 // been written.
 func (s *Server) registerPending(w http.ResponseWriter, name string, kind protocol.Kind, attr int) (*pendingColumn, bool) {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "server is shut down")
 		return nil, false
 	}
-	if _, done := s.finished[name]; done {
+	if _, done := s.finished.get(name); done {
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "column %q is already finalized", name)
 		return nil, false
@@ -725,7 +685,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	s.mu.Lock()
-	if _, done := s.finished[name]; done {
+	if _, done := s.finished.get(name); done {
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "column %q is already finalized", name)
 		return
@@ -777,9 +737,12 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		persistErr = s.st.Finalize(name, col.attr, snap)
 	}
+	// Retire the pending entry and publish the finalized column in one
+	// critical section: a status or register request holding mu sees the
+	// column in exactly one of the two maps, never neither.
 	s.mu.Lock()
 	delete(s.pending, name)
-	s.finished[name] = fin
+	s.finished.install(name, fin)
 	s.mu.Unlock()
 	if persistErr != nil {
 		httpError(w, http.StatusInternalServerError,
@@ -789,32 +752,52 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"column": name, "kind": col.kind.String(), "reports": n})
 }
 
+// finalizedStatus is the status payload of a finalized column.
+func finalizedStatus(name string, fin *finishedColumn) map[string]any {
+	return map[string]any{
+		"column": name, "kind": fin.kind.String(), "attr": fin.attr,
+		"state": "finalized", "reports": fin.n(),
+	}
+}
+
+// handleStatus answers from the lock-free registry when the column is
+// finalized; only a collecting column touches the lifecycle mutex, and
+// then just for the map lookup — the response is encoded and written
+// after the lock is released, so a slow status reader cannot stall
+// ingestion.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if fin, ok := s.finished[name]; ok {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"column": name, "kind": fin.kind.String(), "attr": fin.attr,
-			"state": "finalized", "reports": fin.n(),
-		})
+	if fin, ok := s.finished.get(name); ok {
+		writeJSON(w, http.StatusOK, finalizedStatus(name, fin))
 		return
 	}
-	if col, ok := s.pending[name]; ok {
+	s.mu.Lock()
+	col, ok := s.pending[name]
+	s.mu.Unlock()
+	if ok {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"column": name, "kind": col.kind.String(), "attr": col.attr,
 			"state": "collecting", "reports": col.n(),
 		})
 		return
 	}
+	// A finalize can move the column between the two lookups; re-check
+	// the registry before declaring the name unknown.
+	if fin, ok := s.finished.get(name); ok {
+		writeJSON(w, http.StatusOK, finalizedStatus(name, fin))
+		return
+	}
 	httpError(w, http.StatusNotFound, "unknown column %q", name)
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	// Close → 503 on every mutating and export handler (the PR 3
+	// contract): /snapshot refuses, so /sketch must too.
+	if s.refuseClosed(w) {
+		return
+	}
 	name := r.PathValue("name")
-	s.mu.Lock()
-	fin, ok := s.finished[name]
-	s.mu.Unlock()
+	fin, ok := s.finished.get(name)
 	if !ok {
 		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
 		return
@@ -844,10 +827,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	s.mu.Lock()
-	fin, done := s.finished[name]
-	col, collecting := s.pending[name]
-	s.mu.Unlock()
+	fin, done := s.finished.get(name)
+	var col *pendingColumn
+	var collecting bool
+	if !done {
+		s.mu.Lock()
+		col, collecting = s.pending[name]
+		s.mu.Unlock()
+		if !collecting {
+			// A finalize between the two lookups moved the column.
+			fin, done = s.finished.get(name)
+		}
+	}
 
 	var snap *protocol.Snapshot
 	switch {
@@ -890,9 +881,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "encoding snapshot: %v", err)
 		return
 	}
-	s.mu.Lock()
-	s.snapshots[name]++
-	s.mu.Unlock()
+	s.snapshots.bump(name)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Ldpjoin-Finalized", fmt.Sprintf("%v", snap.Finalized))
 	w.WriteHeader(http.StatusOK)
@@ -981,12 +970,12 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		// requests serialize: whichever claims the name first wins, the
 		// other gets the conflict.
 		s.mu.Lock()
-		if s.closed {
+		if s.closed.Load() {
 			s.mu.Unlock()
 			httpError(w, http.StatusServiceUnavailable, "server is shut down")
 			return
 		}
-		if _, done := s.finished[name]; done {
+		if _, done := s.finished.get(name); done {
 			s.mu.Unlock()
 			httpError(w, http.StatusConflict, "column %q is already finalized; merging finalized snapshots is not exact", name)
 			return
@@ -996,9 +985,9 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
 			return
 		}
-		s.finished[name] = fin
-		s.merges[name]++
+		s.finished.install(name, fin)
 		s.mu.Unlock()
+		s.merges.bump(name)
 		// An import is terminal state: persist it like a finalize. As in
 		// handleFinalize, a persist failure keeps the in-memory install
 		// (it cannot be undone observably) and reports the error.
@@ -1051,9 +1040,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	s.merges[name]++
-	s.mu.Unlock()
+	s.merges.bump(name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "kind": kind.String(), "merged": snap.N, "total": col.n(), "finalized": false,
 	})
@@ -1066,10 +1053,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 // retryable 503 instead of a 409 a gateway would treat as terminal and
 // drop its reports over.
 func (s *Server) columnConflict(w http.ResponseWriter, format string, args ...any) {
-	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	if s.closed.Load() {
 		httpError(w, http.StatusServiceUnavailable, "server is shut down")
 		return
 	}
@@ -1085,10 +1069,7 @@ func (s *Server) columnConflict(w http.ResponseWriter, format string, args ...an
 // case into the retryable 503.
 func (s *Server) storeAppendError(w http.ResponseWriter, name string, err error) {
 	if errors.Is(err, store.ErrColumnFinalized) || errors.Is(err, store.ErrClosed) {
-		s.mu.Lock()
-		closed := s.closed
-		s.mu.Unlock()
-		if closed {
+		if s.closed.Load() {
 			httpError(w, http.StatusServiceUnavailable, "server is shut down")
 			return
 		}
@@ -1135,19 +1116,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns, or a ?path= chain")
 		return
 	}
-	key := pairJoinKey(left, right)
-	s.mu.Lock()
-	finL, okL := s.finished[left]
-	finR, okR := s.finished[right]
-	var est float64
-	var cached bool
-	if okL && okR {
-		// The lookup and the hit-count share the critical section.
-		if v, ok := s.cache.get(key); ok {
-			est, cached = v.(float64), true
-		}
-	}
-	s.mu.Unlock()
+	// The whole lookup is lock-free: both columns come off the
+	// copy-on-write registry, and the cache owns its own (sharded)
+	// locking — a join estimate never contends with ingestion.
+	finL, okL := s.finished.get(left)
+	finR, okR := s.finished.get(right)
 	if !okL || !okR {
 		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
 		return
@@ -1157,27 +1130,32 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			left, finL.kind.String(), right, finR.kind.String())
 		return
 	}
-	if !cached {
-		// Compute outside the lock — the inner products scan K·M cells —
-		// then memoize: finalized sketches never change, so the entry
-		// stays valid until capacity evicts it.
-		est = finL.join.JoinSize(finR.join)
-		s.mu.Lock()
-		s.cache.put(key, est)
-		s.mu.Unlock()
+	// The inner products scan K·M cells; singleflight makes N concurrent
+	// misses on the same pair compute them once. Finalized sketches
+	// never change, so the entry stays valid until capacity evicts it.
+	v, cached, err := s.cache.do(pairJoinKey(left, right), func() (any, error) {
+		return finL.join.JoinSize(finR.join), nil
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "join estimate: %v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"left": left, "right": right, "estimate": est, "cached": cached,
+		"left": left, "right": right, "estimate": v.(float64), "cached": cached,
 	})
 }
 
 // handleChainJoin is the multi-way query planner: ?path=A,AB,BC,C names
 // a chain whose ends are join columns and whose middles are matrix
-// columns. The planner resolves every column, validates the composition
-// — kinds in end/middle position and attribute slots strictly adjacent,
-// so each matrix's left family is its predecessor's right family — and
-// composes core.ChainEstimate over the finalized sketches, memoizing
-// the estimate under the literal path.
+// columns. The planner resolves every column from the lock-free
+// registry, validates the composition — kinds in end/middle position
+// and attribute slots strictly adjacent, so each matrix's left family
+// is its predecessor's right family — and composes core.ChainEstimate
+// over the finalized sketches, memoizing the estimate under the literal
+// path. All planner work lives inside the cache's compute callback: a
+// memoized path was only ever stored after validating against the same
+// immutable columns, so a hit returns the estimate without re-running
+// the planner at all.
 func (s *Server) handleChainJoin(w http.ResponseWriter, path string) {
 	var names []string
 	for _, part := range strings.Split(path, ",") {
@@ -1185,68 +1163,62 @@ func (s *Server) handleChainJoin(w http.ResponseWriter, path string) {
 			names = append(names, part)
 		}
 	}
-	key := cacheKey("chain", names...)
-
 	if len(names) < 3 {
 		httpError(w, http.StatusBadRequest, "?path= %v", protocol.ErrChainLength)
 		return
 	}
 
-	s.mu.Lock()
 	cols := make([]*finishedColumn, len(names))
 	var missing []string
 	for i, name := range names {
-		col, ok := s.finished[name]
+		col, ok := s.finished.get(name)
 		if !ok {
 			missing = append(missing, name)
 			continue
 		}
 		cols[i] = col
 	}
-	var est float64
-	var cached bool
-	if missing == nil {
-		if v, ok := s.cache.get(key); ok {
-			est, cached = v.(float64), true
-		}
-	}
-	s.mu.Unlock()
 	if missing != nil {
 		httpError(w, http.StatusNotFound, "chain columns not finalized: %s", strings.Join(missing, ", "))
 		return
 	}
 
-	// The composition rules — join ends, matrix middles, attribute
-	// slots advancing by one — live in protocol.ValidateChain, shared
-	// with the federator so the two can never diverge.
-	chain := make([]protocol.ChainColumn, len(cols))
-	for i, col := range cols {
-		chain[i] = protocol.ChainColumn{Name: names[i], Kind: col.kind, Attr: col.attr}
-	}
-	if err := protocol.ValidateChain(chain); err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, protocol.ErrChainOrder) {
-			// The columns exist and are well-formed; they just don't
-			// compose — a conflict, not a malformed request.
-			code = http.StatusConflict
+	v, cached, err := s.cache.do(cacheKey("chain", names...), func() (any, error) {
+		// The composition rules — join ends, matrix middles, attribute
+		// slots advancing by one — live in protocol.ValidateChain,
+		// shared with the federator so the two can never diverge.
+		s.chainValidations.Add(1)
+		chain := make([]protocol.ChainColumn, len(cols))
+		for i, col := range cols {
+			chain[i] = protocol.ChainColumn{Name: names[i], Kind: col.kind, Attr: col.attr}
 		}
-		httpError(w, code, "%v", err)
-		return
-	}
-
-	last := len(cols) - 1
-	if !cached {
+		if err := protocol.ValidateChain(chain); err != nil {
+			return nil, err
+		}
+		last := len(cols) - 1
 		mids := make([]*core.MatrixSketch, 0, len(cols)-2)
 		for _, col := range cols[1:last] {
 			mids = append(mids, col.matrix)
 		}
-		est = core.ChainEstimate(cols[0].join, mids, cols[last].join)
-		s.mu.Lock()
-		s.cache.put(key, est)
-		s.mu.Unlock()
+		return core.ChainEstimate(cols[0].join, mids, cols[last].join), nil
+	})
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, protocol.ErrChainOrder):
+			// The columns exist and are well-formed; they just don't
+			// compose — a conflict, not a malformed request.
+			code = http.StatusConflict
+		case errors.Is(err, errFlightAborted):
+			// A coalesced waiter whose computing peer died: a server
+			// fault, not a bad request.
+			code = http.StatusInternalServerError
+		}
+		httpError(w, code, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"path": names, "estimate": est, "cached": cached,
+		"path": names, "estimate": v.(float64), "cached": cached,
 	})
 }
 
@@ -1264,17 +1236,7 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "frequency needs ?column= and a numeric ?value=")
 		return
 	}
-	key := cacheKey("freq", name, valueStr)
-	s.mu.Lock()
-	fin, ok := s.finished[name]
-	var res freqResult
-	var cached bool
-	if ok && fin.kind == protocol.KindJoin {
-		if v, hit := s.cache.get(key); hit {
-			res, cached = v.(freqResult), true
-		}
-	}
-	s.mu.Unlock()
+	fin, ok := s.finished.get(name)
 	if !ok {
 		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
 		return
@@ -1283,14 +1245,16 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "column %q is a matrix column; frequency queries need a join column", name)
 		return
 	}
-	if !cached {
-		// A finalized sketch never changes, so the estimate is memoized
-		// alongside join results in the unified query cache.
-		res = freqResult{mean: fin.join.Frequency(value), median: fin.join.FrequencyMedian(value)}
-		s.mu.Lock()
-		s.cache.put(key, res)
-		s.mu.Unlock()
+	// A finalized sketch never changes, so the estimate is memoized
+	// alongside join results in the unified query cache.
+	v, cached, err := s.cache.do(cacheKey("freq", name, valueStr), func() (any, error) {
+		return freqResult{mean: fin.join.Frequency(value), median: fin.join.FrequencyMedian(value)}, nil
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "frequency estimate: %v", err)
+		return
 	}
+	res := v.(freqResult)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "value": value,
 		"estimate":       res.mean,
@@ -1299,10 +1263,22 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleStats assembles the counters without ever writing to the
+// network while holding a lock: the finished count is a lock-free
+// registry load, the cache and federation counters are atomics, and the
+// lifecycle mutex is taken only long enough to count the pending map —
+// a stalled /v1/stats reader can no longer freeze ingestion, finalize,
+// or queries behind a held mutex.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	o := s.engine.Options()
+	// Count both maps in one critical section: registry installs happen
+	// under mu, so the pair cannot disagree — a column mid-finalize is
+	// never counted as both collecting and finalized. The view itself is
+	// immutable, so only the pointer load needs the lock.
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	collecting := len(s.pending)
+	finalized := len(s.finished.view())
+	s.mu.Unlock()
 	// Per-column federation counters: every column that has ever served a
 	// snapshot export or accepted a merge gets an entry.
 	columns := make(map[string]map[string]int64)
@@ -1314,21 +1290,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		return c
 	}
-	for name, n := range s.snapshots {
-		counters(name)["snapshots"] = n
-	}
-	for name, n := range s.merges {
-		counters(name)["merges"] = n
-	}
+	s.snapshots.each(func(name string, n int64) { counters(name)["snapshots"] = n })
+	s.merges.each(func(name string, n int64) { counters(name)["merges"] = n })
+	cs := s.cache.stats()
 	stats := map[string]any{
-		"collecting": len(s.pending),
-		"finalized":  len(s.finished),
+		"collecting": collecting,
+		"finalized":  finalized,
 		"queryCache": map[string]any{
-			"size":      len(s.cache.entries),
-			"capacity":  s.cache.capacity,
-			"hits":      s.cache.hits,
-			"misses":    s.cache.misses,
-			"evictions": s.cache.evictions,
+			"size":        cs.size,
+			"capacity":    cs.capacity,
+			"cacheShards": cs.shards,
+			"hits":        cs.hits,
+			"misses":      cs.misses,
+			"evictions":   cs.evictions,
+			"coalesced":   cs.coalesced,
+		},
+		"planner": map[string]any{
+			"chainValidations": s.chainValidations.Load(),
 		},
 		"attributes":   len(s.fams),
 		"columns":      columns,

@@ -1,0 +1,177 @@
+// Command benchdistill turns the `go test -json -bench` event stream
+// into a compact, diffable benchmark summary: one JSON object mapping
+// package → benchmark → {n, ns/op, B/op, allocs/op, custom metrics}.
+// CI pipes the bench smoke through it and uploads the result as
+// BENCH_<sha>.json, so the performance trajectory across PRs is a
+// small file a human (or a diff) can actually read, instead of
+// megabytes of raw test2json events.
+//
+//	go test -json -bench=. -benchtime=1x -run='^$' ./... | benchdistill > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's output we care about.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// distill reads a test2json stream and returns package → benchmark →
+// metric name → value. The iteration count parks under "n"; every
+// "value unit" pair after it keys by its unit (ns/op, B/op, allocs/op,
+// and any custom b.ReportMetric unit like RE or reports/s).
+func distill(r io.Reader) (map[string]map[string]map[string]float64, error) {
+	out := make(map[string]map[string]map[string]float64)
+	// Benchmark names the stream itself has attributed via the Test
+	// field (test2json emits a "run" event before any output). They
+	// anchor suffix normalization below: a trailing "-<n>" is only
+	// treated as a GOMAXPROCS suffix when stripping it lands on a known
+	// name, so a benchmark genuinely called shards-1 is never mangled.
+	known := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A non-JSON line (a stray print from a tool in the pipe) is
+			// not worth failing the artifact over.
+			continue
+		}
+		if ev.Test != "" {
+			known[ev.Test] = true
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		// Under -json the runner prints the benchmark name and its result
+		// on separate lines, with the name carried by the event's Test
+		// field; without it the classic single line carries both. Accept
+		// either shape, keying by the attributed name whenever the stream
+		// provides one so both shapes land under identical keys.
+		name, metrics, ok := parseBenchLine(ev.Output)
+		switch {
+		case ok && ev.Test != "":
+			name = ev.Test
+		case ok:
+			if !known[name] {
+				if s := stripProcSuffix(name); known[s] {
+					name = s
+				}
+			}
+		case strings.HasPrefix(ev.Test, "Benchmark"):
+			name = ev.Test
+			metrics, ok = parseResultLine(ev.Output)
+		}
+		if !ok {
+			continue
+		}
+		pkg := out[ev.Package]
+		if pkg == nil {
+			pkg = make(map[string]map[string]float64)
+			out[ev.Package] = pkg
+		}
+		pkg[name] = metrics
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine recognizes a benchmark result line —
+//
+//	BenchmarkName-8   1000   123 ns/op   45 B/op   0.17 RE
+//
+// — and returns its metrics. Name-only lines (printed when a benchmark
+// logs) and everything else report ok=false.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	metrics, ok := parseMetrics(fields[1:])
+	if !ok {
+		return "", nil, false
+	}
+	return fields[0], metrics, true
+}
+
+// stripProcSuffix drops a -GOMAXPROCS suffix ("BenchmarkFoo-8" →
+// "BenchmarkFoo"). The -json split shape keys by the event's Test
+// field, which never has the suffix, so without normalization the same
+// benchmark would land under two different keys depending on whether
+// its output happened to be split — a spurious delete+add in the
+// trajectory diff instead of a metric change. Callers only apply it
+// when the stripped name is independently known from the stream, since
+// "-1" can equally be part of a real sub-benchmark name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseResultLine recognizes the name-less result shape the -json
+// runner emits ("       1\t     12392 ns/op\n"); the benchmark's own
+// log output is screened out by requiring an ns/op pair.
+func parseResultLine(line string) (map[string]float64, bool) {
+	return parseMetrics(strings.Fields(line))
+}
+
+// parseMetrics parses "iterations {value unit}..." and requires the
+// canonical ns/op pair, so arbitrary numeric log lines do not pass.
+func parseMetrics(fields []string) (map[string]float64, bool) {
+	if len(fields) < 3 || len(fields)%2 == 0 {
+		return nil, false
+	}
+	n, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, false
+	}
+	metrics := map[string]float64{"n": n}
+	for i := 1; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if _, ok := metrics["ns/op"]; !ok {
+		return nil, false
+	}
+	return metrics, true
+}
+
+func main() {
+	summary, err := distill(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdistill:", err)
+		os.Exit(1)
+	}
+	if len(summary) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdistill: no benchmark results in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summary); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdistill:", err)
+		os.Exit(1)
+	}
+}

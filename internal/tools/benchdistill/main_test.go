@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistill(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"ldpjoin"}`,
+		`{"Action":"output","Package":"ldpjoin","Output":"goos: linux\n"}`,
+		// Classic one-line results: the run events attribute the names, so
+		// the trailing -8 is recognized as a GOMAXPROCS suffix and stripped.
+		`{"Action":"run","Package":"ldpjoin","Test":"BenchmarkClientReport"}`,
+		`{"Action":"output","Package":"ldpjoin","Output":"BenchmarkClientReport-8 \t    1000\t      4504 ns/op\n"}`,
+		`{"Action":"run","Package":"ldpjoin","Test":"BenchmarkFig5Accuracy"}`,
+		`{"Action":"output","Package":"ldpjoin","Output":"BenchmarkFig5Accuracy\n"}`, // name-only line: benchmark logged
+		`{"Action":"output","Package":"ldpjoin","Output":"BenchmarkFig5Accuracy-8 \t 1\t 120000 ns/op\t 0.170 RE\n"}`,
+		// A sub-benchmark whose real name ends in -1, reported on a 1-CPU
+		// host (no proc suffix): the name is known verbatim, so nothing is
+		// stripped.
+		`{"Action":"run","Package":"ldpjoin","Test":"BenchmarkAblationParallelBuild/shards-1"}`,
+		`{"Action":"output","Package":"ldpjoin","Output":"BenchmarkAblationParallelBuild/shards-1 \t 1\t 99 ns/op\n"}`,
+		`not json at all`,
+		// An attributed classic line keys by the Test field directly.
+		`{"Action":"output","Package":"ldpjoin/internal/service","Test":"BenchmarkServiceJoinParallel/cached","Output":"BenchmarkServiceJoinParallel/cached-8 \t 200\t 39254 ns/op\t 128 B/op\t 2 allocs/op\n"}`,
+		// The -json runner's split shape: name in the Test field, metrics alone on the line.
+		`{"Action":"output","Package":"ldpjoin/internal/service","Test":"BenchmarkServiceJoinSerial/cached","Output":"       1\t     12392 ns/op\n"}`,
+		// A benchmark's own log line under the Test field must not parse as a result.
+		`{"Action":"output","Package":"ldpjoin/internal/service","Test":"BenchmarkServiceJoinSerial/cached","Output":"    7 columns seeded\n"}`,
+		`{"Action":"pass","Package":"ldpjoin"}`,
+	}, "\n")
+
+	got, err := distill(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := got["ldpjoin"]
+	if root == nil {
+		t.Fatalf("missing root package: %v", got)
+	}
+	// The -GOMAXPROCS suffix is stripped, so classic one-line results key
+	// identically to the -json split shape.
+	cr := root["BenchmarkClientReport"]
+	if cr["n"] != 1000 || cr["ns/op"] != 4504 {
+		t.Fatalf("BenchmarkClientReport = %v", cr)
+	}
+	if fig := root["BenchmarkFig5Accuracy"]; fig["RE"] != 0.170 {
+		t.Fatalf("custom metric lost: %v", fig)
+	}
+	// A real trailing -1 in a known name survives on a 1-CPU host.
+	if sh := root["BenchmarkAblationParallelBuild/shards-1"]; sh["ns/op"] != 99 {
+		t.Fatalf("shards-1 mangled: %v", root)
+	}
+	if len(root) != 3 {
+		t.Fatalf("unexpected root entries: %v", root)
+	}
+	svc := got["ldpjoin/internal/service"]["BenchmarkServiceJoinParallel/cached"]
+	if svc["allocs/op"] != 2 || svc["B/op"] != 128 {
+		t.Fatalf("service bench = %v", svc)
+	}
+	split := got["ldpjoin/internal/service"]["BenchmarkServiceJoinSerial/cached"]
+	if split["n"] != 1 || split["ns/op"] != 12392 {
+		t.Fatalf("split-event bench = %v", split)
+	}
+	if len(got["ldpjoin/internal/service"]) != 2 {
+		t.Fatalf("log line parsed as a result: %v", got["ldpjoin/internal/service"])
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo":            "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":     "BenchmarkFoo/sub",
+		"BenchmarkFoo/zipf-1.3":   "BenchmarkFoo/zipf-1.3", // non-integer tail stays
+		"BenchmarkTrailingDash-":  "BenchmarkTrailingDash-",
+		"BenchmarkShards-1-crash": "BenchmarkShards-1-crash",
+	} {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tldpjoin\t0.2s",
+		"BenchmarkBroken-8 \t notanumber \t 12 ns/op",
+		"BenchmarkNameOnly",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}
