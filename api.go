@@ -352,6 +352,13 @@ func (c PlusConfig) ThetaFloor(n int) float64 {
 // frequent and infrequent values separately, without spending extra
 // privacy budget (each user participates exactly once).
 func JoinSizePlus(a, b []uint64, domain uint64, cfg PlusConfig) (PlusResult, error) {
+	// Reject undersized inputs before validating options: an empty column
+	// is a caller bug about the data, and surfacing a config complaint
+	// for it (or worse, passing when the config happens to be fine)
+	// misdirects the fix.
+	if len(a) < 10 || len(b) < 10 {
+		return PlusResult{}, fmt.Errorf("ldpjoin: need at least 10 users per side, got %d and %d", len(a), len(b))
+	}
 	opt := core.PlusOptions{
 		Params:     cfg.params(),
 		SampleRate: cfg.SampleRate,
@@ -360,9 +367,6 @@ func JoinSizePlus(a, b []uint64, domain uint64, cfg PlusConfig) (PlusResult, err
 	}
 	if err := opt.Validate(); err != nil {
 		return PlusResult{}, fmt.Errorf("ldpjoin: %w", err)
-	}
-	if len(a) < 10 || len(b) < 10 {
-		return PlusResult{}, fmt.Errorf("ldpjoin: need at least 10 users per side, got %d and %d", len(a), len(b))
 	}
 	return core.EstimateJoinPlus(a, b, domain, opt), nil
 }

@@ -2,6 +2,7 @@ package ldpjoin_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"ldpjoin"
@@ -154,14 +155,56 @@ func TestJoinSizePlusFacade(t *testing.T) {
 }
 
 func TestJoinSizePlusErrors(t *testing.T) {
-	cfg := ldpjoin.PlusConfig{Config: ldpjoin.DefaultConfig(), SampleRate: 0.2, Theta: 0.05}
-	if _, err := ldpjoin.JoinSizePlus([]uint64{1}, []uint64{2}, 10, cfg); err == nil {
-		t.Fatal("tiny input accepted")
+	good := ldpjoin.PlusConfig{Config: ldpjoin.DefaultConfig(), SampleRate: 0.2, Theta: 0.05}
+	enough := make([]uint64, 100)
+	tiny := []uint64{1}
+	tests := []struct {
+		name string
+		a, b []uint64
+		mut  func(*ldpjoin.PlusConfig)
+		want string // substring the error must carry
+	}{
+		{"tiny left", tiny, enough, nil, "at least 10 users"},
+		{"tiny right", enough, tiny, nil, "at least 10 users"},
+		// The size check must win even when the config is also broken:
+		// before the reorder this case reported "theta" and misdirected
+		// the caller at their configuration instead of their data.
+		{"tiny input with bad config", tiny, tiny,
+			func(c *ldpjoin.PlusConfig) { c.Theta = 0 }, "at least 10 users"},
+		{"zero depth", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.K = 0 }, "depth K"},
+		{"width not a power of two", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.M = 1000 }, "power of two"},
+		{"non-positive epsilon", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.Epsilon = 0 }, "epsilon"},
+		{"zero sample rate", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.SampleRate = 0 }, "sample rate"},
+		{"sample rate of one", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.SampleRate = 1 }, "sample rate"},
+		{"zero theta", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.Theta = 0 }, "theta"},
+		{"theta of one", enough, enough,
+			func(c *ldpjoin.PlusConfig) { c.Theta = 1 }, "theta"},
 	}
-	bad := cfg
-	bad.Theta = 0
-	if _, err := ldpjoin.JoinSizePlus(make([]uint64, 100), make([]uint64, 100), 10, bad); err == nil {
-		t.Fatal("zero theta accepted")
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			_, err := ldpjoin.JoinSizePlus(tc.a, tc.b, 10, cfg)
+			if err == nil {
+				t.Fatal("invalid call accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The good config over enough users must pass the gate (and the
+	// estimator itself must run).
+	if _, err := ldpjoin.JoinSizePlus(enough, enough, 10, good); err != nil {
+		t.Fatalf("valid call rejected: %v", err)
 	}
 }
 

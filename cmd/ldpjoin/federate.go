@@ -8,12 +8,16 @@
 // accuracy and no privacy.
 //
 // Columns are kind-polymorphic, mirroring the service: a pulled
-// snapshot may carry join (single-attribute) or matrix (middle-table)
-// state, identified by its seed fingerprint against the shared
-// attribute-family derivation. With -path A,AB,BC,C the federator also
-// answers a chain (multi-way) join over the merged sketches, validating
-// that the named columns compose — join ends, matrix middles, adjacent
-// attribute slots — exactly like the service's query planner.
+// snapshot may carry join (single-attribute), matrix (middle-table), or
+// plus (two-phase composite, PSNP-framed) state, identified by its seed
+// fingerprint against the shared attribute-family derivation. Plus
+// snapshots must already be advanced, and every peer must have frozen
+// the same frequent-item set — the phase boundary is part of the
+// protocol, so collectors that disagree on it cannot merge exactly.
+// With -path A,AB,BC,C the federator also answers a chain (multi-way)
+// join over the merged sketches, validating that the named columns
+// compose — join ends, matrix middles, adjacent attribute slots —
+// exactly like the service's query planner.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"slices"
 	"strings"
 	"time"
 
@@ -38,14 +43,25 @@ type fedColumn struct {
 	matrix    *core.MatrixAggregator
 	finJoin   *core.Sketch
 	finMatrix *core.MatrixSketch
+	// Plus state: the three phase aggregators plus the frozen phase
+	// boundary (domain, theta, FI) every peer must agree on.
+	plusSample, plusLow, plusHigh *core.Aggregator
+	plusMeta                      *protocol.PlusSnapshot
+	finPlus                       *core.PlusState
 }
 
 func (c *fedColumn) n() float64 {
-	if c.kind == protocol.KindMatrix {
+	switch c.kind {
+	case protocol.KindMatrix:
 		if c.finMatrix != nil {
 			return c.finMatrix.N()
 		}
 		return c.matrix.N()
+	case protocol.KindPlus:
+		if c.finPlus != nil {
+			return c.finPlus.Population()
+		}
+		return c.plusSample.N() + c.plusLow.N() + c.plusHigh.N()
 	}
 	if c.finJoin != nil {
 		return c.finJoin.N()
@@ -130,10 +146,19 @@ multi-way join. The protocol configuration (-k, -m, -eps, -seed,
 	for _, col := range columns {
 		var fed *fedColumn
 		for _, peer := range peers {
-			snap, err := fetchSnapshot(client, peer, col,
-				int64(protocol.SnapshotEncodedSize(params)), int64(protocol.SnapshotEncodedSizeMatrix(mp)))
+			snap, plusSnap, err := fetchSnapshot(client, peer, col,
+				int64(protocol.SnapshotEncodedSize(params)), int64(protocol.SnapshotEncodedSizeMatrix(mp)),
+				int64(protocol.PlusSnapshotMaxEncodedSize(params)))
 			if err != nil {
 				fatal(fmt.Errorf("pulling %q from %s: %w", col, peer, err))
+			}
+			if plusSnap != nil {
+				if err := mergePlusPeer(&fed, plusSnap, params, *seed); err != nil {
+					fatal(fmt.Errorf("merging %q from %s: %w", col, peer, err))
+				}
+				fmt.Printf("pulled %-12s from %-28s %10.0f reports (%v, attr %d, merged total %.0f)\n",
+					col, peer, plusSnap.N(), protocol.KindPlus, 0, fed.n())
+				continue
 			}
 			kind, attr, err := snap.Slot(params, mp, fams)
 			if err != nil {
@@ -169,9 +194,19 @@ multi-way join. The protocol configuration (-k, -m, -eps, -seed,
 			fmt.Printf("pulled %-12s from %-28s %10.0f reports (%v, attr %d, merged total %.0f)\n",
 				col, peer, snap.N, kind, attr, fed.n())
 		}
-		if fed.kind == protocol.KindMatrix {
+		switch fed.kind {
+		case protocol.KindMatrix:
 			fed.finMatrix = fed.matrix.Finalize()
-		} else {
+		case protocol.KindPlus:
+			fed.finPlus = &core.PlusState{
+				Sample: fed.plusSample.Finalize(),
+				Low:    fed.plusLow.Finalize(),
+				High:   fed.plusHigh.Finalize(),
+				Domain: fed.plusMeta.Domain,
+				Theta:  fed.plusMeta.Theta,
+				FI:     fed.plusMeta.FI,
+			}
+		default:
 			fed.finJoin = fed.join.Finalize()
 		}
 		merged[col] = fed
@@ -188,11 +223,20 @@ multi-way join. The protocol configuration (-k, -m, -eps, -seed,
 		if skL == nil || skR == nil {
 			fatal(fmt.Errorf("-join pair %s,%s must be among the pulled columns", left, right))
 		}
-		if skL.kind != protocol.KindJoin || skR.kind != protocol.KindJoin {
-			fatal(fmt.Errorf("pairwise join needs two join columns (%s is %v, %s is %v); use -path for chains",
+		switch {
+		case skL.kind == protocol.KindPlus && skR.kind == protocol.KindPlus:
+			est, err := core.EstimateJoinPlusColumns(skL.finPlus, skR.finPlus)
+			if err != nil {
+				fatal(fmt.Errorf("plus join %s,%s: %w", left, right, err))
+			}
+			fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g (low %.6g, high %.6g)\n",
+				left, right, est.Estimate, est.LowEstimate, est.HighEstimate)
+		case skL.kind == protocol.KindJoin && skR.kind == protocol.KindJoin:
+			fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g\n", left, right, skL.finJoin.JoinSize(skR.finJoin))
+		default:
+			fatal(fmt.Errorf("pairwise join needs two join columns or two plus columns (%s is %v, %s is %v); use -path for chains",
 				left, skL.kind, right, skR.kind))
 		}
-		fmt.Printf("\nestimated |%s ⋈ %s| over the federation: %.6g\n", left, right, skL.finJoin.JoinSize(skR.finJoin))
 	}
 
 	if len(path) > 0 {
@@ -234,6 +278,54 @@ func chainEstimate(path []string, merged map[string]*fedColumn) (float64, error)
 	return core.ChainEstimate(cols[0].finJoin, mids, cols[last].finJoin), nil
 }
 
+// mergePlusPeer folds one peer's composite plus snapshot into the
+// column's merged state. The first peer fixes the phase boundary; every
+// later peer must have frozen the same domain, theta, and frequent-item
+// set, or the merge would compose sketches built under different
+// perturbation targets.
+func mergePlusPeer(fed **fedColumn, snap *protocol.PlusSnapshot, params core.Params, seed int64) error {
+	if err := snap.CompatibleWithPlus(params, seed); err != nil {
+		return err
+	}
+	if snap.Finalized {
+		return fmt.Errorf("column is finalized; federation merges unfinalized snapshots — pull before finalizing the collectors")
+	}
+	if !snap.Advanced {
+		return fmt.Errorf("plus column has not advanced; advance every collector over the same frequent-item set before federating")
+	}
+	sample, err := snap.Sample.Aggregator()
+	if err != nil {
+		return err
+	}
+	low, err := snap.Low.Aggregator()
+	if err != nil {
+		return err
+	}
+	high, err := snap.High.Aggregator()
+	if err != nil {
+		return err
+	}
+	if *fed == nil {
+		*fed = &fedColumn{
+			kind: protocol.KindPlus, attr: 0,
+			plusSample: sample, plusLow: low, plusHigh: high, plusMeta: snap,
+		}
+		return nil
+	}
+	c := *fed
+	if c.kind != protocol.KindPlus {
+		return fmt.Errorf("peer reports plus state, earlier peers %v", c.kind)
+	}
+	if c.plusMeta.Domain != snap.Domain || c.plusMeta.Theta != snap.Theta || !slices.Equal(c.plusMeta.FI, snap.FI) {
+		return fmt.Errorf("peers froze different phase boundaries (domain %d vs %d, theta %v vs %v, |FI| %d vs %d)",
+			c.plusMeta.Domain, snap.Domain, c.plusMeta.Theta, snap.Theta, len(c.plusMeta.FI), len(snap.FI))
+	}
+	c.plusSample.Merge(sample)
+	c.plusLow.Merge(low)
+	c.plusHigh.Merge(high)
+	return nil
+}
+
 // errBodyLimit caps how much of a non-200 response body is read into an
 // error message.
 const errBodyLimit = 4 << 10
@@ -244,15 +336,16 @@ const errBodyLimit = 4 << 10
 // declared kind justifies (join snapshots are ~1000× smaller than
 // matrix ones at equal parameters), the same discipline the service's
 // merge handler applies — so a misbehaving peer cannot make the
-// federator buffer a matrix-sized blob for a join column. Finalized
-// snapshots are refused: merging them cannot be exact, and a federated
-// collector should stay unfinalized until the federator has pulled
-// everything.
-func fetchSnapshot(client *http.Client, peer, column string, joinLimit, matrixLimit int64) (*protocol.Snapshot, error) {
+// federator buffer a matrix-sized blob for a join column. A PSNP-framed
+// body decodes as a composite plus snapshot and comes back in the
+// second return value instead. Finalized join/matrix snapshots are
+// refused: merging them cannot be exact, and a federated collector
+// should stay unfinalized until the federator has pulled everything.
+func fetchSnapshot(client *http.Client, peer, column string, joinLimit, matrixLimit, plusLimit int64) (*protocol.Snapshot, *protocol.PlusSnapshot, error) {
 	u := strings.TrimSuffix(peer, "/") + "/v1/columns/" + url.PathEscape(column) + "/snapshot"
 	resp, err := client.Get(u)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -260,36 +353,48 @@ func fetchSnapshot(client *http.Client, peer, column string, joinLimit, matrixLi
 		// below is meaningless for an error body, and applying it first
 		// used to truncate error messages longer than one snapshot.
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
-		return nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+		return nil, nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
 	}
 	header := make([]byte, protocol.SnapshotHeaderSize)
 	if _, err := io.ReadFull(resp.Body, header); err != nil {
-		return nil, fmt.Errorf("%s: reading snapshot header: %w", u, err)
+		return nil, nil, fmt.Errorf("%s: reading snapshot header: %w", u, err)
 	}
-	kind, err := protocol.PeekSnapshotKind(header)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", u, err)
-	}
+	isPlus := protocol.IsPlusSnapshot(header)
 	limit := joinLimit
-	if kind == protocol.SnapshotMatrix {
-		limit = matrixLimit
+	if isPlus {
+		limit = plusLimit
+	} else {
+		kind, err := protocol.PeekSnapshotKind(header)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", u, err)
+		}
+		if kind == protocol.SnapshotMatrix {
+			limit = matrixLimit
+		}
 	}
 	rest, err := io.ReadAll(io.LimitReader(resp.Body, limit-int64(len(header))+1))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	data := append(header, rest...)
 	if int64(len(data)) > limit {
-		return nil, fmt.Errorf("%s: snapshot exceeds %d bytes for its kind under this configuration", u, limit)
+		return nil, nil, fmt.Errorf("%s: snapshot exceeds %d bytes for its kind under this configuration", u, limit)
+	}
+	if isPlus {
+		plusSnap, err := protocol.DecodePlusSnapshot(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, plusSnap, nil
 	}
 	snap, err := protocol.DecodeSnapshot(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if snap.Finalized {
-		return nil, fmt.Errorf("%s: column is finalized; federation merges unfinalized snapshots — pull before finalizing the collectors", u)
+		return nil, nil, fmt.Errorf("%s: column is finalized; federation merges unfinalized snapshots — pull before finalizing the collectors", u)
 	}
-	return snap, nil
+	return snap, nil, nil
 }
 
 func splitNonEmpty(s string) []string {

@@ -62,10 +62,14 @@ func pullJoinAggregator(t *testing.T, client *http.Client, peer, column string, 
 	for i := range fams {
 		fams[i] = hashing.NewFamily(hashing.AttributeSeed(seed, i), p.K, p.M)
 	}
-	snap, err := fetchSnapshot(client, peer, column,
-		int64(protocol.SnapshotEncodedSize(p)), int64(protocol.SnapshotEncodedSizeMatrix(mp)))
+	snap, plusSnap, err := fetchSnapshot(client, peer, column,
+		int64(protocol.SnapshotEncodedSize(p)), int64(protocol.SnapshotEncodedSizeMatrix(mp)),
+		int64(protocol.PlusSnapshotMaxEncodedSize(p)))
 	if err != nil {
 		return nil, err
+	}
+	if plusSnap != nil {
+		return nil, fmt.Errorf("expected a join snapshot, got a plus composite")
 	}
 	kind, _, err := snap.Slot(p, mp, fams)
 	if err != nil {
@@ -146,6 +150,175 @@ func TestPullSnapshotMergesExactly(t *testing.T) {
 	}
 }
 
+// startPlusCollector spins up an in-process ldpjoind with one plus
+// column driven through both phases: sample ingest, explicit advance
+// over fi, then low/high group ingest. Pass a nil fi to leave the
+// column in phase 1.
+func startPlusCollector(t *testing.T, p core.Params, seed int64, column string, domain uint64, theta float64, fi []uint64, sample, low, high []core.Report) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	send := func(path, contentType string, body []byte) {
+		resp, err := http.Post(ts.URL+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d", path, resp.StatusCode)
+		}
+	}
+	stream := func(group protocol.PlusGroup, reports []core.Report) []byte {
+		var buf bytes.Buffer
+		w, err := protocol.NewPlusReportWriter(&buf, p, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range reports {
+			if err := w.Write(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	send("/v1/columns/"+column+"/reports", "application/octet-stream", stream(protocol.PlusSample, sample))
+	if fi == nil {
+		return ts
+	}
+	adv := fmt.Sprintf(`{"domain":%d,"theta":%v,"fi":[`, domain, theta)
+	for i, d := range fi {
+		if i > 0 {
+			adv += ","
+		}
+		adv += fmt.Sprintf("%d", d)
+	}
+	adv += "]}"
+	send("/v1/columns/"+column+"/advance", "application/json", []byte(adv))
+	send("/v1/columns/"+column+"/reports", "application/octet-stream", stream(protocol.PlusLow, low))
+	send("/v1/columns/"+column+"/reports", "application/octet-stream", stream(protocol.PlusHigh, high))
+	return ts
+}
+
+// TestPullPlusSnapshotMergesExactly drives the federate pull path over
+// PSNP composites from two live plus collectors: the merged, finalized
+// three-sketch state must equal a direct fold of the union streams, a
+// phase-1 peer must be refused, and a peer that froze a different
+// frequent-item set must be refused.
+func TestPullPlusSnapshotMergesExactly(t *testing.T) {
+	p := core.Params{K: 6, M: 256, Epsilon: 4}
+	const seed = int64(21)
+	const domain = uint64(50)
+	const theta = 0.1
+	fi := []uint64{1, 2}
+	set := core.NewFISet(fi)
+	famS := p.NewFamily(core.PlusSampleSeed(seed))
+	famG := p.NewFamily(core.PlusGroupSeed(seed))
+
+	perturb := func(rngSeed int64, n int, f func(*rand.Rand, uint64) core.Report) []core.Report {
+		rng := rand.New(rand.NewSource(rngSeed))
+		out := make([]core.Report, n)
+		for i := range out {
+			out[i] = f(rng, uint64(i%int(domain)))
+		}
+		return out
+	}
+	plain := func(rng *rand.Rand, d uint64) core.Report { return core.Perturb(d, p, famS, rng) }
+	lowF := func(rng *rand.Rand, d uint64) core.Report { return core.FAPPerturb(d, core.ModeLow, set, p, famG, rng) }
+	highF := func(rng *rand.Rand, d uint64) core.Report {
+		return core.FAPPerturb(d, core.ModeHigh, set, p, famG, rng)
+	}
+
+	s1, l1, h1 := perturb(601, 300, plain), perturb(602, 400, lowF), perturb(603, 350, highF)
+	s2, l2, h2 := perturb(604, 250, plain), perturb(605, 380, lowF), perturb(606, 300, highF)
+	ts1 := startPlusCollector(t, p, seed, "users", domain, theta, fi, s1, l1, h1)
+	ts2 := startPlusCollector(t, p, seed, "users", domain, theta, fi, s2, l2, h2)
+
+	client := &http.Client{}
+	limits := []int64{
+		int64(protocol.SnapshotEncodedSize(p)),
+		int64(protocol.SnapshotEncodedSizeMatrix(core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon})),
+		int64(protocol.PlusSnapshotMaxEncodedSize(p)),
+	}
+	var fed *fedColumn
+	for _, ts := range []*httptest.Server{ts1, ts2} {
+		snap, plusSnap, err := fetchSnapshot(client, ts.URL, "users", limits[0], limits[1], limits[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != nil || plusSnap == nil {
+			t.Fatal("expected a PSNP composite from a plus column")
+		}
+		if err := mergePlusPeer(&fed, plusSnap, p, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fed.kind != protocol.KindPlus || fed.n() != float64(len(s1)+len(l1)+len(h1)+len(s2)+len(l2)+len(h2)) {
+		t.Fatalf("merged plus column: kind %v, n %v", fed.kind, fed.n())
+	}
+
+	// Reference: fold the union streams directly.
+	fold := func(fam *hashing.Family, groups ...[]core.Report) *core.Sketch {
+		agg := core.NewAggregator(p, fam)
+		for _, g := range groups {
+			for _, rep := range g {
+				agg.Add(rep)
+			}
+		}
+		return agg.Finalize()
+	}
+	for _, cmp := range []struct {
+		name string
+		got  *core.Sketch
+		want *core.Sketch
+	}{
+		{"sample", fed.plusSample.Finalize(), fold(famS, s1, s2)},
+		{"low", fed.plusLow.Finalize(), fold(famG, l1, l2)},
+		{"high", fed.plusHigh.Finalize(), fold(famG, h1, h2)},
+	} {
+		got, err := cmp.got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cmp.want.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("federated %s sketch differs from direct union fold", cmp.name)
+		}
+	}
+
+	// A phase-1 peer cannot federate: the phase boundary is protocol.
+	tsEarly := startPlusCollector(t, p, seed, "users", domain, theta, nil, s1[:50], nil, nil)
+	_, earlySnap, err := fetchSnapshot(client, tsEarly.URL, "users", limits[0], limits[1], limits[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh *fedColumn
+	if err := mergePlusPeer(&fresh, earlySnap, p, seed); err == nil || !strings.Contains(err.Error(), "advance") {
+		t.Fatalf("phase-1 peer accepted: %v", err)
+	}
+
+	// A peer that froze a different frequent-item set cannot merge.
+	tsOther := startPlusCollector(t, p, seed, "users", domain, theta, []uint64{3, 4}, s2[:50], l2[:50], h2[:50])
+	_, otherSnap, err := fetchSnapshot(client, tsOther.URL, "users", limits[0], limits[1], limits[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePlusPeer(&fed, otherSnap, p, seed); err == nil || !strings.Contains(err.Error(), "phase boundaries") {
+		t.Fatalf("mismatched frequent-item set accepted: %v", err)
+	}
+}
+
 // TestPullSnapshotErrorBodyNotTruncated pins the status-first read
 // order: an error body longer than one snapshot encoding must reach the
 // returned error whole, not cut at the snapshot-size cap, and a body
@@ -161,7 +334,7 @@ func TestPullSnapshotErrorBodyNotTruncated(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 
-	_, err := fetchSnapshot(&http.Client{}, ts.URL, "users", int64(snapSize), int64(snapSize))
+	_, _, err := fetchSnapshot(&http.Client{}, ts.URL, "users", int64(snapSize), int64(snapSize), int64(snapSize))
 	if err == nil {
 		t.Fatal("non-200 response did not error")
 	}
@@ -177,7 +350,7 @@ func TestPullSnapshotErrorBodyNotTruncated(t *testing.T) {
 		w.Write(bytes.Repeat([]byte{'y'}, errBodyLimit+1000))
 	}))
 	t.Cleanup(huge.Close)
-	_, err = fetchSnapshot(&http.Client{}, huge.URL, "users", int64(snapSize), int64(snapSize))
+	_, _, err = fetchSnapshot(&http.Client{}, huge.URL, "users", int64(snapSize), int64(snapSize), int64(snapSize))
 	if err == nil {
 		t.Fatal("non-200 response did not error")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"time"
 
 	"ldpjoin/internal/ldp"
@@ -110,7 +111,7 @@ func EstimateJoinPlus(a, b []uint64, domain uint64, opt PlusOptions) PlusResult 
 	sb, b1, b2 := splitUsers(b, opt.SampleRate, rng)
 
 	// Phase 1: plain LDPJoinSketch over the samples, then FI extraction.
-	fam1 := opt.Params.NewFamily(opt.Seed ^ 0x1bd11bda)
+	fam1 := opt.Params.NewFamily(PlusSampleSeed(opt.Seed))
 	aggA := NewAggregator(opt.Params, fam1)
 	aggA.CollectColumn(sa, rng)
 	aggB := NewAggregator(opt.Params, fam1)
@@ -128,33 +129,11 @@ func EstimateJoinPlus(a, b []uint64, domain uint64, opt PlusOptions) PlusResult 
 	for d := range fi {
 		fiList = append(fiList, d)
 	}
-
-	// Population-level frequent mass (Algorithm 5, lines 1–4): phase-1
-	// estimates scaled from the sample to the population. Negative
-	// estimates carry no mass.
-	estA, estB := skA.FrequencyMedian, skB.FrequencyMedian
-	if opt.MeanFI {
-		estA, estB = skA.Frequency, skB.Frequency
-	}
-	var highA, highB float64
-	for d := range fi {
-		if f := estA(d); f > 0 {
-			highA += f * float64(len(a)) / float64(len(sa))
-		}
-		if f := estB(d); f > 0 {
-			highB += f * float64(len(b)) / float64(len(sb))
-		}
-	}
-	if highA > float64(len(a)) {
-		highA = float64(len(a))
-	}
-	if highB > float64(len(b)) {
-		highB = float64(len(b))
-	}
+	slices.Sort(fiList)
 
 	// Phase 2: group 1 builds the low-frequency sketches, group 2 the
 	// high-frequency ones, all through FAP with the full budget.
-	fam2 := opt.Params.NewFamily(opt.Seed ^ 0x7afc_2b3d)
+	fam2 := opt.Params.NewFamily(PlusGroupSeed(opt.Seed))
 	mLA := NewAggregator(opt.Params, fam2)
 	mLA.CollectColumnFAP(a1, ModeLow, fi, rng)
 	mLB := NewAggregator(opt.Params, fam2)
@@ -168,27 +147,11 @@ func EstimateJoinPlus(a, b []uint64, domain uint64, opt PlusOptions) PlusResult 
 	skHA, skHB := mHA.Finalize(), mHB.Finalize()
 	buildTime := time.Since(buildStart)
 
-	// JoinEst (Algorithm 5): remove the uniform non-target contribution
-	// |NT|/m (Theorem 8), then take sketch products.
+	// JoinEst (Algorithm 5), shared with the serving path.
 	estStart := time.Now()
-	ntLA, ntLB := highA, highB                                 // non-targets of the low sketches are frequent users
-	ntHA, ntHB := float64(len(a))-highA, float64(len(b))-highB // and vice versa
-	if !opt.LiteralNTSubtraction {                             // scale to the group that built each sketch
-		ntLA *= float64(len(a1)) / float64(len(a))
-		ntLB *= float64(len(b1)) / float64(len(b))
-		ntHA *= float64(len(a2)) / float64(len(a))
-		ntHB *= float64(len(b2)) / float64(len(b))
-	}
-	m := float64(opt.M)
-	lEst := skLA.MinusConstant(ntLA / m).JoinSize(skLB.MinusConstant(ntLB / m))
-	hEst := skHA.MinusConstant(ntHA / m).JoinSize(skHB.MinusConstant(ntHB / m))
-
-	// Scale the group-level estimates back to the population (Algorithm 3,
-	// phase 2 line 6).
-	scaleL := float64(len(a)) * float64(len(b)) / (float64(len(a1)) * float64(len(b1)))
-	scaleH := float64(len(a)) * float64(len(b)) / (float64(len(a2)) * float64(len(b2)))
-	lEst *= scaleL
-	hEst *= scaleH
+	stateA := &PlusState{Sample: skA, Low: skLA, High: skHA, Domain: domain, Theta: opt.Theta, FI: fiList}
+	stateB := &PlusState{Sample: skB, Low: skLB, High: skHB, Domain: domain, Theta: opt.Theta, FI: fiList}
+	lEst, hEst, highA, highB := joinEstPlus(stateA, stateB, fiList, opt.LiteralNTSubtraction, opt.MeanFI)
 
 	return PlusResult{
 		Estimate:      lEst + hEst,

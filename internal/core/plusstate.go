@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Seed tweaks separating the two LDPJoinSketch+ phases: phase 1 runs a
+// plain LDPJoinSketch over the sample under one hash family, phase 2
+// runs both FAP group sketches under another. Deriving both from one
+// base seed keeps a plus column addressable by a single fingerprint.
+const (
+	plusSampleSeedXor = 0x1bd11bda
+	plusGroupSeedXor  = 0x7afc_2b3d
+)
+
+// PlusSampleSeed derives the phase-1 (sample) hash-family seed from a
+// plus column's base seed.
+func PlusSampleSeed(seed int64) int64 { return seed ^ plusSampleSeedXor }
+
+// PlusGroupSeed derives the phase-2 (low/high group) hash-family seed
+// from a plus column's base seed. Both groups share one family: FAP
+// changes how non-targets are encoded, not where targets land.
+func PlusGroupSeed(seed int64) int64 { return seed ^ plusGroupSeedXor }
+
+// PlusState is the finalized state of one plus column: the phase-1
+// sample sketch, the two phase-2 group sketches, and the frozen
+// advance parameters that keyed phase 2.
+type PlusState struct {
+	Sample *Sketch // phase-1 sample (plain LDPJoinSketch)
+	Low    *Sketch // phase-2 group 1 (low-frequency targets)
+	High   *Sketch // phase-2 group 2 (high-frequency targets)
+	// Domain and Theta are the advance parameters FI was extracted with.
+	Domain uint64
+	Theta  float64
+	// FI is the frozen frequent-item set, sorted ascending.
+	FI []uint64
+}
+
+// Population is the column's total user count across all three phases.
+func (s *PlusState) Population() float64 {
+	return s.Sample.N() + s.Low.N() + s.High.N()
+}
+
+// PlusJoinEstimate is the result of composing two plus column states.
+type PlusJoinEstimate struct {
+	// Estimate is the final join-size estimate (Algorithm 3, phase 2
+	// line 6): the sum of the group-scaled low and high estimates.
+	Estimate     float64
+	LowEstimate  float64
+	HighEstimate float64
+	// HighFreqA and HighFreqB are the estimated population counts of
+	// frequent-valued users (Algorithm 5, lines 1–4).
+	HighFreqA float64
+	HighFreqB float64
+}
+
+// EstimateJoinPlusColumns composes JoinEst (Algorithm 5) over two
+// finalized plus column states. It is the serving-path counterpart of
+// EstimateJoinPlus, which simulates the whole protocol: the service,
+// the federate CLI and the conformance tests all call this one
+// function so a served estimate can be checked for exact equality
+// against an in-process reference. The two states must have been
+// advanced with the same FI, carry pairwise-compatible sketches, and
+// have at least one report in every phase — a zero-report group would
+// make the group scaling degenerate.
+func EstimateJoinPlusColumns(a, b *PlusState) (PlusJoinEstimate, error) {
+	for _, side := range []struct {
+		name  string
+		state *PlusState
+	}{{"left", a}, {"right", b}} {
+		s := side.state
+		if s == nil || s.Sample == nil || s.Low == nil || s.High == nil {
+			return PlusJoinEstimate{}, fmt.Errorf("core: %s plus state is missing a phase sketch", side.name)
+		}
+		if s.Sample.N() <= 0 || s.Low.N() <= 0 || s.High.N() <= 0 {
+			return PlusJoinEstimate{}, fmt.Errorf("core: %s plus column has an empty phase (sample %g, low %g, high %g)",
+				side.name, s.Sample.N(), s.Low.N(), s.High.N())
+		}
+	}
+	if !a.Sample.Compatible(b.Sample) || !a.Low.Compatible(b.Low) || !a.High.Compatible(b.High) {
+		return PlusJoinEstimate{}, fmt.Errorf("core: plus columns use incompatible sketches")
+	}
+	if a.Domain != b.Domain || a.Theta != b.Theta || !slices.Equal(a.FI, b.FI) {
+		return PlusJoinEstimate{}, fmt.Errorf("core: plus columns froze different frequent-item sets")
+	}
+	lEst, hEst, highA, highB := joinEstPlus(a, b, a.FI, false, false)
+	return PlusJoinEstimate{
+		Estimate:     lEst + hEst,
+		LowEstimate:  lEst,
+		HighEstimate: hEst,
+		HighFreqA:    highA,
+		HighFreqB:    highB,
+	}, nil
+}
+
+// joinEstPlus is JoinEst (Algorithm 5) over two sides' finalized phase
+// sketches: estimate the frequent population mass from the phase-1
+// samples, subtract each group sketch's uniform non-target
+// contribution |NT|/m (Theorem 8), take sketch products, and scale the
+// group-level estimates back to the population. Shared by
+// EstimateJoinPlus (local simulation) and EstimateJoinPlusColumns
+// (served columns); fi must be the frozen frequent-item set both
+// phase-2 collections were keyed by.
+func joinEstPlus(a, b *PlusState, fi []uint64, literalNT, meanFI bool) (lEst, hEst, highA, highB float64) {
+	estA, estB := a.Sample.FrequencyMedian, b.Sample.FrequencyMedian
+	if meanFI {
+		estA, estB = a.Sample.Frequency, b.Sample.Frequency
+	}
+	popA, popB := a.Population(), b.Population()
+
+	// Population-level frequent mass (Algorithm 5, lines 1–4): phase-1
+	// estimates scaled from the sample to the population. Negative
+	// estimates carry no mass.
+	for _, d := range fi {
+		if f := estA(d); f > 0 {
+			highA += f * popA / a.Sample.N()
+		}
+		if f := estB(d); f > 0 {
+			highB += f * popB / b.Sample.N()
+		}
+	}
+	if highA > popA {
+		highA = popA
+	}
+	if highB > popB {
+		highB = popB
+	}
+
+	ntLA, ntLB := highA, highB           // non-targets of the low sketches are frequent users
+	ntHA, ntHB := popA-highA, popB-highB // and vice versa
+	if !literalNT {                      // scale to the group that built each sketch
+		ntLA *= a.Low.N() / popA
+		ntLB *= b.Low.N() / popB
+		ntHA *= a.High.N() / popA
+		ntHB *= b.High.N() / popB
+	}
+	m := float64(a.Sample.Params().M)
+	lEst = a.Low.MinusConstant(ntLA / m).JoinSize(b.Low.MinusConstant(ntLB / m))
+	hEst = a.High.MinusConstant(ntHA / m).JoinSize(b.High.MinusConstant(ntHB / m))
+
+	scaleL := popA * popB / (a.Low.N() * b.Low.N())
+	scaleH := popA * popB / (a.High.N() * b.High.N())
+	lEst *= scaleL
+	hEst *= scaleH
+	return lEst, hEst, highA, highB
+}

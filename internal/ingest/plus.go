@@ -1,0 +1,370 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/protocol"
+)
+
+var (
+	// ErrPlusPhase is returned when a report batch's group does not
+	// match the column's current phase: sample reports after the
+	// advance, or group reports before it.
+	ErrPlusPhase = errors.New("ingest: report group does not match the plus column's phase")
+	// ErrPlusAdvanced is returned for a second advance.
+	ErrPlusAdvanced = errors.New("ingest: plus column already advanced")
+	// ErrPlusNotAdvanced is returned when an operation needs the phase
+	// boundary to have passed — finalizing a plus column that never
+	// advanced has no group sketches to estimate from.
+	ErrPlusNotAdvanced = errors.New("ingest: plus column has not advanced to phase 2")
+)
+
+// PlusColumn is one two-phase LDPJoinSketch+ column under construction:
+// three ordinary sharded Columns on the shared worker pool — the
+// phase-1 sample window under the sample family, and the two phase-2
+// FAP group sketches under the shared group family — plus the phase
+// boundary itself. The column starts in phase 1 (only sample reports
+// are accepted); Advance freezes the frequent-item set and flips it to
+// phase 2 (only low/high group reports are accepted). All mutations of
+// the phase state serialize on one mutex so that the order in which
+// reports and the advance are accepted is well defined — the property
+// the WAL relies on to replay a crash into byte-identical state.
+type PlusColumn struct {
+	eng    *Engine
+	sample *Column
+	low    *Column
+	high   *Column
+
+	mu       sync.Mutex
+	advanced bool
+	domain   uint64
+	theta    float64
+	fi       []uint64 // frozen at advance, sorted strictly ascending
+}
+
+// NewPlusColumn creates an empty plus column on the engine. famSample
+// keys the phase-1 sample sketch, famGroup both phase-2 group sketches
+// (FAP changes how non-targets are encoded, not where targets land).
+// Both families must share the engine's dimensions.
+func (e *Engine) NewPlusColumn(famSample, famGroup *hashing.Family) *PlusColumn {
+	return &PlusColumn{
+		eng:    e,
+		sample: e.NewColumnWithFamily(famSample),
+		low:    e.NewColumnWithFamily(famGroup),
+		high:   e.NewColumnWithFamily(famGroup),
+	}
+}
+
+// column maps a wire group to its backing column.
+func (c *PlusColumn) column(group protocol.PlusGroup) (*Column, error) {
+	switch group {
+	case protocol.PlusSample:
+		return c.sample, nil
+	case protocol.PlusLow:
+		return c.low, nil
+	case protocol.PlusHigh:
+		return c.high, nil
+	}
+	return nil, fmt.Errorf("ingest: invalid plus group %d", group)
+}
+
+// CheckGroup reports whether a batch for the group would currently be
+// accepted: sample reports only before the advance, group reports only
+// after. Callers that persist before enqueueing (the service) check
+// under their own serialization so nothing unreplayable reaches the
+// WAL.
+func (c *PlusColumn) CheckGroup(group protocol.PlusGroup) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkGroupLocked(group)
+}
+
+func (c *PlusColumn) checkGroupLocked(group protocol.PlusGroup) error {
+	if group > protocol.PlusHigh {
+		return fmt.Errorf("ingest: invalid plus group %d", group)
+	}
+	if (group == protocol.PlusSample) == c.advanced {
+		return fmt.Errorf("%w: %s reports while %s", ErrPlusPhase, group, c.phaseLocked())
+	}
+	return nil
+}
+
+func (c *PlusColumn) phaseLocked() string {
+	if c.advanced {
+		return "in phase 2"
+	}
+	return "in phase 1"
+}
+
+// EnqueueAll routes a set of batches for one phase group to the
+// backing column, after checking the group against the current phase.
+// The phase check and the enqueue happen under the column mutex, so a
+// concurrent Advance cannot slip between them.
+func (c *PlusColumn) EnqueueAll(group protocol.PlusGroup, batches [][]core.Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkGroupLocked(group); err != nil {
+		return err
+	}
+	col, err := c.column(group)
+	if err != nil {
+		return err
+	}
+	return col.EnqueueAll(batches)
+}
+
+// Advanced reports whether the phase boundary has passed.
+func (c *PlusColumn) Advanced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.advanced
+}
+
+// AdvanceInfo returns the frozen advance parameters (a copy) and
+// whether the column has advanced.
+func (c *PlusColumn) AdvanceInfo() (domain uint64, theta float64, fi []uint64, advanced bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.domain, c.theta, slices.Clone(c.fi), c.advanced
+}
+
+// ProposeFI extracts a frequent-item proposal from the current phase-1
+// sample state without freezing anything: a point-in-time copy of the
+// sample aggregator is finalized and thresholded at θ·|S| (Algorithm
+// 3, phase 1). Callers broadcast proposals (GET /fi) or pass a union
+// of proposals back into Advance.
+func (c *PlusColumn) ProposeFI(domain uint64, theta float64) ([]uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.advanced {
+		return nil, ErrPlusAdvanced
+	}
+	return c.proposeLocked(domain, theta)
+}
+
+func (c *PlusColumn) proposeLocked(domain uint64, theta float64) ([]uint64, error) {
+	// Wait for every accepted fold to land first: the proposal must be
+	// a deterministic function of the accepted phase-1 stream, not of
+	// worker timing — kill-and-reopen recovery replays that stream and
+	// must propose the same set. New enqueues block on c.mu meanwhile,
+	// so the wait has a fixed target.
+	c.sample.wg.Wait()
+	agg, err := c.sample.State()
+	if err != nil {
+		return nil, err
+	}
+	sk := agg.Finalize()
+	// FrequentItems scans [0, domain) in order, so the proposal is
+	// already sorted strictly ascending — the canonical FI form.
+	return sk.FrequentItems(domain, theta*sk.N(), false), nil
+}
+
+// Advance freezes the frequent-item set and flips the column to phase
+// 2. With fi == nil the set is computed from the column's own phase-1
+// sample (the single-collector flow); an explicit fi — sorted strictly
+// ascending, every item inside the domain — installs a
+// coordinator-supplied set instead (the federated flow, where FI is
+// the union of per-collector proposals). The sample aggregator is not
+// consumed: phase-1 reports keep their exact integer cells for
+// finalization and federation. Returns the frozen set.
+func (c *PlusColumn) Advance(domain uint64, theta float64, fi []uint64) ([]uint64, error) {
+	if domain == 0 {
+		return nil, fmt.Errorf("ingest: advance needs a positive domain")
+	}
+	if !(theta > 0 && theta < 1) {
+		return nil, fmt.Errorf("ingest: advance theta %v outside (0,1)", theta)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.advanced {
+		return nil, ErrPlusAdvanced
+	}
+	if fi == nil {
+		var err error
+		if fi, err = c.proposeLocked(domain, theta); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, d := range fi {
+			if d >= domain {
+				return nil, fmt.Errorf("ingest: frequent item %d outside domain %d", d, domain)
+			}
+			if i > 0 && d <= fi[i-1] {
+				return nil, fmt.Errorf("ingest: frequent items not strictly ascending at index %d", i)
+			}
+		}
+		fi = slices.Clone(fi)
+	}
+	c.advanced = true
+	c.domain = domain
+	c.theta = theta
+	c.fi = fi
+	return slices.Clone(fi), nil
+}
+
+// N returns the reports accepted so far across all phases.
+func (c *PlusColumn) N() int64 {
+	return c.sample.N() + c.low.N() + c.high.N()
+}
+
+// Counts returns the per-phase report counts.
+func (c *PlusColumn) Counts() (sample, low, high int64) {
+	return c.sample.N(), c.low.N(), c.high.N()
+}
+
+// Finalize drains all three backing columns and restores the finalized
+// column state. The column must have advanced — before the phase
+// boundary there are no group sketches to estimate from — and cannot
+// be used afterwards.
+func (c *PlusColumn) Finalize() (*core.PlusState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.advanced {
+		return nil, ErrPlusNotAdvanced
+	}
+	sample, err := c.sample.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	low, err := c.low.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	high, err := c.high.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &core.PlusState{
+		Sample: sample,
+		Low:    low,
+		High:   high,
+		Domain: c.domain,
+		Theta:  c.theta,
+		FI:     c.fi,
+	}, nil
+}
+
+// Snapshot drains the column into a mergeable composite snapshot — the
+// checkpoint form of a collecting plus column. Like Column.Snapshot it
+// consumes the column and shares the drained rows; encode before
+// anything else touches it.
+func (c *PlusColumn) Snapshot() (*protocol.PlusSnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sampleAgg, err := c.sample.drain()
+	if err != nil {
+		return nil, err
+	}
+	ps := &protocol.PlusSnapshot{
+		Advanced: c.advanced,
+		Sample:   protocol.SnapshotOfAggregator(sampleAgg),
+	}
+	if c.advanced {
+		lowAgg, err := c.low.drain()
+		if err != nil {
+			return nil, err
+		}
+		highAgg, err := c.high.drain()
+		if err != nil {
+			return nil, err
+		}
+		ps.Domain, ps.Theta, ps.FI = c.domain, c.theta, c.fi
+		ps.Low = protocol.SnapshotOfAggregator(lowAgg)
+		ps.High = protocol.SnapshotOfAggregator(highAgg)
+	}
+	return ps, nil
+}
+
+// State copies the column's current state into a fresh composite
+// snapshot without consuming it: the point-in-time export live
+// federation pulls (GET /snapshot). The copy and the phase metadata
+// are read under the column mutex, so a concurrent Advance can never
+// produce a snapshot whose groups disagree with its FI.
+func (c *PlusColumn) State() (*protocol.PlusSnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// As in proposeLocked: settle the accepted folds so the export is a
+	// deterministic function of the accepted stream — the property the
+	// federation conformance (byte-identical to single-node ingestion)
+	// rests on.
+	c.sample.wg.Wait()
+	c.low.wg.Wait()
+	c.high.wg.Wait()
+	sampleAgg, err := c.sample.State()
+	if err != nil {
+		return nil, err
+	}
+	ps := &protocol.PlusSnapshot{
+		Advanced: c.advanced,
+		Sample:   protocol.SnapshotOfAggregator(sampleAgg),
+	}
+	if c.advanced {
+		lowAgg, err := c.low.State()
+		if err != nil {
+			return nil, err
+		}
+		highAgg, err := c.high.State()
+		if err != nil {
+			return nil, err
+		}
+		ps.Domain, ps.Theta, ps.FI = c.domain, c.theta, slices.Clone(c.fi)
+		ps.Low = protocol.SnapshotOfAggregator(lowAgg)
+		ps.High = protocol.SnapshotOfAggregator(highAgg)
+	}
+	return ps, nil
+}
+
+// MergePlus folds another collector's unfinalized composite snapshot
+// into the column, phase by phase. The phases must agree: a snapshot
+// from the other side of the advance cannot merge (the service adopts
+// the snapshot's advance first when the local column can still follow),
+// and two advanced columns must have frozen identical (domain, θ, FI).
+// Merging is exact for the same reason single-phase merging is —
+// unfinalized cells are integer sums.
+func (c *PlusColumn) MergePlus(snap *protocol.PlusSnapshot) error {
+	if snap.Finalized {
+		return fmt.Errorf("ingest: cannot merge a finalized plus snapshot")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if snap.Advanced != c.advanced {
+		if c.advanced {
+			return fmt.Errorf("%w: merging a phase-1 snapshot into a phase-2 column", ErrPlusPhase)
+		}
+		return fmt.Errorf("%w: merging a phase-2 snapshot into a phase-1 column", ErrPlusPhase)
+	}
+	if snap.Advanced {
+		if snap.Domain != c.domain || snap.Theta != c.theta || !slices.Equal(snap.FI, c.fi) {
+			return fmt.Errorf("ingest: plus snapshot froze a different frequent-item set than the column")
+		}
+	}
+	sampleAgg, err := snap.Sample.Aggregator()
+	if err != nil {
+		return err
+	}
+	if err := c.sample.MergeAggregator(sampleAgg); err != nil {
+		return err
+	}
+	if snap.Advanced {
+		lowAgg, err := snap.Low.Aggregator()
+		if err != nil {
+			return err
+		}
+		if err := c.low.MergeAggregator(lowAgg); err != nil {
+			return err
+		}
+		highAgg, err := snap.High.Aggregator()
+		if err != nil {
+			return err
+		}
+		if err := c.high.MergeAggregator(highAgg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

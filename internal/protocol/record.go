@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"ldpjoin/internal/core"
 )
@@ -46,7 +47,23 @@ const (
 	// length/11 wire-format reports (11 bytes each, see
 	// AppendMatrixReport) back to back.
 	RecordMatrixReports RecordType = 3
+	// RecordPlusReports carries accepted phase-tagged reports of a plus
+	// column: one PlusGroup byte, then (length-1)/7 wire-format join
+	// reports back to back.
+	RecordPlusReports RecordType = 4
+	// RecordPlusAdvance marks a plus column's phase boundary: the
+	// advance parameters and the frozen frequent-item set (Algorithm 3,
+	// end of phase 1). Replaying it restores the exact FI phase 2 was
+	// keyed by, independent of the phase-1 aggregate it was computed
+	// from.
+	RecordPlusAdvance RecordType = 5
 )
+
+// MaxPlusFI bounds the frequent-item set a RecordPlusAdvance payload
+// (or a PSNP snapshot) may carry. θ > 0 already bounds |FI| by 1/θ per
+// side in any honest run; the cap keeps a corrupt count field from
+// allocating gigabytes before validation.
+const MaxPlusFI = 1 << 20
 
 // MaxRecordPayload bounds a record's payload. It exists so a torn or
 // hostile length field cannot make a replayer allocate gigabytes before
@@ -106,7 +123,7 @@ func ReadRecord(r io.Reader) (RecordType, []byte, error) {
 	if length > MaxRecordPayload {
 		return 0, nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadRecord, length, MaxRecordPayload)
 	}
-	if typ != RecordReports && typ != RecordMerge && typ != RecordMatrixReports {
+	if typ < RecordReports || typ > RecordPlusAdvance {
 		return 0, nil, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, typ)
 	}
 	rest := make([]byte, int(length)+recordTrailerSize)
@@ -153,6 +170,83 @@ func DecodeReportsPayload(payload []byte, expect core.Params) ([]core.Report, er
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// AppendPlusReportsPayload encodes a batch of phase-tagged reports as a
+// RecordPlusReports payload: the PlusGroup byte, then the same 7-byte
+// wire encoding the report streams use.
+func AppendPlusReportsPayload(buf []byte, group PlusGroup, reports []core.Report) []byte {
+	buf = append(buf, byte(group))
+	return AppendReportsPayload(buf, reports)
+}
+
+// DecodePlusReportsPayload decodes a RecordPlusReports payload,
+// bounds-checking the group byte and every report against the expected
+// parameters exactly like the stream decoder.
+func DecodePlusReportsPayload(payload []byte, expect core.Params) (PlusGroup, []core.Report, error) {
+	if len(payload) < 1 {
+		return 0, nil, fmt.Errorf("%w: empty plus reports payload", ErrBadRecord)
+	}
+	group := PlusGroup(payload[0])
+	if group > PlusHigh {
+		return 0, nil, fmt.Errorf("%w: invalid plus group %d", ErrBadRecord, group)
+	}
+	reports, err := DecodeReportsPayload(payload[1:], expect)
+	if err != nil {
+		return 0, nil, err
+	}
+	return group, reports, nil
+}
+
+// AppendPlusAdvancePayload encodes a RecordPlusAdvance payload:
+//
+//	domain u64 | theta f64 | count u32 | fi u64 × count
+//
+// fi must be sorted strictly ascending — the canonical form every
+// layer stores FI in.
+func AppendPlusAdvancePayload(buf []byte, domain uint64, theta float64, fi []uint64) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, domain)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(theta))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(fi)))
+	for _, d := range fi {
+		buf = binary.BigEndian.AppendUint64(buf, d)
+	}
+	return buf
+}
+
+// DecodePlusAdvancePayload decodes and validates a RecordPlusAdvance
+// payload: θ must lie in (0,1), the FI count within MaxPlusFI, and the
+// items strictly ascending and below the domain.
+func DecodePlusAdvancePayload(payload []byte) (domain uint64, theta float64, fi []uint64, err error) {
+	if len(payload) < 20 {
+		return 0, 0, nil, fmt.Errorf("%w: plus advance payload of %d bytes is too short", ErrBadRecord, len(payload))
+	}
+	domain = binary.BigEndian.Uint64(payload[0:8])
+	theta = math.Float64frombits(binary.BigEndian.Uint64(payload[8:16]))
+	count := binary.BigEndian.Uint32(payload[16:20])
+	if domain == 0 {
+		return 0, 0, nil, fmt.Errorf("%w: plus advance domain must be positive", ErrBadRecord)
+	}
+	if !(theta > 0 && theta < 1) {
+		return 0, 0, nil, fmt.Errorf("%w: plus advance theta %v outside (0,1)", ErrBadRecord, theta)
+	}
+	if count > MaxPlusFI {
+		return 0, 0, nil, fmt.Errorf("%w: plus advance FI count %d exceeds %d", ErrBadRecord, count, MaxPlusFI)
+	}
+	if len(payload) != 20+8*int(count) {
+		return 0, 0, nil, fmt.Errorf("%w: plus advance payload of %d bytes does not match FI count %d", ErrBadRecord, len(payload), count)
+	}
+	fi = make([]uint64, count)
+	for i := range fi {
+		fi[i] = binary.BigEndian.Uint64(payload[20+8*i:])
+		if fi[i] >= domain {
+			return 0, 0, nil, fmt.Errorf("%w: frequent item %d outside domain %d", ErrBadRecord, fi[i], domain)
+		}
+		if i > 0 && fi[i] <= fi[i-1] {
+			return 0, 0, nil, fmt.Errorf("%w: frequent items not strictly ascending at index %d", ErrBadRecord, i)
+		}
+	}
+	return domain, theta, fi, nil
 }
 
 // AppendMatrixReportsPayload encodes a batch of matrix reports as a

@@ -25,6 +25,8 @@ func (k Kind) String() string {
 		return "join"
 	case KindMatrix:
 		return "matrix"
+	case KindPlus:
+		return "plus"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -147,6 +147,69 @@ func ReadStream(r io.Reader, expect core.Params, sink func(core.Report)) (Header
 	}
 }
 
+// NewPlusReportWriter writes a KindPlus header — the join layout with
+// the phase group in the m2 slot — and returns a writer for the
+// reports. One stream carries reports for exactly one group: clients
+// are assigned to a phase, they do not interleave.
+func NewPlusReportWriter(w io.Writer, p core.Params, group PlusGroup) (*ReportWriter, error) {
+	if group > PlusHigh {
+		return nil, fmt.Errorf("protocol: invalid plus group %d", group)
+	}
+	bw := bufio.NewWriter(w)
+	h := Header{Kind: KindPlus, K: p.K, M: p.M, M2: int(group), Epsilon: p.Epsilon}
+	if err := WriteHeader(bw, h); err != nil {
+		return nil, err
+	}
+	return &ReportWriter{bw: bw, buf: make([]byte, 0, ReportSize)}, nil
+}
+
+// NewPlusBatchReaderFrom builds a batch reader over a KindPlus stream
+// whose header has already been read, returning the phase group the
+// stream feeds. br must be positioned at the first report; reports
+// decode and bounds-check exactly like a join stream.
+func NewPlusBatchReaderFrom(br *bufio.Reader, h Header, expect core.Params) (*BatchReader, PlusGroup, error) {
+	if h.Kind != KindPlus {
+		return nil, 0, fmt.Errorf("protocol: expected plus stream, got kind %d", h.Kind)
+	}
+	if h.M2 < 0 || h.M2 > int(PlusHigh) {
+		return nil, 0, fmt.Errorf("protocol: invalid plus group %d", h.M2)
+	}
+	if h.K != expect.K || h.M != expect.M || h.Epsilon != expect.Epsilon {
+		return nil, 0, fmt.Errorf("protocol: stream params (k=%d,m=%d,eps=%g) do not match server (k=%d,m=%d,eps=%g)",
+			h.K, h.M, h.Epsilon, expect.K, expect.M, expect.Epsilon)
+	}
+	return &BatchReader{br: br, h: h, expect: expect}, PlusGroup(h.M2), nil
+}
+
+// ReadPlusStream reads a KindPlus stream until EOF, passing every
+// report to sink. It returns the header, the stream's phase group and
+// the number of reports delivered.
+func ReadPlusStream(r io.Reader, expect core.Params, sink func(core.Report)) (Header, PlusGroup, int, error) {
+	br := bufio.NewReader(r)
+	h, err := ReadHeader(br)
+	if err != nil {
+		return Header{}, 0, 0, err
+	}
+	pr, group, err := NewPlusBatchReaderFrom(br, h, expect)
+	if err != nil {
+		return Header{}, 0, 0, err
+	}
+	delivered := 0
+	for {
+		batch, err := pr.Next(0)
+		if err == io.EOF {
+			return pr.Header(), group, delivered, nil
+		}
+		if err != nil {
+			return pr.Header(), group, delivered, err
+		}
+		for _, rep := range batch {
+			sink(rep)
+		}
+		delivered += len(batch)
+	}
+}
+
 // MatrixReportWriter streams two-attribute (middle-table) reports onto a
 // connection.
 type MatrixReportWriter struct {

@@ -13,6 +13,11 @@
 //	report (repeated):
 //	  y u8 (0 = −1, 1 = +1) | row u16 | col u32            (kind Join)
 //	  y u8 | row u16 | l1 u32 | l2 u32                     (kind Matrix)
+//	  y u8 | row u16 | col u32                             (kind Plus)
+//
+// Kind Plus streams reuse the Join report layout; the header's m2 slot
+// (meaningless for a single-attribute sketch) carries the PlusGroup —
+// sample (0), low (1) or high (2) — the whole stream feeds.
 //
 // All integers are big-endian. Streams are one-directional: a client (or
 // client gateway) writes a header and any number of reports; the server
@@ -40,7 +45,38 @@ const (
 	KindJoin Kind = 1
 	// KindMatrix streams two-attribute reports (core.MatrixReport).
 	KindMatrix Kind = 2
+	// KindPlus streams phase-tagged reports for a two-phase
+	// LDPJoinSketch+ column. Reports are wire-identical to KindJoin;
+	// the header's M2 slot (unused for single-attribute sketches)
+	// carries the PlusGroup the stream belongs to.
+	KindPlus Kind = 3
 )
+
+// PlusGroup tags which phase sketch a KindPlus stream or WAL record
+// feeds: the phase-1 sample, or one of the two phase-2 FAP groups.
+type PlusGroup uint8
+
+const (
+	// PlusSample is the phase-1 sample window (plain perturbation).
+	PlusSample PlusGroup = 0
+	// PlusLow is phase-2 group 1: the low-frequency target sketch.
+	PlusLow PlusGroup = 1
+	// PlusHigh is phase-2 group 2: the high-frequency target sketch.
+	PlusHigh PlusGroup = 2
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (g PlusGroup) String() string {
+	switch g {
+	case PlusSample:
+		return "sample"
+	case PlusLow:
+		return "low"
+	case PlusHigh:
+		return "high"
+	}
+	return fmt.Sprintf("plusgroup(%d)", uint8(g))
+}
 
 var magic = [4]byte{'L', 'J', 'S', 'K'}
 
@@ -94,7 +130,7 @@ func ReadHeader(r io.Reader) (Header, error) {
 		M2:      int(binary.BigEndian.Uint32(buf[12:16])),
 		Epsilon: math.Float64frombits(binary.BigEndian.Uint64(buf[16:24])),
 	}
-	if h.Kind != KindJoin && h.Kind != KindMatrix {
+	if h.Kind != KindJoin && h.Kind != KindMatrix && h.Kind != KindPlus {
 		return Header{}, fmt.Errorf("protocol: unknown stream kind %d", h.Kind)
 	}
 	return h, nil

@@ -129,6 +129,92 @@ func BenchmarkServiceJoinParallel(b *testing.B) {
 	})
 }
 
+// benchPlusServer builds a server with two finalized plus columns PA
+// and PB, driven through the served two-phase flow: sample ingest,
+// explicit advance, FAP group ingest, finalize.
+func benchPlusServer(b *testing.B, cacheEntries int) http.Handler {
+	b.Helper()
+	p := core.Params{K: 9, M: 512, Epsilon: 4}
+	srv, err := NewWithOptions(p, 42, Options{QueryCacheEntries: cacheEntries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	const n, domain = 5000, 400
+	famS := p.NewFamily(core.PlusSampleSeed(42))
+	famG := p.NewFamily(core.PlusGroupSeed(42))
+	fi := core.NewFISet([]uint64{1, 2, 3})
+	rng := rand.New(rand.NewSource(9))
+	send := func(method, target string, stream []byte) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, target, bytes.NewReader(stream)))
+		if rec.Code != 200 {
+			b.Fatalf("bench plus seed %s: %d %s", target, rec.Code, rec.Body)
+		}
+	}
+	encodePlus := func(group protocol.PlusGroup, count int, perturb func() core.Report) []byte {
+		var buf bytes.Buffer
+		w, err := protocol.NewPlusReportWriter(&buf, p, group)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < count; i++ {
+			if err := w.Write(perturb()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, col := range []string{"PA", "PB"} {
+		send("POST", "/v1/columns/"+col+"/reports", encodePlus(protocol.PlusSample, n/4, func() core.Report {
+			return core.Perturb(uint64(rng.Intn(domain)), p, famS, rng)
+		}))
+		send("POST", "/v1/columns/"+col+"/advance",
+			[]byte(`{"domain":400,"theta":0.08,"fi":[1,2,3]}`))
+		for _, g := range []struct {
+			group protocol.PlusGroup
+			mode  core.Mode
+		}{{protocol.PlusLow, core.ModeLow}, {protocol.PlusHigh, core.ModeHigh}} {
+			send("POST", "/v1/columns/"+col+"/reports", encodePlus(g.group, n*3/8, func() core.Report {
+				return core.FAPPerturb(uint64(rng.Intn(domain)), g.mode, fi, p, famG, rng)
+			}))
+		}
+		send("POST", "/v1/columns/"+col+"/finalize", nil)
+	}
+	return h
+}
+
+// BenchmarkServicePlusJoinParallel feeds the BENCH artifact for the
+// plus kind: the memoized two-phase estimate ("cached") and the full
+// three-sketch composition with memoization off ("uncached"), both
+// under b.RunParallel like the plain-join twin above.
+func BenchmarkServicePlusJoinParallel(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		h := benchPlusServer(b, 0)
+		benchGet(b, h, "/v1/join?left=PA&right=PB") // warm the entry
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchGet(b, h, "/v1/join?left=PA&right=PB")
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		h := benchPlusServer(b, -1) // memoization off: every join composes the group estimates
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchGet(b, h, "/v1/join?left=PA&right=PB")
+			}
+		})
+	})
+}
+
 // BenchmarkServiceJoinSerial is the single-threaded latency guard for
 // the same two paths: the lock-free read path must not cost the
 // uncontended caller anything.

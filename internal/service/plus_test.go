@@ -1,0 +1,591 @@
+package service
+
+// Conformance suite for the two-phase plus column kind: the served
+// estimate must equal the in-process composition exactly, recovery from
+// a mid-phase crash must be byte-identical to an uninterrupted run, and
+// a two-collector federation must finalize to the same bytes again.
+// The A/B test pins the accuracy story the kind exists for: on a
+// skewed workload the plus estimate beats the plain one, asserted
+// through the served ?ab= comparison endpoint.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strconv"
+	"testing"
+
+	"ldpjoin/internal/core"
+	"ldpjoin/internal/dataset"
+	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/join"
+	"ldpjoin/internal/protocol"
+)
+
+// plusFams derives the client-side sample and group hash families for
+// the test servers' seed (42). Plus columns are pinned to attribute 0,
+// so these match the server's famPlusSample / famPlusGroup exactly.
+func plusFams(p core.Params) (famS, famG *hashing.Family) {
+	return p.NewFamily(core.PlusSampleSeed(42)), p.NewFamily(core.PlusGroupSeed(42))
+}
+
+// splitPlus deterministically shuffles a population and splits it into
+// the phase-1 sample and the two phase-2 groups, mirroring the client
+// side of Algorithm 3.
+func splitPlus(seed int64, data []uint64, rate float64) (sample, g1, g2 []uint64) {
+	shuffled := append([]uint64(nil), data...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	ns := int(rate * float64(len(shuffled)))
+	rest := shuffled[ns:]
+	half := len(rest) / 2
+	return shuffled[:ns], rest[:half], rest[half:]
+}
+
+// perturbSample perturbs a phase-1 sample with the plain mechanism
+// under the sample family.
+func perturbSample(p core.Params, fam *hashing.Family, seed int64, data []uint64) []core.Report {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Report, len(data))
+	for i, d := range data {
+		out[i] = core.Perturb(d, p, fam, rng)
+	}
+	return out
+}
+
+// perturbFAP perturbs a phase-2 group with frequency-aware perturbation
+// against the frozen frequent-item set.
+func perturbFAP(p core.Params, fam *hashing.Family, mode core.Mode, fi core.FISet, seed int64, data []uint64) []core.Report {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Report, len(data))
+	for i, d := range data {
+		out[i] = core.FAPPerturb(d, mode, fi, p, fam, rng)
+	}
+	return out
+}
+
+// encodePlusStream frames pre-perturbed reports as a phase-tagged plus
+// wire stream.
+func encodePlusStream(t *testing.T, p core.Params, group protocol.PlusGroup, reports []core.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := protocol.NewPlusReportWriter(&buf, p, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if err := w.Write(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fiFromJSON converts the decoded "fi" response field back to the
+// uint64 set the client feeds into FAP.
+func fiFromJSON(t *testing.T, v any) []uint64 {
+	t.Helper()
+	raw, ok := v.([]any)
+	if !ok {
+		t.Fatalf("fi field is %T, want a list", v)
+	}
+	fi := make([]uint64, len(raw))
+	for i, x := range raw {
+		fi[i] = uint64(x.(float64))
+	}
+	return fi
+}
+
+// fetchRaw GETs a binary endpoint (snapshot export) and returns the
+// body bytes.
+func fetchRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %v %s", url, resp.StatusCode, err, data)
+	}
+	return data
+}
+
+// plusWorkload is the shared deterministic workload: populations split
+// into sample/group1/group2 per side, with every report pre-perturbed
+// so each run (reference, crashed, federated) replays identical bytes.
+type plusWorkload struct {
+	p                    core.Params
+	domain               uint64
+	theta                float64
+	da, db               []uint64
+	sampleA, lowA, highA []core.Report
+	sampleB, lowB, highB []core.Report
+}
+
+func newPlusWorkload(t *testing.T, p core.Params) *plusWorkload {
+	t.Helper()
+	const n, domain = 12000, 400
+	w := &plusWorkload{p: p, domain: domain, theta: 0.08}
+	w.da = dataset.Zipf(31, n, domain, 1.3)
+	w.db = dataset.Zipf(32, n, domain, 1.3)
+	famS, _ := plusFams(p)
+	sa, _, _ := splitPlus(101, w.da, 0.25)
+	sb, _, _ := splitPlus(102, w.db, 0.25)
+	w.sampleA = perturbSample(p, famS, 201, sa)
+	w.sampleB = perturbSample(p, famS, 202, sb)
+	return w
+}
+
+// freezePhase2 perturbs the phase-2 groups once the frequent-item set
+// is known (it comes from the server's own advance).
+func (w *plusWorkload) freezePhase2(t *testing.T, fi []uint64) {
+	t.Helper()
+	_, famG := plusFams(w.p)
+	set := core.NewFISet(fi)
+	_, a1, a2 := splitPlus(101, w.da, 0.25)
+	_, b1, b2 := splitPlus(102, w.db, 0.25)
+	w.lowA = perturbFAP(w.p, famG, core.ModeLow, set, 301, a1)
+	w.highA = perturbFAP(w.p, famG, core.ModeHigh, set, 302, a2)
+	w.lowB = perturbFAP(w.p, famG, core.ModeLow, set, 303, b1)
+	w.highB = perturbFAP(w.p, famG, core.ModeHigh, set, 304, b2)
+}
+
+// referenceStates folds the same reports in-process into the PlusState
+// pair the service must match bit for bit.
+func (w *plusWorkload) referenceStates(fi []uint64) (a, b *core.PlusState) {
+	famS, famG := plusFams(w.p)
+	fold := func(fam *hashing.Family, reports []core.Report) *core.Sketch {
+		agg := core.NewAggregator(w.p, fam)
+		for _, rep := range reports {
+			agg.Add(rep)
+		}
+		return agg.Finalize()
+	}
+	a = &core.PlusState{
+		Sample: fold(famS, w.sampleA), Low: fold(famG, w.lowA), High: fold(famG, w.highA),
+		Domain: w.domain, Theta: w.theta, FI: fi,
+	}
+	b = &core.PlusState{
+		Sample: fold(famS, w.sampleB), Low: fold(famG, w.lowB), High: fold(famG, w.highB),
+		Domain: w.domain, Theta: w.theta, FI: fi,
+	}
+	return a, b
+}
+
+// TestServicePlusEndToEnd is the plus conformance suite: serve both
+// phases end to end, pin the served estimate to the in-process
+// composition exactly, then prove the durable path (two kill-and-
+// reopens, one mid-phase-1 and one mid-phase-2) and a two-collector
+// federation finalize byte-identical to the uninterrupted run.
+func TestServicePlusEndToEnd(t *testing.T) {
+	_, ts, p := testServer(t)
+	w := newPlusWorkload(t, p)
+
+	sampA1 := encodePlusStream(t, p, protocol.PlusSample, w.sampleA[:len(w.sampleA)/2])
+	sampA2 := encodePlusStream(t, p, protocol.PlusSample, w.sampleA[len(w.sampleA)/2:])
+	sampB := encodePlusStream(t, p, protocol.PlusSample, w.sampleB)
+
+	// ---- Phase 1: ingest the sample windows. ----
+	if code, body := post(t, ts.URL+"/v1/columns/A/reports", sampA1); code != 200 || body["group"] != "sample" || body["kind"] != "plus" {
+		t.Fatalf("phase-1 ingest: %d %v", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/columns/A/reports", sampA2); code != 200 || body["total"].(float64) != float64(len(w.sampleA)) {
+		t.Fatalf("phase-1 second batch: %d %v", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/B/reports", sampB); code != 200 {
+		t.Fatal("phase-1 B ingest failed")
+	}
+	if code, body := get(t, ts.URL+"/v1/columns/A"); code != 200 || body["phase"].(float64) != 1 {
+		t.Fatalf("phase-1 status: %d %v", code, body)
+	}
+	// Finalizing before the phase boundary is a conflict — and must
+	// leave the column usable.
+	if code, _ := post(t, ts.URL+"/v1/columns/A/finalize", nil); code != 409 {
+		t.Fatal("finalize before advance did not conflict")
+	}
+	// Advance needs parameters.
+	if code, _ := post(t, ts.URL+"/v1/columns/A/advance", nil); code != 400 {
+		t.Fatal("parameterless advance accepted")
+	}
+
+	// ---- Phase boundary: A computes FI from its own sample, B adopts
+	// the broadcast set. ----
+	code, body := post(t, fmt.Sprintf("%s/v1/columns/A/advance?domain=%d&theta=%v", ts.URL, w.domain, w.theta), nil)
+	if code != 200 {
+		t.Fatalf("advance A: %d %v", code, body)
+	}
+	fi := fiFromJSON(t, body["fi"])
+	if len(fi) == 0 {
+		t.Fatal("advance froze an empty frequent-item set; the workload has heavy hitters")
+	}
+	// The frozen set broadcasts via GET /fi.
+	if code, body := get(t, ts.URL+"/v1/columns/A/fi"); code != 200 || body["advanced"] != true || !slices.Equal(fi, fiFromJSON(t, body["fi"])) {
+		t.Fatalf("broadcast fi: %d %v", code, body)
+	}
+	// A second advance must conflict without touching the WAL.
+	if code, _ := post(t, fmt.Sprintf("%s/v1/columns/A/advance?domain=%d&theta=%v", ts.URL, w.domain, w.theta), nil); code != 409 {
+		t.Fatal("double advance did not conflict")
+	}
+	advanceB := []byte(fmt.Sprintf(`{"domain":%d,"theta":%v,"fi":%s}`, w.domain, w.theta, jsonUints(fi)))
+	w.freezePhase2(t, fi)
+	lowB := encodePlusStream(t, p, protocol.PlusLow, w.lowB)
+	// Phase-2 reports against a phase-1 column conflict (B has not
+	// advanced yet).
+	if code, _ := post(t, ts.URL+"/v1/columns/B/reports", lowB); code != 409 {
+		t.Fatal("phase-2 stream accepted by a phase-1 column")
+	}
+	if code, body := post(t, ts.URL+"/v1/columns/B/advance", advanceB); code != 200 || !slices.Equal(fi, fiFromJSON(t, body["fi"])) {
+		t.Fatalf("advance B with explicit fi: %d %v", code, body)
+	}
+
+	// ---- Phase 2: ingest the groups. ----
+	lowA1 := encodePlusStream(t, p, protocol.PlusLow, w.lowA[:len(w.lowA)/2])
+	lowA2 := encodePlusStream(t, p, protocol.PlusLow, w.lowA[len(w.lowA)/2:])
+	highA := encodePlusStream(t, p, protocol.PlusHigh, w.highA)
+	highB := encodePlusStream(t, p, protocol.PlusHigh, w.highB)
+	for _, in := range []struct {
+		col    string
+		stream []byte
+	}{
+		{"A", lowA1}, {"A", lowA2}, {"A", highA}, {"B", lowB}, {"B", highB},
+	} {
+		if code, body := post(t, ts.URL+"/v1/columns/"+in.col+"/reports", in.stream); code != 200 {
+			t.Fatalf("phase-2 ingest %s: %d %v", in.col, code, body)
+		}
+	}
+	// Sample reports after the boundary conflict.
+	if code, _ := post(t, ts.URL+"/v1/columns/A/reports", sampA1); code != 409 {
+		t.Fatal("phase-1 stream accepted after advance")
+	}
+	if code, body := get(t, ts.URL+"/v1/columns/A"); code != 200 || body["phase"].(float64) != 2 || body["reports"].(float64) != float64(len(w.da)) {
+		t.Fatalf("phase-2 status: %d %v", code, body)
+	}
+
+	// ---- Finalize and serve. ----
+	for _, col := range []string{"A", "B"} {
+		if code, body := post(t, ts.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 || body["kind"] != "plus" {
+			t.Fatalf("finalize %s: %d %v", col, code, body)
+		}
+	}
+	code, body = get(t, ts.URL+"/v1/join?left=A&right=B")
+	if code != 200 || body["kind"] != "plus" {
+		t.Fatalf("plus join: %d %v", code, body)
+	}
+	served := body["estimate"].(float64)
+
+	// The served estimate equals the in-process composition exactly.
+	refA, refB := w.referenceStates(fi)
+	ref, err := core.EstimateJoinPlusColumns(refA, refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != ref.Estimate {
+		t.Fatalf("served estimate %v != in-process EstimateJoinPlusColumns %v", served, ref.Estimate)
+	}
+	if body["lowEstimate"].(float64) != ref.LowEstimate || body["highEstimate"].(float64) != ref.HighEstimate {
+		t.Fatalf("served group estimates %v/%v != in-process %v/%v",
+			body["lowEstimate"], body["highEstimate"], ref.LowEstimate, ref.HighEstimate)
+	}
+	// And it is a real estimate of the join, not just a consistent one.
+	truth := join.Size(w.da, w.db)
+	if re := math.Abs(served-truth) / truth; re > 0.6 {
+		t.Fatalf("plus estimate RE %.3f (est %.0f truth %.0f)", re, served, truth)
+	}
+	// A plus column does not pair with a plain one.
+	if code, _ := post(t, ts.URL+"/v1/columns/plain/reports", encodeColumn(t, p, 9, w.da[:100])); code != 200 {
+		t.Fatal("plain ingest failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/columns/plain/finalize", nil); code != 200 {
+		t.Fatal("plain finalize failed")
+	}
+	if code, _ := get(t, ts.URL+"/v1/join?left=A&right=plain"); code != 400 {
+		t.Fatal("mixed-kind join did not reject")
+	}
+
+	refSnapA := fetchRaw(t, ts.URL+"/v1/columns/A/snapshot")
+	refSnapB := fetchRaw(t, ts.URL+"/v1/columns/B/snapshot")
+
+	// ---- Kill and reopen: one crash mid-phase-1, one mid-phase-2. ----
+	dir := t.TempDir()
+	srv1, ts1, _ := durableServer(t, dir)
+	if code, _ := post(t, ts1.URL+"/v1/columns/A/reports", sampA1); code != 200 {
+		t.Fatal("durable phase-1 ingest failed")
+	}
+	crash(t, srv1, ts1)
+
+	srv2, ts2, _ := durableServer(t, dir)
+	if code, body := get(t, ts2.URL+"/v1/columns/A"); code != 200 ||
+		body["phase"].(float64) != 1 || body["reports"].(float64) != float64(len(w.sampleA)/2) {
+		t.Fatalf("recovered mid-phase-1 status: %d %v", code, body)
+	}
+	if code, _ := post(t, ts2.URL+"/v1/columns/A/reports", sampA2); code != 200 {
+		t.Fatal("post-recovery phase-1 ingest failed")
+	}
+	if code, _ := post(t, ts2.URL+"/v1/columns/B/reports", sampB); code != 200 {
+		t.Fatal("durable B ingest failed")
+	}
+	// The recovered column proposes the same frequent-item set: the
+	// fold is a deterministic function of the accepted stream.
+	code, body = post(t, fmt.Sprintf("%s/v1/columns/A/advance?domain=%d&theta=%v", ts2.URL, w.domain, w.theta), nil)
+	if code != 200 || !slices.Equal(fi, fiFromJSON(t, body["fi"])) {
+		t.Fatalf("recovered advance diverged: %d %v (want fi %v)", code, body, fi)
+	}
+	if code, _ := post(t, ts2.URL+"/v1/columns/B/advance", advanceB); code != 200 {
+		t.Fatal("durable advance B failed")
+	}
+	if code, _ := post(t, ts2.URL+"/v1/columns/A/reports", lowA1); code != 200 {
+		t.Fatal("durable phase-2 ingest failed")
+	}
+	crash(t, srv2, ts2)
+
+	srv3, ts3, _ := durableServer(t, dir)
+	defer srv3.Close()
+	defer ts3.Close()
+	if code, body := get(t, ts3.URL+"/v1/columns/A"); code != 200 || body["phase"].(float64) != 2 {
+		t.Fatalf("recovered mid-phase-2 status: %d %v", code, body)
+	}
+	if code, body := get(t, ts3.URL+"/v1/columns/A/fi"); code != 200 || !slices.Equal(fi, fiFromJSON(t, body["fi"])) {
+		t.Fatalf("recovered fi diverged: %d %v", code, body)
+	}
+	for _, in := range []struct {
+		col    string
+		stream []byte
+	}{
+		{"A", lowA2}, {"A", highA}, {"B", lowB}, {"B", highB},
+	} {
+		if code, body := post(t, ts3.URL+"/v1/columns/"+in.col+"/reports", in.stream); code != 200 {
+			t.Fatalf("post-recovery phase-2 ingest %s: %d %v", in.col, code, body)
+		}
+	}
+	for _, col := range []string{"A", "B"} {
+		if code, _ := post(t, ts3.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 {
+			t.Fatalf("durable finalize %s failed", col)
+		}
+	}
+	if got := fetchRaw(t, ts3.URL+"/v1/columns/A/snapshot"); !bytes.Equal(got, refSnapA) {
+		t.Fatal("twice-crashed run's snapshot A is not byte-identical to the uninterrupted run")
+	}
+	if got := fetchRaw(t, ts3.URL+"/v1/columns/B/snapshot"); !bytes.Equal(got, refSnapB) {
+		t.Fatal("twice-crashed run's snapshot B is not byte-identical to the uninterrupted run")
+	}
+	if code, body := get(t, ts3.URL+"/v1/join?left=A&right=B"); code != 200 || body["estimate"].(float64) != ref.Estimate {
+		t.Fatalf("recovered join: %d %v (want %v)", code, body, ref.Estimate)
+	}
+
+	// ---- Federation: two collectors each see half of every window,
+	// snapshot, and merge into a coordinator. ----
+	_, tsC1, _ := testServer(t)
+	_, tsC2, _ := testServer(t)
+	_, tsFed, _ := testServer(t)
+	half := func(r []core.Report) ([]core.Report, []core.Report) { return r[:len(r)/2], r[len(r)/2:] }
+	sA1, sA2 := half(w.sampleA)
+	sB1, sB2 := half(w.sampleB)
+	lA1, lA2 := half(w.lowA)
+	lB1, lB2 := half(w.lowB)
+	hA1, hA2 := half(w.highA)
+	hB1, hB2 := half(w.highB)
+	for _, c := range []struct {
+		ts                     string
+		sa, sb, la, lb, ha, hb []core.Report
+	}{
+		{tsC1.URL, sA1, sB1, lA1, lB1, hA1, hB1},
+		{tsC2.URL, sA2, sB2, lA2, lB2, hA2, hB2},
+	} {
+		for _, in := range []struct {
+			col     string
+			group   protocol.PlusGroup
+			reports []core.Report
+		}{
+			{"A", protocol.PlusSample, c.sa}, {"B", protocol.PlusSample, c.sb},
+		} {
+			if code, _ := post(t, c.ts+"/v1/columns/"+in.col+"/reports", encodePlusStream(t, p, in.group, in.reports)); code != 200 {
+				t.Fatalf("collector phase-1 ingest %s failed", in.col)
+			}
+		}
+		// Every collector freezes the coordinator's explicit set — the
+		// phase boundaries must agree for the snapshots to merge.
+		for _, col := range []string{"A", "B"} {
+			if code, body := post(t, c.ts+"/v1/columns/"+col+"/advance", advanceB); code != 200 {
+				t.Fatalf("collector advance %s: %d %v", col, code, body)
+			}
+		}
+		for _, in := range []struct {
+			col     string
+			group   protocol.PlusGroup
+			reports []core.Report
+		}{
+			{"A", protocol.PlusLow, c.la}, {"A", protocol.PlusHigh, c.ha},
+			{"B", protocol.PlusLow, c.lb}, {"B", protocol.PlusHigh, c.hb},
+		} {
+			if code, _ := post(t, c.ts+"/v1/columns/"+in.col+"/reports", encodePlusStream(t, p, in.group, in.reports)); code != 200 {
+				t.Fatalf("collector phase-2 ingest %s failed", in.col)
+			}
+		}
+		for _, col := range []string{"A", "B"} {
+			snap := fetchRaw(t, c.ts+"/v1/columns/"+col+"/snapshot")
+			if code, body := post(t, tsFed.URL+"/v1/columns/"+col+"/merge", snap); code != 200 {
+				t.Fatalf("federated merge %s: %d %v", col, code, body)
+			}
+		}
+	}
+	for _, col := range []string{"A", "B"} {
+		if code, body := post(t, tsFed.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 {
+			t.Fatalf("federated finalize %s: %d %v", col, code, body)
+		}
+	}
+	if got := fetchRaw(t, tsFed.URL+"/v1/columns/A/snapshot"); !bytes.Equal(got, refSnapA) {
+		t.Fatal("federated snapshot A is not byte-identical to the single-collector run")
+	}
+	if got := fetchRaw(t, tsFed.URL+"/v1/columns/B/snapshot"); !bytes.Equal(got, refSnapB) {
+		t.Fatal("federated snapshot B is not byte-identical to the single-collector run")
+	}
+	if code, body := get(t, tsFed.URL+"/v1/join?left=A&right=B"); code != 200 || body["estimate"].(float64) != ref.Estimate {
+		t.Fatalf("federated join: %d %v (want %v)", code, body, ref.Estimate)
+	}
+}
+
+// jsonUints renders a frequent-item set as a JSON array literal.
+func jsonUints(fi []uint64) string {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, d := range fi {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.FormatUint(d, 10))
+	}
+	buf.WriteByte(']')
+	return buf.String()
+}
+
+// TestServicePlusABAccuracy pins the accuracy claim the plus kind
+// serves: in the collision-dominated regime (heavy hitters, narrow
+// sketch rows) the two-phase estimate's relative error beats the
+// plain sketch's, asserted through the served ?ab= comparison. The
+// workload is fully seeded, so the numbers are deterministic; three
+// rounds aggregate so the comparison pins the protocol's margin, not
+// one draw, and the band guards that margin with headroom.
+func TestServicePlusABAccuracy(t *testing.T) {
+	p := core.Params{K: 9, M: 32, Epsilon: 6}
+	srv, err := NewWithOptions(p, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	const n, domain = 100000, 2000
+	const theta, rate = 0.05, 0.2
+	famS, famG := plusFams(p)
+
+	var sumPlain, sumPlus float64
+	for round, dseed := range []int64{9, 11, 13} {
+		da := dataset.Zipf(dseed, n, domain, 1.3)
+		db := dataset.Zipf(dseed+1, n, domain, 1.3)
+		truth := join.Size(da, db)
+		pa := fmt.Sprintf("PA%d", round)
+		pb := fmt.Sprintf("PB%d", round)
+		qa := fmt.Sprintf("QA%d", round)
+		qb := fmt.Sprintf("QB%d", round)
+
+		// Plain columns: the whole population, plain mechanism.
+		if code, _ := post(t, ts.URL+"/v1/columns/"+pa+"/reports", encodeColumn(t, p, 61, da)); code != 200 {
+			t.Fatal("plain ingest A failed")
+		}
+		if code, _ := post(t, ts.URL+"/v1/columns/"+pb+"/reports", encodeColumn(t, p, 62, db)); code != 200 {
+			t.Fatal("plain ingest B failed")
+		}
+
+		// Plus columns: sample, then union the two live proposals into
+		// the explicit set both columns freeze (the coordinator flow).
+		sa, a1, a2 := splitPlus(71, da, rate)
+		sb, b1, b2 := splitPlus(72, db, rate)
+		for col, in := range map[string]struct {
+			seed   int64
+			sample []uint64
+		}{qa: {81, sa}, qb: {82, sb}} {
+			stream := encodePlusStream(t, p, protocol.PlusSample, perturbSample(p, famS, in.seed, in.sample))
+			if code, _ := post(t, ts.URL+"/v1/columns/"+col+"/reports", stream); code != 200 {
+				t.Fatalf("plus sample ingest %s failed", col)
+			}
+		}
+		var union []uint64
+		for _, col := range []string{qa, qb} {
+			code, body := get(t, fmt.Sprintf("%s/v1/columns/%s/fi?domain=%d&theta=%v", ts.URL, col, domain, theta))
+			if code != 200 || body["advanced"] != false {
+				t.Fatalf("live fi proposal %s: %d %v", col, code, body)
+			}
+			union = append(union, fiFromJSON(t, body["fi"])...)
+		}
+		slices.Sort(union)
+		union = slices.Compact(union)
+		adv := []byte(fmt.Sprintf(`{"domain":%d,"theta":%v,"fi":%s}`, domain, theta, jsonUints(union)))
+		for _, col := range []string{qa, qb} {
+			if code, body := post(t, ts.URL+"/v1/columns/"+col+"/advance", adv); code != 200 {
+				t.Fatalf("advance %s: %d %v", col, code, body)
+			}
+		}
+		set := core.NewFISet(union)
+		for _, in := range []struct {
+			col   string
+			group protocol.PlusGroup
+			mode  core.Mode
+			seed  int64
+			data  []uint64
+		}{
+			{qa, protocol.PlusLow, core.ModeLow, 91, a1},
+			{qa, protocol.PlusHigh, core.ModeHigh, 92, a2},
+			{qb, protocol.PlusLow, core.ModeLow, 93, b1},
+			{qb, protocol.PlusHigh, core.ModeHigh, 94, b2},
+		} {
+			stream := encodePlusStream(t, p, in.group, perturbFAP(p, famG, in.mode, set, in.seed, in.data))
+			if code, _ := post(t, ts.URL+"/v1/columns/"+in.col+"/reports", stream); code != 200 {
+				t.Fatalf("plus phase-2 ingest %s failed", in.col)
+			}
+		}
+
+		for _, col := range []string{pa, pb, qa, qb} {
+			if code, _ := post(t, ts.URL+"/v1/columns/"+col+"/finalize", nil); code != 200 {
+				t.Fatalf("finalize %s failed", col)
+			}
+		}
+
+		code, body := get(t, fmt.Sprintf("%s/v1/join?ab=%s,%s,%s,%s&truth=%.0f", ts.URL, pa, pb, qa, qb, truth))
+		if code != 200 {
+			t.Fatalf("A/B join: %d %v", code, body)
+		}
+		if _, ok := body["plus"].(map[string]any); !ok {
+			t.Fatalf("A/B response missing plus breakdown: %v", body)
+		}
+		plainRE := body["plainRelativeError"].(float64)
+		plusRE := body["plusRelativeError"].(float64)
+		t.Logf("round %d: truth %.0f plain RE %.4f plus RE %.4f (delta %v)",
+			round, truth, plainRE, plusRE, body["relativeDelta"])
+		sumPlain += plainRE
+		sumPlus += plusRE
+	}
+
+	t.Logf("aggregate: plain RE %.4f plus RE %.4f", sumPlain/3, sumPlus/3)
+	if sumPlus >= sumPlain {
+		t.Fatalf("plus mean RE %.4f does not beat plain %.4f", sumPlus/3, sumPlain/3)
+	}
+	// The band: the seeded margin is well under half of plain, so a
+	// change that merely narrows it survives while anything structural
+	// (bad FI adoption, bad group scaling, broken FAP decode) fails.
+	if sumPlus > 0.75*sumPlain {
+		t.Fatalf("plus mean RE %.4f inside the 0.75·plain band (plain %.4f): margin collapsed", sumPlus/3, sumPlain/3)
+	}
+}

@@ -7,9 +7,13 @@
 // Columns are polymorphic over the sketch kind. A KindJoin stream feeds
 // a single-attribute LDPJoinSketch column; a KindMatrix stream feeds a
 // two-attribute (middle-table) matrix column, the §VI building block of
-// chain joins. The kind comes from the stream header, is persisted in
-// the store manifest, and is enforced on every later request — a name
-// claimed by one kind refuses the other. Each column also occupies a
+// chain joins; a KindPlus stream feeds a two-phase LDPJoinSketch+
+// column (§V) — a phase-1 sample window whose frequent-item set FI is
+// frozen by POST .../advance (broadcast via GET .../fi), then phase-2
+// high/low group sketches keyed by that set, estimated together by
+// core.EstimateJoinPlusColumns. The kind comes from the stream header,
+// is persisted in the store manifest, and is enforced on every later
+// request — a name claimed by one kind refuses the others. Each column also occupies a
 // join-attribute slot (?attr=, default 0): attribute i's hash family
 // derives from the shared seed via hashing.AttributeSeed, a join column
 // aggregates under attribute attr, and a matrix column spans attributes
@@ -55,15 +59,24 @@
 // privacy budget: durability is a privacy property, not just an ops
 // one.
 //
-//	POST /v1/columns/{name}/reports    body: KindJoin or KindMatrix report
-//	                                   stream; ?attr= selects the slot
+//	POST /v1/columns/{name}/reports    body: KindJoin, KindMatrix, or
+//	                                   KindPlus report stream; ?attr=
+//	                                   selects the slot (plus: always 0)
+//	POST /v1/columns/{name}/advance    freeze a plus column's FI and flip
+//	                                   it to phase 2 (?domain=&theta= or
+//	                                   JSON {domain,theta,fi})
 //	POST /v1/columns/{name}/finalize
-//	POST /v1/columns/{name}/merge      body: SNAP snapshot to fold in
+//	POST /v1/columns/{name}/merge      body: SNAP or PSNP snapshot to fold in
 //	GET  /v1/columns/{name}            column status (JSON)
+//	GET  /v1/columns/{name}/fi         a plus column's frozen (or, with
+//	                                   ?domain=&theta=, proposed) FI set
 //	GET  /v1/columns/{name}/sketch     marshaled join sketch (octet-stream)
-//	GET  /v1/columns/{name}/snapshot   SNAP snapshot (octet-stream)
-//	GET  /v1/join?left=A&right=B       pairwise join estimate (JSON)
+//	GET  /v1/columns/{name}/snapshot   SNAP/PSNP snapshot (octet-stream)
+//	GET  /v1/join?left=A&right=B       pairwise join estimate (JSON);
+//	                                   plus columns pair the same way
 //	GET  /v1/join?path=A,AB,BC,C       chain (multi-way) join estimate
+//	GET  /v1/join?ab=pL,pR,sL,sR       A/B: plain vs plus estimate over the
+//	                                   same population (&truth= adds errors)
 //	GET  /v1/frequency?column=A&value=7
 //	GET  /v1/stats                     server counters (JSON)
 //	GET  /v1/healthz
@@ -76,6 +89,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -136,35 +150,51 @@ type Options struct {
 	Store store.Options
 }
 
-// pendingColumn is a collecting column of either kind: exactly one of
-// join/matrix is set, per kind.
+// pendingColumn is a collecting column of one kind: exactly one of
+// join/matrix/plus is set, per kind.
 type pendingColumn struct {
 	kind   protocol.Kind
 	attr   int
 	join   *ingest.Column
 	matrix *ingest.MatrixColumn
+	plus   *ingest.PlusColumn
+
+	// opMu serializes a plus column's mutating requests — report
+	// append+enqueue, advance, merge — so the WAL is written in
+	// acceptance order. Without it, a sample batch could pass the phase
+	// gate, lose the race to a concurrent advance's WAL append, and be
+	// logged after the advance record — which replay would then reject.
+	// Join and matrix columns never take it: their records commute.
+	opMu sync.Mutex
 }
 
 // n returns the reports accepted so far.
 func (c *pendingColumn) n() int64 {
-	if c.kind == protocol.KindMatrix {
+	switch c.kind {
+	case protocol.KindMatrix:
 		return c.matrix.N()
+	case protocol.KindPlus:
+		return c.plus.N()
 	}
 	return c.join.N()
 }
 
-// finishedColumn is a finalized column of either kind.
+// finishedColumn is a finalized column of one kind.
 type finishedColumn struct {
 	kind   protocol.Kind
 	attr   int
 	join   *core.Sketch
 	matrix *core.MatrixSketch
+	plus   *core.PlusState
 }
 
 // n returns the reports the finalized sketch summarizes.
 func (c *finishedColumn) n() float64 {
-	if c.kind == protocol.KindMatrix {
+	switch c.kind {
+	case protocol.KindMatrix:
 		return c.matrix.N()
+	case protocol.KindPlus:
+		return c.plus.Population()
 	}
 	return c.join.N()
 }
@@ -179,13 +209,19 @@ func (c *finishedColumn) n() float64 {
 // below guards only what actually mutates: the collecting-column map,
 // the closed flag, and writes (never reads) of the finished registry.
 type Server struct {
-	params    core.Params
-	matrixP   core.MatrixParams
-	fams      []*hashing.Family // fams[i] is join attribute i's family
-	engine    *ingest.Engine
-	maxStream int
-	st        *store.Store        // nil when DataDir is unset
-	recovered store.RecoveryStats // what startup replay rebuilt; read-only after New
+	params  core.Params
+	matrixP core.MatrixParams
+	seed    int64             // the deployment's base hash seed
+	fams    []*hashing.Family // fams[i] is join attribute i's family
+	// A plus column's three sketches hash under families derived from
+	// the base seed (attribute 0): the phase-1 sample under the sample
+	// seed, both phase-2 group sketches under the shared group seed.
+	famPlusSample *hashing.Family
+	famPlusGroup  *hashing.Family
+	engine        *ingest.Engine
+	maxStream     int
+	st            *store.Store        // nil when DataDir is unset
+	recovered     store.RecoveryStats // what startup replay rebuilt; read-only after New
 
 	// mu is the lifecycle mutex: it guards the pending map and every
 	// *write* to closed and the finished registry, so "is this name
@@ -243,13 +279,16 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		fams[i] = hashing.NewFamily(hashing.AttributeSeed(seed, i), p.K, p.M)
 	}
 	s := &Server{
-		params:    p,
-		matrixP:   core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon},
-		fams:      fams,
-		engine:    ingest.NewEngine(p, fams[0], o.Ingest),
-		maxStream: maxStream,
-		pending:   make(map[string]*pendingColumn),
-		cache:     newQueryCache(cacheCap),
+		params:        p,
+		matrixP:       core.MatrixParams{K: p.K, M1: p.M, M2: p.M, Epsilon: p.Epsilon},
+		seed:          seed,
+		fams:          fams,
+		famPlusSample: hashing.NewFamily(core.PlusSampleSeed(seed), p.K, p.M),
+		famPlusGroup:  hashing.NewFamily(core.PlusGroupSeed(seed), p.K, p.M),
+		engine:        ingest.NewEngine(p, fams[0], o.Ingest),
+		maxStream:     maxStream,
+		pending:       make(map[string]*pendingColumn),
+		cache:         newQueryCache(cacheCap),
 	}
 	s.finished.init()
 	if o.DataDir != "" {
@@ -282,6 +321,14 @@ type recoverer struct{ s *Server }
 func (r recoverer) col(info store.ColumnInfo) (*pendingColumn, error) {
 	col, ok := r.s.pending[info.Name]
 	if ok {
+		return col, nil
+	}
+	if info.Kind == protocol.KindPlus {
+		if info.Attr != 0 {
+			return nil, fmt.Errorf("recovered plus column %q on attribute %d; plus columns are pinned to attribute 0", info.Name, info.Attr)
+		}
+		col = &pendingColumn{kind: info.Kind, plus: r.s.engine.NewPlusColumn(r.s.famPlusSample, r.s.famPlusGroup)}
+		r.s.pending[info.Name] = col
 		return col, nil
 	}
 	maxAttr := info.Attr
@@ -384,6 +431,78 @@ func (r recoverer) RecoverMatrixReports(info store.ColumnInfo, reports []core.Ma
 	return col.matrix.EnqueueAll(batches)
 }
 
+// explicitFI normalizes a decoded FI slice for PlusColumn.Advance,
+// where nil means "compute from the sample": a persisted or imported
+// empty set must stay explicit, never trigger recomputation.
+func explicitFI(fi []uint64) []uint64 {
+	if fi == nil {
+		return []uint64{}
+	}
+	return fi
+}
+
+func (r recoverer) RecoverPlusFinalized(info store.ColumnInfo, snap *protocol.PlusSnapshot) error {
+	state, err := snap.PlusState()
+	if err != nil {
+		return err
+	}
+	r.s.finished.seed(info.Name, &finishedColumn{kind: protocol.KindPlus, attr: info.Attr, plus: state})
+	return nil
+}
+
+// RecoverPlusCheckpoint restores a plus column's shutdown checkpoint:
+// the composite snapshot carries the phase boundary, so an advanced
+// checkpoint re-freezes the recorded (domain, θ, FI) — the covered
+// advance record, not a recomputation — before its groups merge in.
+func (r recoverer) RecoverPlusCheckpoint(info store.ColumnInfo, snap *protocol.PlusSnapshot) error {
+	col, err := r.col(info)
+	if err != nil {
+		return err
+	}
+	if snap.Advanced && !col.plus.Advanced() {
+		if _, err := col.plus.Advance(snap.Domain, snap.Theta, explicitFI(snap.FI)); err != nil {
+			return err
+		}
+	}
+	return col.plus.MergePlus(snap)
+}
+
+func (r recoverer) RecoverPlusReports(info store.ColumnInfo, group protocol.PlusGroup, reports []core.Report) error {
+	col, err := r.col(info)
+	if err != nil {
+		return err
+	}
+	// Re-batch at the live ingest granularity, as in RecoverReports.
+	var batches [][]core.Report
+	for len(reports) > 0 {
+		n := min(protocol.DefaultBatchSize, len(reports))
+		batches = append(batches, reports[:n])
+		reports = reports[n:]
+	}
+	return col.plus.EnqueueAll(group, batches)
+}
+
+func (r recoverer) RecoverPlusAdvance(info store.ColumnInfo, domain uint64, theta float64, fi []uint64) error {
+	col, err := r.col(info)
+	if err != nil {
+		return err
+	}
+	_, err = col.plus.Advance(domain, theta, explicitFI(fi))
+	return err
+}
+
+// RecoverPlusMerge replays a logged federation merge. The WAL already
+// holds an advance record ahead of any post-advance merge (the live
+// merge handler appends it before the merge record), so the column's
+// phase always matches by the time the merge replays.
+func (r recoverer) RecoverPlusMerge(info store.ColumnInfo, snap *protocol.PlusSnapshot) error {
+	col, err := r.col(info)
+	if err != nil {
+		return err
+	}
+	return col.plus.MergePlus(snap)
+}
+
 // Shutdown marks the server closed, drains and stops the ingestion
 // engine, and — when the server is durable — checkpoints every
 // collecting column into the store and closes it. The checkpoint runs
@@ -417,18 +536,25 @@ func (s *Server) Shutdown() error {
 	}
 	var firstErr error
 	for name, col := range pending {
-		var snap *protocol.Snapshot
 		var err error
-		if col.kind == protocol.KindMatrix {
-			snap, err = col.matrix.Snapshot()
+		if col.kind == protocol.KindPlus {
+			var snap *protocol.PlusSnapshot
+			if snap, err = col.plus.Snapshot(); err == nil {
+				err = s.st.CheckpointPlus(name, col.attr, snap)
+			}
 		} else {
-			snap, err = col.join.Snapshot()
+			var snap *protocol.Snapshot
+			if col.kind == protocol.KindMatrix {
+				snap, err = col.matrix.Snapshot()
+			} else {
+				snap, err = col.join.Snapshot()
+			}
+			if err == nil {
+				err = s.st.Checkpoint(name, col.attr, snap)
+			}
 		}
 		if err == ingest.ErrFinalized {
 			continue // a concurrent finalize won; the store holds its final state
-		}
-		if err == nil {
-			err = s.st.Checkpoint(name, col.attr, snap)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("service: checkpointing column %q: %w", name, err)
@@ -466,8 +592,10 @@ func (s *Server) refuseClosed(w http.ResponseWriter) bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/columns/{name}/reports", s.handleReports)
+	mux.HandleFunc("POST /v1/columns/{name}/advance", s.handleAdvance)
 	mux.HandleFunc("POST /v1/columns/{name}/finalize", s.handleFinalize)
 	mux.HandleFunc("POST /v1/columns/{name}/merge", s.handleMerge)
+	mux.HandleFunc("GET /v1/columns/{name}/fi", s.handleFI)
 	mux.HandleFunc("GET /v1/columns/{name}", s.handleStatus)
 	mux.HandleFunc("GET /v1/columns/{name}/sketch", s.handleExport)
 	mux.HandleFunc("GET /v1/columns/{name}/snapshot", s.handleSnapshot)
@@ -530,9 +658,12 @@ func (s *Server) registerPending(w http.ResponseWriter, name string, kind protoc
 		}
 	} else {
 		col = &pendingColumn{kind: kind, attr: attr}
-		if kind == protocol.KindMatrix {
+		switch kind {
+		case protocol.KindMatrix:
 			col.matrix = s.engine.NewMatrixColumn(s.matrixP, s.fams[attr], s.fams[attr+1])
-		} else {
+		case protocol.KindPlus:
+			col.plus = s.engine.NewPlusColumn(s.famPlusSample, s.famPlusGroup)
+		default:
 			col.join = s.engine.NewColumnWithFamily(s.fams[attr])
 		}
 		s.pending[name] = col
@@ -564,6 +695,10 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.Kind == protocol.KindMatrix {
 		s.handleMatrixReports(w, name, attr, body, h)
+		return
+	}
+	if h.Kind == protocol.KindPlus {
+		s.handlePlusReports(w, name, attr, body, h)
 		return
 	}
 
@@ -679,6 +814,243 @@ func (s *Server) handleMatrixReports(w http.ResponseWriter, name string, attr in
 	})
 }
 
+// handlePlusReports is the KindPlus branch of handleReports: the same
+// decode-register-log-enqueue order, plus the phase gate. The gate, the
+// WAL append, and the enqueue run under the column's operation mutex so
+// the log is written in acceptance order — see pendingColumn.opMu.
+func (s *Server) handlePlusReports(w http.ResponseWriter, name string, attr int, body *bufio.Reader, h protocol.Header) {
+	if attr != 0 {
+		httpError(w, http.StatusBadRequest,
+			"plus columns are pinned to attribute 0: their sample and group families derive from the base seed")
+		return
+	}
+	br, group, err := protocol.NewPlusBatchReaderFrom(body, h, s.params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding plus report stream: %v", err)
+		return
+	}
+	batches, ok := readAllBatches(w, s, name, br.Next, br.Count)
+	if !ok {
+		return
+	}
+	col, ok := s.registerPending(w, name, protocol.KindPlus, attr)
+	if !ok {
+		return
+	}
+	col.opMu.Lock()
+	defer col.opMu.Unlock()
+	if err := col.plus.CheckGroup(group); err != nil {
+		s.plusConflict(w, name, err)
+		return
+	}
+	if s.st != nil {
+		if err := s.st.AppendPlusReports(name, attr, group, batches); err != nil {
+			s.storeAppendError(w, name, err)
+			return
+		}
+	}
+	if err := col.plus.EnqueueAll(group, batches); err != nil {
+		s.columnConflict(w, "column %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "kind": protocol.KindPlus.String(), "group": group.String(),
+		"ingested": br.Count(), "total": col.plus.N(),
+	})
+}
+
+// plusConflict maps a plus phase-machine error to the HTTP response:
+// the column exists but is on the wrong side of its phase boundary for
+// the request — a conflict, not a malformed request.
+func (s *Server) plusConflict(w http.ResponseWriter, name string, err error) {
+	s.columnConflict(w, "column %q: %v", name, err)
+}
+
+// advanceRequest is the JSON body of POST /v1/columns/{name}/advance.
+// A nil FI asks the server to compute the set from the column's own
+// phase-1 sample; an explicit FI (the federated flow, typically a union
+// of per-collector proposals) installs that set instead.
+type advanceRequest struct {
+	Domain uint64   `json:"domain"`
+	Theta  float64  `json:"theta"`
+	FI     []uint64 `json:"fi"`
+}
+
+// handleAdvance drives a plus column over its phase boundary: compute
+// (or adopt) the frequent-item set, persist the advance, flip the
+// column to phase 2. Parameters come from the JSON body or — for the
+// body-less self-computing flow — from ?domain= and ?theta=.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if s.refuseClosed(w) {
+		return
+	}
+	name := r.PathValue("name")
+	var req advanceRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding advance request: %v", err)
+			return
+		}
+	}
+	q := r.URL.Query()
+	if raw := q.Get("domain"); raw != "" {
+		d, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid ?domain=%q", raw)
+			return
+		}
+		req.Domain = d
+	}
+	if raw := q.Get("theta"); raw != "" {
+		th, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid ?theta=%q", raw)
+			return
+		}
+		req.Theta = th
+	}
+	if req.Domain == 0 {
+		httpError(w, http.StatusBadRequest, "advance needs a positive domain (?domain= or a JSON body)")
+		return
+	}
+	if !(req.Theta > 0 && req.Theta < 1) {
+		httpError(w, http.StatusBadRequest, "advance needs a frequency threshold θ in (0,1), got %v", req.Theta)
+		return
+	}
+	if req.FI != nil {
+		// Canonicalize a coordinator-supplied set: sorted, deduplicated,
+		// inside the domain — the form the WAL record and the snapshot
+		// codec require.
+		slices.Sort(req.FI)
+		req.FI = slices.Compact(req.FI)
+		if n := len(req.FI); n > 0 && req.FI[n-1] >= req.Domain {
+			httpError(w, http.StatusBadRequest, "frequent item %d is outside the domain %d", req.FI[n-1], req.Domain)
+			return
+		}
+		if len(req.FI) > protocol.MaxPlusFI {
+			httpError(w, http.StatusBadRequest, "frequent-item set of %d items exceeds the %d-item bound", len(req.FI), protocol.MaxPlusFI)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if _, done := s.finished.get(name); done {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		return
+	}
+	col, ok := s.pending[name]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "column %q has no reports", name)
+		return
+	}
+	if col.kind != protocol.KindPlus {
+		httpError(w, http.StatusConflict, "column %q is a %s column; advance applies to plus columns", name, col.kind.String())
+		return
+	}
+
+	col.opMu.Lock()
+	defer col.opMu.Unlock()
+	// Check the phase before anything reaches the WAL: a second advance
+	// record would be rejected at replay, so it must never be written.
+	if col.plus.Advanced() {
+		s.plusConflict(w, name, ingest.ErrPlusAdvanced)
+		return
+	}
+	fi := req.FI
+	if fi == nil {
+		var err error
+		if fi, err = col.plus.ProposeFI(req.Domain, req.Theta); err != nil {
+			s.plusConflict(w, name, err)
+			return
+		}
+	}
+	if s.st != nil {
+		if err := s.st.AppendPlusAdvance(name, col.attr, req.Domain, req.Theta, fi); err != nil {
+			s.storeAppendError(w, name, err)
+			return
+		}
+	}
+	frozen, err := col.plus.Advance(req.Domain, req.Theta, explicitFI(fi))
+	if err != nil {
+		s.plusConflict(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "advanced": true,
+		"domain": req.Domain, "theta": req.Theta, "fi": explicitFI(frozen),
+	})
+}
+
+// handleFI broadcasts a plus column's frequent-item set: the frozen set
+// once the column has advanced (or finalized), or — for a phase-1
+// column queried with ?domain= and ?theta= — a live point-in-time
+// proposal, which a federation coordinator unions across collectors
+// before advancing them all with the same explicit set.
+func (s *Server) handleFI(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	writeFrozen := func(domain uint64, theta float64, fi []uint64, finalized bool) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"column": name, "advanced": true, "finalized": finalized,
+			"domain": domain, "theta": theta, "fi": explicitFI(fi),
+		})
+	}
+	if fin, ok := s.finished.get(name); ok {
+		if fin.kind != protocol.KindPlus {
+			httpError(w, http.StatusConflict, "column %q is a %s column; /fi applies to plus columns", name, fin.kind.String())
+			return
+		}
+		writeFrozen(fin.plus.Domain, fin.plus.Theta, fin.plus.FI, true)
+		return
+	}
+	s.mu.Lock()
+	col, ok := s.pending[name]
+	s.mu.Unlock()
+	if !ok {
+		if fin, ok := s.finished.get(name); ok && fin.kind == protocol.KindPlus {
+			writeFrozen(fin.plus.Domain, fin.plus.Theta, fin.plus.FI, true)
+			return
+		}
+		httpError(w, http.StatusNotFound, "unknown column %q", name)
+		return
+	}
+	if col.kind != protocol.KindPlus {
+		httpError(w, http.StatusConflict, "column %q is a %s column; /fi applies to plus columns", name, col.kind.String())
+		return
+	}
+	if domain, theta, fi, advanced := col.plus.AdvanceInfo(); advanced {
+		writeFrozen(domain, theta, fi, false)
+		return
+	}
+	q := r.URL.Query()
+	rawD, rawT := q.Get("domain"), q.Get("theta")
+	if rawD == "" || rawT == "" {
+		httpError(w, http.StatusBadRequest,
+			"column %q has not advanced; a live proposal needs ?domain= and ?theta=", name)
+		return
+	}
+	domain, err := strconv.ParseUint(rawD, 10, 64)
+	if err != nil || domain == 0 {
+		httpError(w, http.StatusBadRequest, "invalid ?domain=%q", rawD)
+		return
+	}
+	theta, err := strconv.ParseFloat(rawT, 64)
+	if err != nil || !(theta > 0 && theta < 1) {
+		httpError(w, http.StatusBadRequest, "invalid ?theta=%q (want a threshold in (0,1))", rawT)
+		return
+	}
+	fi, err := col.plus.ProposeFI(domain, theta)
+	if err != nil {
+		s.plusConflict(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "advanced": false, "finalized": false,
+		"domain": domain, "theta": theta, "fi": explicitFI(fi),
+	})
+}
+
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	if s.refuseClosed(w) {
 		return
@@ -701,14 +1073,21 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	// finalize of the same column loses with ErrFinalized.
 	fin := &finishedColumn{kind: col.kind, attr: col.attr}
 	var snap *protocol.Snapshot
+	var plusSnap *protocol.PlusSnapshot
 	var err error
 	var n float64
-	if col.kind == protocol.KindMatrix {
+	switch col.kind {
+	case protocol.KindMatrix:
 		fin.matrix, err = col.matrix.Finalize()
 		if err == nil {
 			snap, n = protocol.SnapshotOfMatrixSketch(fin.matrix), fin.matrix.N()
 		}
-	} else {
+	case protocol.KindPlus:
+		fin.plus, err = col.plus.Finalize()
+		if err == nil {
+			plusSnap, n = protocol.PlusSnapshotOfState(fin.plus), fin.plus.Population()
+		}
+	default:
 		fin.join, err = col.join.Finalize()
 		if err == nil {
 			snap, n = protocol.SnapshotOfSketch(fin.join), fin.join.N()
@@ -716,6 +1095,12 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	}
 	if err == ingest.ErrFinalized {
 		s.columnConflict(w, "column %q is already finalized", name)
+		return
+	}
+	if errors.Is(err, ingest.ErrPlusNotAdvanced) {
+		// The column is untouched (the phase check precedes the drain):
+		// advance it, ingest phase 2, then finalize.
+		s.plusConflict(w, name, err)
 		return
 	}
 	if err != nil {
@@ -735,7 +1120,11 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	// one finalize away.
 	var persistErr error
 	if s.st != nil {
-		persistErr = s.st.Finalize(name, col.attr, snap)
+		if col.kind == protocol.KindPlus {
+			persistErr = s.st.FinalizePlus(name, col.attr, plusSnap)
+		} else {
+			persistErr = s.st.Finalize(name, col.attr, snap)
+		}
 	}
 	// Retire the pending entry and publish the finalized column in one
 	// critical section: a status or register request holding mu sees the
@@ -775,10 +1164,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	col, ok := s.pending[name]
 	s.mu.Unlock()
 	if ok {
-		writeJSON(w, http.StatusOK, map[string]any{
+		payload := map[string]any{
 			"column": name, "kind": col.kind.String(), "attr": col.attr,
 			"state": "collecting", "reports": col.n(),
-		})
+		}
+		if col.kind == protocol.KindPlus {
+			phase := 1
+			if col.plus.Advanced() {
+				phase = 2
+			}
+			payload["phase"] = phase
+		}
+		writeJSON(w, http.StatusOK, payload)
 		return
 	}
 	// A finalize can move the column between the two lookups; re-check
@@ -803,7 +1200,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if fin.kind != protocol.KindJoin {
-		httpError(w, http.StatusConflict, "column %q is a matrix column; export it via /snapshot", name)
+		httpError(w, http.StatusConflict, "column %q is a %s column; export it via /snapshot", name, fin.kind.String())
 		return
 	}
 	data, err := fin.join.MarshalBinary()
@@ -840,28 +1237,44 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	var snap *protocol.Snapshot
+	var data []byte
+	var finalized bool
 	switch {
 	case done:
-		if fin.kind == protocol.KindMatrix {
-			snap = protocol.SnapshotOfMatrixSketch(fin.matrix)
-		} else {
-			snap = protocol.SnapshotOfSketch(fin.join)
+		var err error
+		switch fin.kind {
+		case protocol.KindPlus:
+			data, err = protocol.EncodePlusSnapshot(protocol.PlusSnapshotOfState(fin.plus))
+		case protocol.KindMatrix:
+			data, err = protocol.EncodeSnapshot(protocol.SnapshotOfMatrixSketch(fin.matrix))
+		default:
+			data, err = protocol.EncodeSnapshot(protocol.SnapshotOfSketch(fin.join))
 		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding snapshot: %v", err)
+			return
+		}
+		finalized = true
 	case collecting:
 		// A concurrent finalize can retire the column between the lookup
 		// and the copy; State then reports ErrFinalized and the client
 		// retries against the finalized sketch.
 		var err error
-		if col.kind == protocol.KindMatrix {
+		switch col.kind {
+		case protocol.KindPlus:
+			var ps *protocol.PlusSnapshot
+			if ps, err = col.plus.State(); err == nil {
+				data, err = protocol.EncodePlusSnapshot(ps)
+			}
+		case protocol.KindMatrix:
 			var agg *core.MatrixAggregator
 			if agg, err = col.matrix.State(); err == nil {
-				snap = protocol.SnapshotOfMatrixAggregator(agg)
+				data, err = protocol.EncodeSnapshot(protocol.SnapshotOfMatrixAggregator(agg))
 			}
-		} else {
+		default:
 			var agg *core.Aggregator
 			if agg, err = col.join.State(); err == nil {
-				snap = protocol.SnapshotOfAggregator(agg)
+				data, err = protocol.EncodeSnapshot(protocol.SnapshotOfAggregator(agg))
 			}
 		}
 		if err == ingest.ErrFinalized {
@@ -876,14 +1289,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown column %q", name)
 		return
 	}
-	data, err := protocol.EncodeSnapshot(snap)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "encoding snapshot: %v", err)
-		return
-	}
 	s.snapshots.bump(name)
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Ldpjoin-Finalized", fmt.Sprintf("%v", snap.Finalized))
+	w.Header().Set("X-Ldpjoin-Finalized", fmt.Sprintf("%v", finalized))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
 }
@@ -909,6 +1317,10 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	header := make([]byte, protocol.SnapshotHeaderSize)
 	if _, err := io.ReadFull(r.Body, header); err != nil {
 		httpError(w, http.StatusBadRequest, "reading snapshot header: %v", err)
+		return
+	}
+	if protocol.IsPlusSnapshot(header) {
+		s.handlePlusMerge(w, r, name, header)
 		return
 	}
 	snapKind, err := protocol.PeekSnapshotKind(header)
@@ -1046,6 +1458,135 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePlusMerge folds another collector's composite plus snapshot
+// into the named column. An unfinalized composite merges exactly into a
+// collecting (or new) plus column; the snapshot's phase must not be
+// behind the column's, and when the snapshot is ahead — it advanced,
+// the local column has not — the column adopts the snapshot's frozen
+// (domain, θ, FI) first, durably, then merges. A finalized composite
+// installs under a fresh name only, as with the other kinds.
+func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name string, header []byte) {
+	limit := int64(protocol.PlusSnapshotMaxEncodedSize(s.params))
+	if s.st != nil && limit > protocol.MaxRecordPayload {
+		// As with matrix merges: a durable merge must fit one WAL record,
+		// and a composite snapshot has no valid split.
+		httpError(w, http.StatusConflict,
+			"plus snapshots can encode to %d bytes under this configuration, above the %d-byte WAL record bound: durable plus merges need a smaller sketch width (or an in-memory server)",
+			limit, protocol.MaxRecordPayload)
+		return
+	}
+	rest, err := io.ReadAll(io.LimitReader(r.Body, limit-int64(len(header))+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading snapshot body: %v", err)
+		return
+	}
+	data := append(header, rest...)
+	if int64(len(data)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, "plus snapshot exceeds the %d-byte bound this configuration allows", limit)
+		return
+	}
+	snap, err := protocol.DecodePlusSnapshot(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding plus snapshot: %v", err)
+		return
+	}
+	if err := snap.CompatibleWithPlus(s.params, s.seed); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+
+	if snap.Finalized {
+		state, err := snap.PlusState()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "restoring plus snapshot: %v", err)
+			return
+		}
+		fin := &finishedColumn{kind: protocol.KindPlus, plus: state}
+		// Check and install under one lock acquisition, as in the
+		// finalized import of the other kinds.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "server is shut down")
+			return
+		}
+		if _, done := s.finished.get(name); done {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "column %q is already finalized; merging finalized snapshots is not exact", name)
+			return
+		}
+		if _, collecting := s.pending[name]; collecting {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
+			return
+		}
+		s.finished.install(name, fin)
+		s.mu.Unlock()
+		s.merges.bump(name)
+		if s.st != nil {
+			if err := s.st.FinalizePlus(name, 0, snap); err != nil {
+				httpError(w, http.StatusInternalServerError,
+					"column %q imported in memory, but persisting failed: %v", name, err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"column": name, "kind": protocol.KindPlus.String(), "merged": snap.N(), "total": snap.N(), "finalized": true,
+		})
+		return
+	}
+
+	col, ok := s.registerPending(w, name, protocol.KindPlus, 0)
+	if !ok {
+		return
+	}
+	col.opMu.Lock()
+	defer col.opMu.Unlock()
+	if snap.Advanced && !col.plus.Advanced() {
+		// Adopt the snapshot's advance before merging — durably first,
+		// so replay crosses the boundary at the same point.
+		if s.st != nil {
+			if err := s.st.AppendPlusAdvance(name, 0, snap.Domain, snap.Theta, snap.FI); err != nil {
+				s.storeAppendError(w, name, err)
+				return
+			}
+		}
+		if _, err := col.plus.Advance(snap.Domain, snap.Theta, explicitFI(snap.FI)); err != nil {
+			s.plusConflict(w, name, err)
+			return
+		}
+	}
+	// Refuse a phase-mismatched merge before it reaches the WAL: a
+	// record the in-memory column rejects must never be logged, or
+	// replay would reject it too and wedge recovery. After the adoption
+	// above the only mismatches left are a snapshot behind the column's
+	// phase or one that froze a different FI set.
+	if domain, theta, fi, advanced := col.plus.AdvanceInfo(); advanced {
+		switch {
+		case !snap.Advanced:
+			s.plusConflict(w, name, fmt.Errorf("%w: merging a phase-1 snapshot into a phase-2 column", ingest.ErrPlusPhase))
+			return
+		case snap.Domain != domain || snap.Theta != theta || !slices.Equal(snap.FI, fi):
+			httpError(w, http.StatusConflict, "column %q: plus snapshot froze a different frequent-item set than the column", name)
+			return
+		}
+	}
+	if s.st != nil {
+		if err := s.st.AppendMerge(name, protocol.KindPlus, 0, data); err != nil {
+			s.storeAppendError(w, name, err)
+			return
+		}
+	}
+	if err := col.plus.MergePlus(snap); err != nil {
+		s.plusConflict(w, name, err)
+		return
+	}
+	s.merges.bump(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"column": name, "kind": protocol.KindPlus.String(), "merged": snap.N(), "total": col.n(), "finalized": false,
+	})
+}
+
 // columnConflict answers an ingest lifecycle conflict (ErrFinalized,
 // ErrClosed). During shutdown those errors usually mean the column was
 // drained, or the engine stopped, underneath the request — the column
@@ -1110,10 +1651,14 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		s.handleChainJoin(w, path)
 		return
 	}
+	if ab := q.Get("ab"); ab != "" {
+		s.handleABJoin(w, ab, q.Get("truth"))
+		return
+	}
 	left := q.Get("left")
 	right := q.Get("right")
 	if left == "" || right == "" {
-		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns, or a ?path= chain")
+		httpError(w, http.StatusBadRequest, "join needs ?left= and ?right= columns, a ?path= chain, or an ?ab= comparison")
 		return
 	}
 	// The whole lookup is lock-free: both columns come off the
@@ -1125,8 +1670,25 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
 		return
 	}
+	if finL.kind == protocol.KindPlus && finR.kind == protocol.KindPlus {
+		est, cached, err := s.plusJoin(left, right, finL, finR)
+		if err != nil {
+			// Two plus columns that exist but froze different FI sets (or
+			// phases) do not compose — a conflict, not a malformed request.
+			httpError(w, http.StatusConflict, "plus join: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"left": left, "right": right, "kind": protocol.KindPlus.String(),
+			"estimate":     est.Estimate,
+			"lowEstimate":  est.LowEstimate,
+			"highEstimate": est.HighEstimate,
+			"cached":       cached,
+		})
+		return
+	}
 	if finL.kind != protocol.KindJoin || finR.kind != protocol.KindJoin {
-		httpError(w, http.StatusBadRequest, "pairwise join needs two join columns (%q is %s, %q is %s); matrix columns join via ?path=",
+		httpError(w, http.StatusBadRequest, "pairwise join needs two join columns or two plus columns (%q is %s, %q is %s); matrix columns join via ?path=",
 			left, finL.kind.String(), right, finR.kind.String())
 		return
 	}
@@ -1143,6 +1705,108 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"left": left, "right": right, "estimate": v.(float64), "cached": cached,
 	})
+}
+
+// plusJoin computes (or recalls) the two-phase estimate of a plus
+// column pair through the same memoizing cache as the plain pairs.
+func (s *Server) plusJoin(left, right string, finL, finR *finishedColumn) (core.PlusJoinEstimate, bool, error) {
+	v, cached, err := s.cache.do(pairJoinKey(left, right), func() (any, error) {
+		est, err := core.EstimateJoinPlusColumns(finL.plus, finR.plus)
+		if err != nil {
+			return nil, err
+		}
+		return est, nil
+	})
+	if err != nil {
+		return core.PlusJoinEstimate{}, false, err
+	}
+	return v.(core.PlusJoinEstimate), cached, nil
+}
+
+// handleABJoin serves the A/B accuracy comparison: ?ab= names four
+// finalized columns — plainLeft,plainRight,plusLeft,plusRight — built
+// from the same underlying population once as plain LDPJoinSketch state
+// and once as two-phase plus state. The response carries both estimates
+// and their relative difference; with ?truth= (the exact join size, for
+// benchmark workloads that know it) it also reports each estimate's
+// relative error, which is the number the paper's §V comparison plots.
+func (s *Server) handleABJoin(w http.ResponseWriter, ab, truthRaw string) {
+	parts := strings.Split(ab, ",")
+	if len(parts) != 4 {
+		httpError(w, http.StatusBadRequest, "?ab= needs exactly 4 columns: plainLeft,plainRight,plusLeft,plusRight")
+		return
+	}
+	for i := range parts {
+		if parts[i] = strings.TrimSpace(parts[i]); parts[i] == "" {
+			httpError(w, http.StatusBadRequest, "?ab= column %d is empty", i)
+			return
+		}
+	}
+	cols := make([]*finishedColumn, 4)
+	var missing []string
+	for i, name := range parts {
+		col, ok := s.finished.get(name)
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		cols[i] = col
+	}
+	if missing != nil {
+		httpError(w, http.StatusNotFound, "A/B columns not finalized: %s", strings.Join(missing, ", "))
+		return
+	}
+	if cols[0].kind != protocol.KindJoin || cols[1].kind != protocol.KindJoin {
+		httpError(w, http.StatusBadRequest, "?ab= columns 1-2 must be join columns (%q is %s, %q is %s)",
+			parts[0], cols[0].kind.String(), parts[1], cols[1].kind.String())
+		return
+	}
+	if cols[2].kind != protocol.KindPlus || cols[3].kind != protocol.KindPlus {
+		httpError(w, http.StatusBadRequest, "?ab= columns 3-4 must be plus columns (%q is %s, %q is %s)",
+			parts[2], cols[2].kind.String(), parts[3], cols[3].kind.String())
+		return
+	}
+	vPlain, _, err := s.cache.do(pairJoinKey(parts[0], parts[1]), func() (any, error) {
+		return cols[0].join.JoinSize(cols[1].join), nil
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "plain estimate: %v", err)
+		return
+	}
+	plain := vPlain.(float64)
+	plus, _, err := s.plusJoin(parts[2], parts[3], cols[2], cols[3])
+	if err != nil {
+		httpError(w, http.StatusConflict, "plus estimate: %v", err)
+		return
+	}
+	resp := map[string]any{
+		"plain": map[string]any{"left": parts[0], "right": parts[1], "estimate": plain},
+		"plus": map[string]any{
+			"left": parts[2], "right": parts[3], "estimate": plus.Estimate,
+			"lowEstimate": plus.LowEstimate, "highEstimate": plus.HighEstimate,
+		},
+	}
+	if plain != 0 {
+		resp["relativeDelta"] = (plus.Estimate - plain) / plain
+	}
+	if truthRaw != "" {
+		truth, err := strconv.ParseFloat(truthRaw, 64)
+		if err != nil || truth <= 0 {
+			httpError(w, http.StatusBadRequest, "invalid ?truth=%q (want a positive join size)", truthRaw)
+			return
+		}
+		resp["truth"] = truth
+		resp["plainRelativeError"] = abs(plain-truth) / truth
+		resp["plusRelativeError"] = abs(plus.Estimate-truth) / truth
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // handleChainJoin is the multi-way query planner: ?path=A,AB,BC,C names
@@ -1242,7 +1906,7 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if fin.kind != protocol.KindJoin {
-		httpError(w, http.StatusBadRequest, "column %q is a matrix column; frequency queries need a join column", name)
+		httpError(w, http.StatusBadRequest, "column %q is a %s column; frequency queries need a join column", name, fin.kind.String())
 		return
 	}
 	// A finalized sketch never changes, so the estimate is memoized

@@ -177,6 +177,18 @@ type Replayer interface {
 	RecoverReports(col ColumnInfo, reports []core.Report) error
 	RecoverMatrixReports(col ColumnInfo, reports []core.MatrixReport) error
 	RecoverMerge(col ColumnInfo, snap *protocol.Snapshot) error
+
+	// Plus columns carry composite snapshots and two extra event types:
+	// phase-tagged report records and the advance record that froze the
+	// phase boundary. Replay order is append order, so a recovering
+	// column sees exactly the sample-reports / advance / group-reports
+	// sequence the pre-crash process accepted — including a crash
+	// mid-phase-1 (no advance ever replayed) or mid-phase-2.
+	RecoverPlusFinalized(col ColumnInfo, snap *protocol.PlusSnapshot) error
+	RecoverPlusCheckpoint(col ColumnInfo, snap *protocol.PlusSnapshot) error
+	RecoverPlusReports(col ColumnInfo, group protocol.PlusGroup, reports []core.Report) error
+	RecoverPlusAdvance(col ColumnInfo, domain uint64, theta float64, fi []uint64) error
+	RecoverPlusMerge(col ColumnInfo, snap *protocol.PlusSnapshot) error
 }
 
 // Store is the durable column store over one data directory. It is safe
@@ -413,6 +425,77 @@ func appendReportRecords[T any](st *Store, name string, kind protocol.Kind, attr
 	return nil
 }
 
+// AppendPlusReports makes a plus column's accepted report batches for
+// one phase group durable: RecordPlusReports records whose payload
+// leads with the group byte, split at maxReportsPerRecord, one sync.
+// The caller has already gated the group against the column's phase;
+// replay re-applies the same order, so what was accepted is what
+// recovers.
+func (st *Store) AppendPlusReports(name string, attr int, group protocol.PlusGroup, batches [][]core.Report) error {
+	total := 0
+	for _, batch := range batches {
+		total += len(batch)
+	}
+	if total == 0 {
+		return nil
+	}
+	_, log, err := st.column(name, protocol.KindPlus, attr)
+	if err != nil {
+		return err
+	}
+	bi, off := 0, 0 // cursor into batches
+	frame := make([]byte, 0, min(total, maxReportsPerRecord)*protocol.ReportSize+1+protocol.RecordOverhead)
+	payload := make([]byte, 0, cap(frame)-protocol.RecordOverhead)
+	next := func() []byte {
+		payload = append(payload[:0], byte(group))
+		count := 0
+		for bi < len(batches) && count < maxReportsPerRecord {
+			batch := batches[bi][off:]
+			n := min(maxReportsPerRecord-count, len(batch))
+			payload = protocol.AppendReportsPayload(payload, batch[:n])
+			count += n
+			if off += n; off == len(batches[bi]) {
+				bi, off = bi+1, 0
+			}
+		}
+		if count == 0 {
+			return nil
+		}
+		frame = protocol.AppendRecord(frame[:0], protocol.RecordPlusReports, payload)
+		return frame
+	}
+	written, err := log.appendFunc(next)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.stats.Appends++
+	st.stats.Bytes += written
+	st.mu.Unlock()
+	return nil
+}
+
+// AppendPlusAdvance makes a plus column's phase transition durable: one
+// RecordPlusAdvance record freezing (domain, θ, FI). It must be
+// appended before the advance is applied or acknowledged — group
+// reports accepted after it depend on replay seeing the boundary first.
+func (st *Store) AppendPlusAdvance(name string, attr int, domain uint64, theta float64, fi []uint64) error {
+	_, log, err := st.column(name, protocol.KindPlus, attr)
+	if err != nil {
+		return err
+	}
+	payload := protocol.AppendPlusAdvancePayload(nil, domain, theta, fi)
+	written, err := log.append(protocol.AppendRecord(nil, protocol.RecordPlusAdvance, payload))
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.stats.Appends++
+	st.stats.Bytes += written
+	st.mu.Unlock()
+	return nil
+}
+
 // AppendMerge makes an accepted snapshot merge durable. The snapshot is
 // stored in its encoded (CRC-carrying) form; the caller has already
 // validated and fingerprint-checked it, and recovery checks both again.
@@ -518,6 +601,72 @@ func (st *Store) Finalize(name string, attr int, snap *protocol.Snapshot) error 
 	return merr
 }
 
+// CheckpointPlus is Checkpoint for a plus column: the column's merged
+// unfinalized composite state — phase boundary included — persisted as
+// one PSNP blob covering the sealed log.
+func (st *Store) CheckpointPlus(name string, attr int, snap *protocol.PlusSnapshot) error {
+	if snap.Finalized {
+		return fmt.Errorf("store: checkpoint of %q with a finalized plus snapshot; use FinalizePlus", name)
+	}
+	meta, log, err := st.column(name, protocol.KindPlus, attr)
+	if err != nil {
+		return err
+	}
+	covered, err := log.seal()
+	if err != nil {
+		return err
+	}
+	if covered == 0 {
+		// As in Checkpoint: no durable state means nothing to cover.
+		return nil
+	}
+	data, err := protocol.EncodePlusSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding plus checkpoint of %q: %w", name, err)
+	}
+	dir := st.colDir(meta.ID)
+	if err := writeFileAtomic(filepath.Join(dir, ckptName(covered)), data, st.opts.NoSync); err != nil {
+		return err
+	}
+	_ = removeCovered(dir, covered, covered)
+	st.mu.Lock()
+	st.stats.Checkpoints++
+	st.mu.Unlock()
+	return nil
+}
+
+// FinalizePlus is Finalize for a plus column: its terminal composite
+// state persisted as final.snap, the log retired, appends durably
+// refused from here on.
+func (st *Store) FinalizePlus(name string, attr int, snap *protocol.PlusSnapshot) error {
+	if !snap.Finalized {
+		return fmt.Errorf("store: finalize of %q with an unfinalized plus snapshot", name)
+	}
+	meta, log, err := st.column(name, protocol.KindPlus, attr)
+	if err != nil {
+		return err
+	}
+	if _, err := log.seal(); err != nil {
+		return err
+	}
+	data, err := protocol.EncodePlusSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding finalized plus state of %q: %w", name, err)
+	}
+	dir := st.colDir(meta.ID)
+	if err := writeFileAtomic(filepath.Join(dir, finalName), data, st.opts.NoSync); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	meta.Finalized = true
+	merr := st.writeManifest()
+	st.stats.Finalized++
+	delete(st.logs, name)
+	st.mu.Unlock()
+	_ = removeCovered(dir, ^uint64(0), 0)
+	return merr
+}
+
 // Recover replays the directory's durable state into r. It must be
 // called exactly once, between Open and the first append; the service
 // calls it before serving, so recovered columns exist before any
@@ -552,6 +701,26 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 	// crash between its write and the retirement left segments behind.
 	// The manifest flag is fixed up if the crash hit before its write.
 	if data, err := os.ReadFile(filepath.Join(dir, finalName)); err == nil {
+		if meta.Kind == protocol.KindPlus {
+			snap, err := st.decodePlusSnapshot(meta, data, true)
+			if err != nil {
+				return fmt.Errorf("%s: %w", finalName, err)
+			}
+			if err := r.RecoverPlusFinalized(col, snap); err != nil {
+				return err
+			}
+			if !meta.Finalized {
+				st.mu.Lock()
+				meta.Finalized = true
+				err := st.writeManifest()
+				st.mu.Unlock()
+				if err != nil {
+					return err
+				}
+			}
+			stats.FinalizedColumns++
+			return nil
+		}
 		snap, err := st.decodeSnapshot(meta, data, true)
 		if err != nil {
 			return fmt.Errorf("%s: %w", finalName, err)
@@ -583,12 +752,22 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 		if err != nil {
 			return err
 		}
-		snap, err := st.decodeSnapshot(meta, data, false)
-		if err != nil {
-			return fmt.Errorf("%s: %w", ckptName(ckptSeq), err)
-		}
-		if err := r.RecoverCheckpoint(col, snap); err != nil {
-			return err
+		if meta.Kind == protocol.KindPlus {
+			snap, err := st.decodePlusSnapshot(meta, data, false)
+			if err != nil {
+				return fmt.Errorf("%s: %w", ckptName(ckptSeq), err)
+			}
+			if err := r.RecoverPlusCheckpoint(col, snap); err != nil {
+				return err
+			}
+		} else {
+			snap, err := st.decodeSnapshot(meta, data, false)
+			if err != nil {
+				return fmt.Errorf("%s: %w", ckptName(ckptSeq), err)
+			}
+			if err := r.RecoverCheckpoint(col, snap); err != nil {
+				return err
+			}
 		}
 		stats.Checkpoints++
 	}
@@ -618,7 +797,41 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 				return err
 			}
 			stats.Reports += int64(len(reports))
+		case protocol.RecordPlusReports:
+			if meta.Kind != protocol.KindPlus {
+				return fmt.Errorf("%w: plus report record in a %v column's log", protocol.ErrBadRecord, meta.Kind)
+			}
+			group, reports, err := protocol.DecodePlusReportsPayload(payload, st.params)
+			if err != nil {
+				return err
+			}
+			if err := r.RecoverPlusReports(col, group, reports); err != nil {
+				return err
+			}
+			stats.Reports += int64(len(reports))
+		case protocol.RecordPlusAdvance:
+			if meta.Kind != protocol.KindPlus {
+				return fmt.Errorf("%w: plus advance record in a %v column's log", protocol.ErrBadRecord, meta.Kind)
+			}
+			domain, theta, fi, err := protocol.DecodePlusAdvancePayload(payload)
+			if err != nil {
+				return err
+			}
+			if err := r.RecoverPlusAdvance(col, domain, theta, fi); err != nil {
+				return err
+			}
 		case protocol.RecordMerge:
+			if meta.Kind == protocol.KindPlus {
+				snap, err := st.decodePlusSnapshot(meta, payload, false)
+				if err != nil {
+					return err
+				}
+				if err := r.RecoverPlusMerge(col, snap); err != nil {
+					return err
+				}
+				stats.Merges++
+				break
+			}
 			snap, err := st.decodeSnapshot(meta, payload, false)
 			if err != nil {
 				return err
@@ -673,6 +886,24 @@ func (st *Store) decodeSnapshot(meta *columnMeta, data []byte, wantFinal bool) (
 	}
 	if snap.Finalized != wantFinal {
 		return nil, fmt.Errorf("snapshot finalized=%v, want %v", snap.Finalized, wantFinal)
+	}
+	return snap, nil
+}
+
+// decodePlusSnapshot is decodeSnapshot for the composite PSNP form a
+// plus column persists: decoded, validated, and every embedded phase
+// fingerprint-checked against the sample/group seeds this store's
+// configuration derives for the column's attribute slot.
+func (st *Store) decodePlusSnapshot(meta *columnMeta, data []byte, wantFinal bool) (*protocol.PlusSnapshot, error) {
+	snap, err := protocol.DecodePlusSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.CompatibleWithPlus(st.params, hashing.AttributeSeed(st.seed, meta.Attr)); err != nil {
+		return nil, err
+	}
+	if snap.Finalized != wantFinal {
+		return nil, fmt.Errorf("plus snapshot finalized=%v, want %v", snap.Finalized, wantFinal)
 	}
 	return snap, nil
 }

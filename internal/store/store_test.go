@@ -26,6 +26,20 @@ type replayLog struct {
 	matrixReports map[string][]core.MatrixReport
 	merges        map[string][]*protocol.Snapshot
 	infos         map[string]ColumnInfo
+	plusFinalized map[string]*protocol.PlusSnapshot
+	plusEvents    map[string][]plusEvent
+}
+
+// plusEvent records one plus replay callback, preserving the order the
+// column's WAL replayed in — the property the phase machine depends on.
+type plusEvent struct {
+	kind    string // "reports", "advance", "checkpoint", "merge"
+	group   protocol.PlusGroup
+	reports []core.Report
+	domain  uint64
+	theta   float64
+	fi      []uint64
+	snap    *protocol.PlusSnapshot
 }
 
 func newReplayLog() *replayLog {
@@ -36,6 +50,8 @@ func newReplayLog() *replayLog {
 		matrixReports: make(map[string][]core.MatrixReport),
 		merges:        make(map[string][]*protocol.Snapshot),
 		infos:         make(map[string]ColumnInfo),
+		plusFinalized: make(map[string]*protocol.PlusSnapshot),
+		plusEvents:    make(map[string][]plusEvent),
 	}
 }
 
@@ -66,6 +82,36 @@ func (r *replayLog) RecoverMatrixReports(col ColumnInfo, reports []core.MatrixRe
 func (r *replayLog) RecoverMerge(col ColumnInfo, snap *protocol.Snapshot) error {
 	r.infos[col.Name] = col
 	r.merges[col.Name] = append(r.merges[col.Name], snap)
+	return nil
+}
+
+func (r *replayLog) RecoverPlusFinalized(col ColumnInfo, snap *protocol.PlusSnapshot) error {
+	r.infos[col.Name] = col
+	r.plusFinalized[col.Name] = snap
+	return nil
+}
+
+func (r *replayLog) RecoverPlusCheckpoint(col ColumnInfo, snap *protocol.PlusSnapshot) error {
+	r.infos[col.Name] = col
+	r.plusEvents[col.Name] = append(r.plusEvents[col.Name], plusEvent{kind: "checkpoint", snap: snap})
+	return nil
+}
+
+func (r *replayLog) RecoverPlusReports(col ColumnInfo, group protocol.PlusGroup, reports []core.Report) error {
+	r.infos[col.Name] = col
+	r.plusEvents[col.Name] = append(r.plusEvents[col.Name], plusEvent{kind: "reports", group: group, reports: reports})
+	return nil
+}
+
+func (r *replayLog) RecoverPlusAdvance(col ColumnInfo, domain uint64, theta float64, fi []uint64) error {
+	r.infos[col.Name] = col
+	r.plusEvents[col.Name] = append(r.plusEvents[col.Name], plusEvent{kind: "advance", domain: domain, theta: theta, fi: fi})
+	return nil
+}
+
+func (r *replayLog) RecoverPlusMerge(col ColumnInfo, snap *protocol.PlusSnapshot) error {
+	r.infos[col.Name] = col
+	r.plusEvents[col.Name] = append(r.plusEvents[col.Name], plusEvent{kind: "merge", snap: snap})
 	return nil
 }
 
@@ -525,6 +571,220 @@ func TestStoreRejectsAttrMismatchedSnapshot(t *testing.T) {
 	st2 := open(t, dir, Options{})
 	if _, err := st2.Recover(newReplayLog()); err == nil || !errors.Is(err, protocol.ErrSnapshotMismatch) {
 		t.Fatalf("attr-mismatched merge replay: got %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+// testPlusFams derives the sample and group families of a plus column
+// on attribute 0, exactly as the service does.
+func testPlusFams() (famS, famG *hashing.Family) {
+	seed := hashing.AttributeSeed(testSeed, 0)
+	return testParams.NewFamily(core.PlusSampleSeed(seed)), testParams.NewFamily(core.PlusGroupSeed(seed))
+}
+
+func famReports(fam *hashing.Family, seed int64, n int) []core.Report {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Report, n)
+	for i := range out {
+		out[i] = core.Perturb(rng.Uint64()%100, testParams, fam, rng)
+	}
+	return out
+}
+
+// TestStorePlusColumn: a plus column's phase-tagged report records,
+// advance record, composite checkpoint, and finalized composite all
+// round-trip through recovery in append order; a name claimed by the
+// plus kind refuses join appends.
+func TestStorePlusColumn(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	famS, famG := testPlusFams()
+	sample := famReports(famS, 1, 120)
+	low := famReports(famG, 2, 70)
+	high := famReports(famG, 3, 40)
+	fi := []uint64{3, 17, 61}
+	if err := st.AppendPlusReports("p", 0, protocol.PlusSample, [][]core.Report{sample[:50], sample[50:]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPlusAdvance("p", 0, 100, 0.1, fi); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPlusReports("p", 0, protocol.PlusLow, [][]core.Report{low}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPlusReports("p", 0, protocol.PlusHigh, [][]core.Report{high}); err != nil {
+		t.Fatal(err)
+	}
+	// Kind is part of the column's identity.
+	if err := st.AppendReports("p", 0, [][]core.Report{sample[:5]}); err == nil {
+		t.Fatal("join append into a plus column was accepted")
+	}
+	st.Close()
+
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	stats, err := st2.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Columns != 1 || stats.Reports != 230 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	if info := got.infos["p"]; info.Kind != protocol.KindPlus || info.Attr != 0 {
+		t.Fatalf("recovered column info = %+v", info)
+	}
+	events := got.plusEvents["p"]
+	if len(events) != 4 {
+		t.Fatalf("replayed %d plus events, want 4: %+v", len(events), events)
+	}
+	wantOrder := []struct {
+		kind  string
+		group protocol.PlusGroup
+		n     int
+	}{
+		{"reports", protocol.PlusSample, 120},
+		{"advance", 0, 0},
+		{"reports", protocol.PlusLow, 70},
+		{"reports", protocol.PlusHigh, 40},
+	}
+	for i, want := range wantOrder {
+		ev := events[i]
+		if ev.kind != want.kind || (want.kind == "reports" && (ev.group != want.group || len(ev.reports) != want.n)) {
+			t.Fatalf("event %d = {%s %v %d reports}, want %+v", i, ev.kind, ev.group, len(ev.reports), want)
+		}
+	}
+	for i, r := range events[0].reports {
+		if r != sample[i] {
+			t.Fatalf("sample report %d: %v, want %v", i, r, sample[i])
+		}
+	}
+	adv := events[1]
+	if adv.domain != 100 || adv.theta != 0.1 || len(adv.fi) != 3 || adv.fi[0] != 3 || adv.fi[2] != 61 {
+		t.Fatalf("advance replay = %+v", adv)
+	}
+
+	// Checkpoint the composite state, reopen, finalize, reopen again.
+	aggS := core.NewAggregator(testParams, famS)
+	for _, r := range sample {
+		aggS.Add(r)
+	}
+	aggL := core.NewAggregator(testParams, famG)
+	for _, r := range low {
+		aggL.Add(r)
+	}
+	aggH := core.NewAggregator(testParams, famG)
+	for _, r := range high {
+		aggH.Add(r)
+	}
+	ckpt := &protocol.PlusSnapshot{
+		Advanced: true,
+		Domain:   100, Theta: 0.1, FI: fi,
+		Sample: protocol.SnapshotOfAggregator(aggS),
+		Low:    protocol.SnapshotOfAggregator(aggL),
+		High:   protocol.SnapshotOfAggregator(aggH),
+	}
+	if err := st2.CheckpointPlus("p", 0, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.AppendPlusReports("p", 0, protocol.PlusLow, [][]core.Report{low[:5]}); !errors.Is(err, ErrColumnFinalized) {
+		t.Fatalf("append after plus checkpoint: got %v, want ErrColumnFinalized", err)
+	}
+	st2.Close()
+
+	st3 := open(t, dir, Options{})
+	got = newReplayLog()
+	stats, err = st3.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpoints != 1 || stats.Reports != 0 {
+		t.Fatalf("plus checkpoint recovery stats = %+v", stats)
+	}
+	events = got.plusEvents["p"]
+	if len(events) != 1 || events[0].kind != "checkpoint" || events[0].snap.N() != 230 {
+		t.Fatalf("plus checkpoint replay = %+v", events)
+	}
+	final := &protocol.PlusSnapshot{
+		Finalized: true, Advanced: true,
+		Domain: 100, Theta: 0.1, FI: fi,
+		Sample: protocol.SnapshotOfSketch(aggS.Finalize()),
+		Low:    protocol.SnapshotOfSketch(aggL.Finalize()),
+		High:   protocol.SnapshotOfSketch(aggH.Finalize()),
+	}
+	if err := st3.FinalizePlus("p", 0, final); err != nil {
+		t.Fatal(err)
+	}
+	st3.Close()
+
+	st4 := open(t, dir, Options{})
+	got = newReplayLog()
+	stats, err = st4.Recover(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalizedColumns != 1 || stats.Columns != 0 {
+		t.Fatalf("plus finalized recovery stats = %+v", stats)
+	}
+	snap := got.plusFinalized["p"]
+	if snap == nil || !snap.Finalized || !snap.Advanced {
+		t.Fatalf("plus finalized replay = %+v", snap)
+	}
+	reenc, err := protocol.EncodePlusSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := protocol.EncodePlusSnapshot(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, want) {
+		t.Fatal("recovered finalized plus snapshot is not byte-identical")
+	}
+}
+
+// TestStorePlusMidPhaseRecovery: a crash before any advance replays as
+// a phase-1 column (sample events only, no advance), and a mid-phase-2
+// crash replays the boundary before the group reports.
+func TestStorePlusMidPhaseRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, Options{})
+	if _, err := st.Recover(newReplayLog()); err != nil {
+		t.Fatal(err)
+	}
+	famS, _ := testPlusFams()
+	sample := famReports(famS, 1, 60)
+	if err := st.AppendPlusReports("p", 0, protocol.PlusSample, [][]core.Report{sample}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close() // crash mid-phase-1: no checkpoint, WAL only
+
+	st2 := open(t, dir, Options{})
+	got := newReplayLog()
+	if _, err := st2.Recover(got); err != nil {
+		t.Fatal(err)
+	}
+	events := got.plusEvents["p"]
+	if len(events) != 1 || events[0].kind != "reports" || events[0].group != protocol.PlusSample {
+		t.Fatalf("mid-phase-1 replay = %+v", events)
+	}
+	if err := st2.AppendPlusAdvance("p", 0, 100, 0.2, nil); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close() // crash mid-phase-2, right after the advance
+
+	st3 := open(t, dir, Options{})
+	got = newReplayLog()
+	if _, err := st3.Recover(got); err != nil {
+		t.Fatal(err)
+	}
+	events = got.plusEvents["p"]
+	if len(events) != 2 || events[0].kind != "reports" || events[1].kind != "advance" {
+		t.Fatalf("mid-phase-2 replay = %+v", events)
+	}
+	if adv := events[1]; adv.domain != 100 || adv.theta != 0.2 || len(adv.fi) != 0 {
+		t.Fatalf("advance with empty FI replay = %+v", adv)
 	}
 }
 
