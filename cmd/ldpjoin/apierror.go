@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// apiError renders a non-200 response for a human. ldpjoind speaks a
+// structured envelope — {"error": {"code", "message", "column"}} — so
+// when the body parses as one, the stable code and the message are
+// formatted directly; anything else (a proxy error page, a pre-envelope
+// server) passes through raw. Reads at most errBodyLimit bytes and
+// leaves the body open for the caller to close.
+func apiError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Column  string `json:"column"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		if env.Error.Column != "" {
+			return fmt.Sprintf("%s [%s, column %q]: %s", resp.Status, env.Error.Code, env.Error.Column, env.Error.Message)
+		}
+		return fmt.Sprintf("%s [%s]: %s", resp.Status, env.Error.Code, env.Error.Message)
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}

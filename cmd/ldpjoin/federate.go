@@ -352,8 +352,7 @@ func fetchSnapshot(client *http.Client, peer, column string, joinLimit, matrixLi
 		// Check the status before sizing any read: the snapshot-size cap
 		// below is meaningless for an error body, and applying it first
 		// used to truncate error messages longer than one snapshot.
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
-		return nil, nil, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+		return nil, nil, fmt.Errorf("%s: %s", u, apiError(resp))
 	}
 	header := make([]byte, protocol.SnapshotHeaderSize)
 	if _, err := io.ReadFull(resp.Body, header); err != nil {

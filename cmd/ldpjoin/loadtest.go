@@ -11,11 +11,17 @@
 //	freq    GET /v1/frequency?…             (rotating values: hits+misses)
 //	status  GET /v1/columns/{name}
 //	stats   GET /v1/stats
+//	ingest  POST /v1/columns/{prefix}_ing/reports (small report batches
+//	        into a never-finalized column — the soak op that keeps the
+//	        WAL growing so a background checkpointer has work to do)
 //
 // Every worker records per-request latency; the summary prints counts,
-// errors, p50/p90/p99/max per op and overall QPS. Columns survive the
-// run (finalized sketches are immutable), so repeated invocations
-// against the same server skip seeding and measure steady state.
+// errors, p50/p90/p99/max per op and overall QPS, and -out writes the
+// same numbers as JSON for CI artifacts. -tenant sends every request
+// with an Authorization bearer token, so a rate-limited or ε-budgeted
+// server can be soaked as one tenant. Columns survive the run
+// (finalized sketches are immutable), so repeated invocations against
+// the same server skip seeding and measure steady state.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,6 +51,7 @@ type ltOp struct {
 	name   string
 	weight int
 	target func(rng *rand.Rand) string
+	body   []byte // non-nil: POST this payload instead of GET
 }
 
 // ltSample is one latency observation.
@@ -107,7 +115,7 @@ protocol configuration (-k, -m, -eps, -seed) must match the server's.
 	server := fs.String("server", "", "base URL of the ldpjoind under test (e.g. http://localhost:8080)")
 	concurrency := fs.Int("concurrency", 16, "concurrent workers")
 	duration := fs.Duration("duration", 10*time.Second, "how long to drive the mix")
-	mixFlag := fs.String("mix", "join=6,chain=2,freq=2,status=1,stats=1", "weighted query mix (ops: join, chain, freq, status, stats; weight 0 drops an op)")
+	mixFlag := fs.String("mix", "join=6,chain=2,freq=2,status=1,stats=1", "weighted query mix (ops: join, chain, freq, status, stats, ingest; weight 0 drops an op)")
 	reports := fs.Int("reports", 20000, "reports ingested per seeded column (0 skips seeding entirely)")
 	prefix := fs.String("prefix", "lt", "seeded column name prefix")
 	values := fs.Int("values", 1024, "distinct ?value= domain for freq queries (mixes cache hits and misses)")
@@ -116,6 +124,9 @@ protocol configuration (-k, -m, -eps, -seed) must match the server's.
 	eps := fs.Float64("eps", 4, "privacy budget epsilon")
 	seed := fs.Int64("seed", 1, "public hash seed (shared with the server)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	tenant := fs.String("tenant", "", "send every request as this tenant (Authorization: Bearer <tenant>)")
+	out := fs.String("out", "", "write the run summary as JSON to this file")
+	ingestBatch := fs.Int("ingest-batch", 64, "reports per ingest-op batch (the ingest mix op)")
 	_ = fs.Parse(args)
 
 	if *server == "" {
@@ -134,19 +145,21 @@ protocol configuration (-k, -m, -eps, -seed) must match the server's.
 		fatal(err)
 	}
 
-	client := &http.Client{
-		Timeout: *timeout,
-		Transport: &http.Transport{
-			MaxIdleConns:        2 * *concurrency,
-			MaxIdleConnsPerHost: 2 * *concurrency,
-		},
+	var rt http.RoundTripper = &http.Transport{
+		MaxIdleConns:        2 * *concurrency,
+		MaxIdleConnsPerHost: 2 * *concurrency,
 	}
+	if *tenant != "" {
+		rt = &bearerTransport{next: rt, token: *tenant}
+	}
+	client := &http.Client{Timeout: *timeout, Transport: rt}
 
 	names := map[string]string{
-		"a":  *prefix + "_a",  // join, attr 0
-		"b":  *prefix + "_b",  // join, attr 0
-		"ab": *prefix + "_ab", // matrix, attrs (0, 1)
-		"c":  *prefix + "_c",  // join, attr 1
+		"a":   *prefix + "_a",   // join, attr 0
+		"b":   *prefix + "_b",   // join, attr 0
+		"ab":  *prefix + "_ab",  // matrix, attrs (0, 1)
+		"c":   *prefix + "_c",   // join, attr 1
+		"ing": *prefix + "_ing", // join, attr 0, never finalized (ingest op)
 	}
 	if *reports > 0 {
 		if err := seedColumns(client, base, params, *seed, names, *reports); err != nil {
@@ -154,16 +167,76 @@ protocol configuration (-k, -m, -eps, -seed) must match the server's.
 		}
 	}
 
-	ops := buildMix(*mixFlag, names, *values)
+	ingestBody, err := encodeIngestBatch(params, *seed, *ingestBatch)
+	if err != nil {
+		fatal(err)
+	}
+	ops := buildMix(*mixFlag, names, *values, ingestBody)
 	fmt.Printf("loadtest: %d workers against %s for %s (mix %s)\n", *concurrency, base, *duration, *mixFlag)
 
 	workers, elapsed := driveMix(client, base, ops, *concurrency, *duration)
-	printSummary(ops, workers, elapsed)
+	sum := printSummary(ops, workers, elapsed)
+	sum.Server, sum.Concurrency, sum.Mix = base, *concurrency, *mixFlag
+	sum.Tenant, sum.Duration = *tenant, elapsed.String()
+	if *out != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("summary written to %s\n", *out)
+	}
+}
+
+// bearerTransport stamps the loadtest's tenant identity on every
+// request, so per-tenant admission on the server attributes the whole
+// run to one tenant.
+type bearerTransport struct {
+	next  http.RoundTripper
+	token string
+}
+
+func (t *bearerTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r = r.Clone(r.Context())
+	r.Header.Set("Authorization", "Bearer "+t.token)
+	return t.next.RoundTrip(r)
+}
+
+// encodeIngestBatch pre-encodes the report batch the ingest op posts.
+// Every ingest request reuses the same perturbed batch: the server
+// folds it like any other, and encoding once keeps the generator from
+// spending its CPU on perturbation instead of load.
+func encodeIngestBatch(p core.Params, seed int64, batch int) ([]byte, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("-ingest-batch must be at least 1, got %d", batch)
+	}
+	fam := hashing.NewFamily(hashing.AttributeSeed(seed, 0), p.K, p.M)
+	rng := rand.New(rand.NewSource(seed + 7))
+	var buf bytes.Buffer
+	w, err := protocol.NewReportWriter(&buf, p)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < batch; i++ {
+		if err := w.Write(core.Perturb(uint64(rng.Intn(4096)), p, fam, rng)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // buildMix parses "join=6,chain=2,…" into the weighted op set.
-func buildMix(mix string, names map[string]string, values int) []ltOp {
+func buildMix(mix string, names map[string]string, values int, ingestBody []byte) []ltOp {
+	bodies := map[string][]byte{"ingest": ingestBody}
 	targets := map[string]func(rng *rand.Rand) string{
+		"ingest": func(*rand.Rand) string {
+			return "/v1/columns/" + url.PathEscape(names["ing"]) + "/reports"
+		},
 		"join": func(*rand.Rand) string {
 			return "/v1/join?left=" + url.QueryEscape(names["a"]) + "&right=" + url.QueryEscape(names["b"])
 		},
@@ -187,7 +260,7 @@ func buildMix(mix string, names map[string]string, values int) []ltOp {
 		name = strings.TrimSpace(name)
 		target, ok := targets[name]
 		if !ok {
-			fatal(fmt.Errorf("-mix op %q unknown (want join, chain, freq, status, stats)", name))
+			fatal(fmt.Errorf("-mix op %q unknown (want join, chain, freq, status, stats, ingest)", name))
 		}
 		weight, err := strconv.Atoi(strings.TrimSpace(weightStr))
 		if err != nil || weight < 0 {
@@ -204,7 +277,7 @@ func buildMix(mix string, names map[string]string, values int) []ltOp {
 			continue
 		}
 		index[name] = len(ops)
-		ops = append(ops, ltOp{name: name, weight: weight, target: target})
+		ops = append(ops, ltOp{name: name, weight: weight, target: target, body: bodies[name]})
 	}
 	if total == 0 {
 		fatal(fmt.Errorf("-mix %q selects nothing", mix))
@@ -251,7 +324,7 @@ func driveMix(client *http.Client, base string, ops []ltOp, concurrency int, dur
 			for time.Now().Before(deadline) {
 				op := pickOp(ops, totalWeight, rng)
 				start := time.Now()
-				ok := doGet(client, base+ops[op].target(rng))
+				ok := doReq(client, base+ops[op].target(rng), ops[op].body)
 				workers[w].observe(op, time.Since(start), ok, rng)
 			}
 		}(w)
@@ -260,10 +333,17 @@ func driveMix(client *http.Client, base string, ops []ltOp, concurrency int, dur
 	return workers, time.Since(begin)
 }
 
-// doGet issues one request, draining the body so the connection is
-// reused; ok means HTTP 200.
-func doGet(client *http.Client, url string) bool {
-	resp, err := client.Get(url)
+// doReq issues one request — GET, or POST when the op carries a
+// payload — draining the body so the connection is reused; ok means
+// HTTP 200.
+func doReq(client *http.Client, url string, body []byte) bool {
+	var resp *http.Response
+	var err error
+	if body != nil {
+		resp, err = client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	} else {
+		resp, err = client.Get(url)
+	}
 	if err != nil {
 		return false
 	}
@@ -272,12 +352,38 @@ func doGet(client *http.Client, url string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// ltOpSummary and ltSummary are the machine-readable run summary -out
+// writes — the artifact a CI soak job uploads next to BENCH_*.json.
+type ltOpSummary struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+type ltSummary struct {
+	Server      string        `json:"server"`
+	Tenant      string        `json:"tenant,omitempty"`
+	Concurrency int           `json:"concurrency"`
+	Duration    string        `json:"duration"`
+	Mix         string        `json:"mix"`
+	Total       int64         `json:"totalRequests"`
+	Errors      int64         `json:"totalErrors"`
+	QPS         float64       `json:"qps"`
+	Ops         []ltOpSummary `json:"ops"`
+}
+
 // printSummary prints per-op exact counts and errors, latency
 // percentiles from the merged reservoirs, and the overall throughput
-// over the measured elapsed window.
-func printSummary(ops []ltOp, workers []ltWorker, elapsed time.Duration) {
+// over the measured elapsed window, returning the same numbers for
+// -out.
+func printSummary(ops []ltOp, workers []ltWorker, elapsed time.Duration) ltSummary {
 	fmt.Printf("%-8s %10s %8s %10s %10s %10s %10s\n", "op", "count", "errors", "p50", "p90", "p99", "max")
-	var total int64
+	sum := ltSummary{}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for i, op := range ops {
 		var lats []time.Duration
 		var count, errs int64
@@ -294,7 +400,9 @@ func printSummary(ops []ltOp, workers []ltWorker, elapsed time.Duration) {
 				}
 			}
 		}
-		total += count
+		sum.Total += count
+		sum.Errors += errs
+		row := ltOpSummary{Op: op.name, Count: count, Errors: errs, MaxMs: ms(max)}
 		if len(lats) == 0 {
 			if count > 0 {
 				// No reservoir survivors for this op (long run, low
@@ -304,14 +412,18 @@ func printSummary(ops []ltOp, workers []ltWorker, elapsed time.Duration) {
 			} else {
 				fmt.Printf("%-8s %10d %8d\n", op.name, count, errs)
 			}
+			sum.Ops = append(sum.Ops, row)
 			continue
 		}
 		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-		fmt.Printf("%-8s %10d %8d %10s %10s %10s %10s\n", op.name, count, errs,
-			percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99), max)
+		p50, p90, p99 := percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99)
+		row.P50Ms, row.P90Ms, row.P99Ms = ms(p50), ms(p90), ms(p99)
+		sum.Ops = append(sum.Ops, row)
+		fmt.Printf("%-8s %10d %8d %10s %10s %10s %10s\n", op.name, count, errs, p50, p90, p99, max)
 	}
-	qps := float64(total) / elapsed.Seconds()
-	fmt.Printf("total: %d requests in %s — %.1f req/s\n", total, elapsed.Round(time.Millisecond), qps)
+	sum.QPS = float64(sum.Total) / elapsed.Seconds()
+	fmt.Printf("total: %d requests in %s — %.1f req/s\n", sum.Total, elapsed.Round(time.Millisecond), sum.QPS)
+	return sum
 }
 
 // percentile returns the nearest-rank q-quantile of sorted latencies:
@@ -421,11 +533,11 @@ func postOK(client *http.Client, url string, body io.Reader, format string, args
 	if err != nil {
 		return err
 	}
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s: %s", fmt.Sprintf(format, args...), resp.Status, strings.TrimSpace(string(msg)))
+		return fmt.Errorf("%s: %s", fmt.Sprintf(format, args...), apiError(resp))
 	}
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return nil
 }
 
@@ -442,8 +554,7 @@ func columnState(client *http.Client, base, name string) (string, error) {
 		return "", nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
-		return "", fmt.Errorf("checking column %q: %s: %s", name, resp.Status, strings.TrimSpace(string(body)))
+		return "", fmt.Errorf("checking column %q: %s", name, apiError(resp))
 	}
 	var status struct {
 		State string `json:"state"`

@@ -16,7 +16,14 @@
 // graceful shutdown that drains in-flight requests and checkpoints
 // collecting columns. Restarting on the same -data directory (and the
 // same -k/-m/-eps/-seed) recovers every column — byte-identically,
-// because sketch state is linear. See internal/store.
+// because sketch state is linear. With -ckpt-bytes or -ckpt-interval a
+// background checkpointer also snapshots busy columns while they keep
+// ingesting and compacts the WAL segments the snapshot covers, bounding
+// both recovery replay time and disk growth. See internal/store.
+//
+// GET /metrics serves Prometheus text exposition, and -tenant-rate /
+// -tenant-eps-budget turn on per-tenant admission keyed by the
+// Authorization bearer token. See internal/service.
 //
 // Usage:
 //
@@ -59,6 +66,11 @@ func main() {
 	data := flag.String("data", "", "data directory for WAL + checkpoint durability (empty = in-memory only)")
 	segBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default)")
 	noSync := flag.Bool("wal-no-sync", false, "skip fsyncs (faster; survives process crashes, not power loss)")
+	ckptBytes := flag.Int64("ckpt-bytes", 0, "background-checkpoint a column once this many WAL bytes accumulate past its last checkpoint (0 = disabled)")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "background-checkpoint a column with un-checkpointed WAL bytes after this much time (0 = disabled)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant request rate limit, requests/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst capacity of the rate limit (0 = 1)")
+	tenantEps := flag.Float64("tenant-eps-budget", 0, "per-tenant privacy budget: total ε a tenant's accepted reports may spend (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
 
@@ -68,7 +80,13 @@ func main() {
 		Attributes:        *attrs,
 		QueryCacheEntries: *queryCache,
 		DataDir:           *data,
-		Store:             store.Options{SegmentBytes: *segBytes, NoSync: *noSync},
+		Store: store.Options{
+			SegmentBytes: *segBytes, NoSync: *noSync,
+			CheckpointBytes: *ckptBytes, CheckpointInterval: *ckptInterval,
+		},
+		TenantRate:          *tenantRate,
+		TenantBurst:         *tenantBurst,
+		TenantEpsilonBudget: *tenantEps,
 	})
 	if err != nil {
 		log.Fatal(err)

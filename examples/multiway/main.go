@@ -172,13 +172,16 @@ func overHTTP(cfg ldpjoin.Config, t1, t2a, t2b, t3 []uint64) (float64, error) {
 	defer resp.Body.Close()
 	var out struct {
 		Estimate float64 `json:"estimate"`
-		Error    string  `json:"error"`
+		Error    struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("chain query: %d: %s", resp.StatusCode, out.Error)
+		return 0, fmt.Errorf("chain query: %d [%s]: %s", resp.StatusCode, out.Error.Code, out.Error.Message)
 	}
 	return out.Estimate, nil
 }

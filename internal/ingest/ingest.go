@@ -157,6 +157,11 @@ func (e *Engine) Family() *hashing.Family { return e.fam }
 // Options returns the engine's normalized options.
 func (e *Engine) Options() Options { return e.opts }
 
+// QueueDepth returns the number of fold tasks currently queued behind
+// the workers — the live backpressure signal (/metrics gauges it
+// against Options().Queue).
+func (e *Engine) QueueDepth() int { return len(e.tasks) }
+
 // submit schedules f on the worker pool, blocking while the queue is
 // full (backpressure).
 func (e *Engine) submit(f func()) error {
@@ -414,6 +419,15 @@ func (c *Column) State() (*core.Aggregator, error) {
 	}
 	return total, nil
 }
+
+// Settle blocks until every fold accepted so far has landed in a
+// shard. The caller must exclude concurrent EnqueueAll and
+// MergeAggregator calls for the duration — the service's checkpoint
+// gate does — otherwise a new wg.Add races the wait. After Settle
+// returns (under that exclusion), State is a complete copy of every
+// accepted report, which is what lets a background checkpoint cover
+// exactly the WAL records written so far.
+func (c *Column) Settle() { c.wg.Wait() }
 
 // MergeAggregator folds an unfinalized aggregator — typically restored
 // from another collector's snapshot — into the column. The merge is

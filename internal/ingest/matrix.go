@@ -240,6 +240,11 @@ func (c *MatrixColumn) State() (*core.MatrixAggregator, error) {
 	return total, nil
 }
 
+// Settle blocks until every fold accepted so far has landed in a
+// shard, under the same caller-excludes-enqueues contract as
+// Column.Settle.
+func (c *MatrixColumn) Settle() { c.wg.Wait() }
+
 // MergeAggregator folds an unfinalized matrix aggregator — typically
 // restored from another collector's snapshot — into the column, exactly.
 // It follows the Enqueue lifecycle and consumes agg: an untouched shard

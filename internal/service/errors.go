@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the structured error envelope. Every 4xx/5xx response
+// the API writes is
+//
+//	{"error": {"code": "...", "message": "...", "column": "..."}}
+//
+// where code is one of the stable machine-readable values below (the
+// contract clients switch on — messages are for humans and may change),
+// and column names the column the error is about when there is one.
+const (
+	// codeBadRequest: the request itself is malformed — undecodable
+	// stream, bad query parameter, missing argument.
+	codeBadRequest = "bad_request"
+	// codeNotFound: the named column does not exist at all.
+	codeNotFound = "column_not_found"
+	// codeNotFinalized: the column exists but is still collecting, and
+	// the request (join, frequency, sketch export) needs it finalized.
+	// Retry after POST .../finalize.
+	codeNotFinalized = "column_not_finalized"
+	// codeFinalized: the column is already finalized and the request
+	// (reports, advance, merge, finalize) only applies while collecting.
+	codeFinalized = "column_finalized"
+	// codeConflict: the request contradicts the column's state in some
+	// other way — kind or attribute mismatch, plus-phase violation,
+	// non-composable chain, incompatible snapshot.
+	codeConflict = "column_conflict"
+	// codeTooLarge: the request body exceeds a configured bound.
+	codeTooLarge = "payload_too_large"
+	// codeRateLimited: the tenant exceeded its request rate; retry later.
+	codeRateLimited = "rate_limited"
+	// codeBudgetExhausted: the tenant's ε budget is spent; further report
+	// ingestion is refused until the operator raises the budget.
+	codeBudgetExhausted = "budget_exhausted"
+	// codeServerClosed: the server is shutting down; retry elsewhere.
+	codeServerClosed = "server_closed"
+	// codeInternal: a server-side fault (disk, encoding).
+	codeInternal = "internal"
+)
+
+// errorBody is the envelope's payload.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Column  string `json:"column,omitempty"`
+}
+
+// writeError writes the structured error envelope. column may be empty
+// for errors not about a specific column (bad query parameters, server
+// shutdown).
+func writeError(w http.ResponseWriter, status int, code, column, format string, args ...any) {
+	writeJSON(w, status, map[string]errorBody{"error": {
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+		Column:  column,
+	}})
+}
+
+// defaultCode maps an HTTP status to its unambiguous envelope code —
+// the statuses where one code fits every use. Statuses with more than
+// one meaning here (409 splits into finalized / not-finalized /
+// conflict, 429 into rate vs budget) must pick their code explicitly.
+func defaultCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusConflict:
+		return codeConflict
+	case http.StatusRequestEntityTooLarge:
+		return codeTooLarge
+	case http.StatusTooManyRequests:
+		return codeRateLimited
+	case http.StatusServiceUnavailable:
+		return codeServerClosed
+	default:
+		return codeInternal
+	}
+}
+
+// httpError writes the envelope with the status' default code and no
+// column attribution — the fallback for errors where neither needs to
+// be more precise. Handlers that know better call writeError directly.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeError(w, status, defaultCode(status), "", format, args...)
+}

@@ -146,8 +146,23 @@ type Options struct {
 	// column. Empty means in-memory only, the prior behavior.
 	DataDir string
 	// Store tunes the column store when DataDir is set (segment
-	// rotation size, fsync policy).
+	// rotation size, fsync policy, background checkpoint triggers —
+	// store.Options.CheckpointBytes / CheckpointInterval turn the
+	// background checkpointer on).
 	Store store.Options
+	// TenantRate enables per-tenant request rate limiting: each tenant
+	// (the Authorization bearer token; "anonymous" without one) gets a
+	// token bucket refilled at this many requests per second. <= 0
+	// disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the token bucket's capacity when TenantRate is on;
+	// < 1 selects 1.
+	TenantBurst int
+	// TenantEpsilonBudget caps the privacy budget each tenant may spend
+	// through report ingestion: every accepted report debits the
+	// column's ε, and a batch that would overrun the budget is refused
+	// with 429 budget_exhausted. <= 0 disables the ledger's enforcement.
+	TenantEpsilonBudget float64
 }
 
 // pendingColumn is a collecting column of one kind: exactly one of
@@ -166,6 +181,18 @@ type pendingColumn struct {
 	// logged after the advance record — which replay would then reject.
 	// Join and matrix columns never take it: their records commute.
 	opMu sync.Mutex
+
+	// walGate is the background checkpointer's exclusion point. Every
+	// mutating request holds it shared across its (WAL append, enqueue)
+	// pair; CheckpointNow holds it exclusively across (Rotate, settle,
+	// state capture). That makes the captured state exactly the fold of
+	// the rotated-out segments: no request can be between "durable in a
+	// covered segment" and "visible to the capture" while the gate is
+	// held, so a checkpoint can neither lose an acknowledged report nor
+	// double-count one on replay. Handlers acquire opMu (plus columns)
+	// before walGate, and the checkpointer takes only walGate — one
+	// order, no cycles.
+	walGate sync.RWMutex
 }
 
 // n returns the reports accepted so far.
@@ -222,6 +249,9 @@ type Server struct {
 	maxStream     int
 	st            *store.Store        // nil when DataDir is unset
 	recovered     store.RecoveryStats // what startup replay rebuilt; read-only after New
+	ckpt          *store.Checkpointer // nil unless background triggers are configured
+	tenants       *tenantRegistry     // nil unless tenant limits are configured
+	metrics       httpMetrics         // per-route request accounting for /metrics
 
 	// mu is the lifecycle mutex: it guards the pending map and every
 	// *write* to closed and the finished registry, so "is this name
@@ -289,6 +319,9 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		maxStream:     maxStream,
 		pending:       make(map[string]*pendingColumn),
 		cache:         newQueryCache(cacheCap),
+		tenants: newTenantRegistry(tenantLimits{
+			rate: o.TenantRate, burst: float64(o.TenantBurst), epsBudget: o.TenantEpsilonBudget,
+		}),
 	}
 	s.finished.init()
 	if o.DataDir != "" {
@@ -305,6 +338,9 @@ func NewWithOptions(p core.Params, seed int64, o Options) (*Server, error) {
 		}
 		s.st = st
 		s.recovered = rec
+		// Recovery is done, so every column the checkpointer could name
+		// exists in the pending map before the first tick can fire.
+		s.ckpt = st.StartCheckpointer(s.CheckpointNow)
 	}
 	return s, nil
 }
@@ -530,6 +566,10 @@ func (s *Server) Shutdown() error {
 		pending[name] = col
 	}
 	s.mu.Unlock()
+	// Stop the background checkpointer before draining the engine: an
+	// in-flight background checkpoint finishes (Stop waits), and after
+	// that nothing contends with the shutdown checkpoints below.
+	s.ckpt.Stop()
 	s.engine.Close()
 	if s.st == nil {
 		return nil
@@ -572,6 +612,89 @@ func (s *Server) Shutdown() error {
 // lossy).
 func (s *Server) Close() { _ = s.Shutdown() }
 
+// CheckpointNow cuts a background checkpoint of one collecting column
+// while the server keeps serving: rotate the column's WAL, settle the
+// engine so the in-memory state covers exactly the rotated-out
+// segments, capture that state, and persist it as ckpt-<seq>.snap —
+// after which the store deletes the covered segments, bounding what a
+// recovery must replay. It is the callback the store's background
+// checkpointer runs on its policy triggers, and tests (or an operator
+// hook) may call it directly.
+//
+// The column's walGate is held exclusively from the rotate through the
+// state capture — mutating requests hold it shared across their (WAL
+// append, enqueue) pair, so nothing can be durable-but-uncaptured or
+// captured-but-not-durable at the cut. The gate is released before the
+// snapshot encodes and persists: ingest continues during the file
+// write, and bytes appended meanwhile belong to the next checkpoint
+// (the store's cut accounting handles that split).
+//
+// A column that finalizes, drains, or disappears underneath the
+// attempt is a benign race — its state is (or is becoming) durable by
+// a stronger mechanism — so those paths return nil rather than
+// counting as checkpoint errors.
+func (s *Server) CheckpointNow(name string) error {
+	if s.st == nil {
+		return nil
+	}
+	s.mu.Lock()
+	col, ok := s.pending[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil // finalized (or imported) since the policy scan
+	}
+
+	col.walGate.Lock()
+	covered, err := s.st.Rotate(name)
+	if err != nil {
+		col.walGate.Unlock()
+		if errors.Is(err, store.ErrColumnFinalized) || errors.Is(err, store.ErrClosed) {
+			return nil
+		}
+		return err
+	}
+	if covered == 0 {
+		col.walGate.Unlock()
+		return nil
+	}
+	var snap *protocol.Snapshot
+	var plusSnap *protocol.PlusSnapshot
+	switch col.kind {
+	case protocol.KindPlus:
+		// PlusColumn.State settles its three sketches itself.
+		plusSnap, err = col.plus.State()
+	case protocol.KindMatrix:
+		col.matrix.Settle()
+		var agg *core.MatrixAggregator
+		if agg, err = col.matrix.State(); err == nil {
+			snap = protocol.SnapshotOfMatrixAggregator(agg)
+		}
+	default:
+		col.join.Settle()
+		var agg *core.Aggregator
+		if agg, err = col.join.State(); err == nil {
+			snap = protocol.SnapshotOfAggregator(agg)
+		}
+	}
+	col.walGate.Unlock()
+	if err != nil {
+		if errors.Is(err, ingest.ErrFinalized) {
+			return nil // a concurrent finalize won; final.snap supersedes
+		}
+		return err
+	}
+
+	if col.kind == protocol.KindPlus {
+		err = s.st.SaveCheckpointPlus(name, covered, plusSnap)
+	} else {
+		err = s.st.SaveCheckpoint(name, covered, snap)
+	}
+	if errors.Is(err, store.ErrColumnFinalized) || errors.Is(err, store.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
 // refuseClosed reports whether the server is closed, writing the 503 if
 // so. The flag is an atomic written only under s.mu: this fast-path
 // read costs no lock, while the lifecycle decisions that matter —
@@ -582,19 +705,22 @@ func (s *Server) Close() { _ = s.Shutdown() }
 // ErrFinalized, both of which surface as clean HTTP errors.
 func (s *Server) refuseClosed(w http.ResponseWriter) bool {
 	if s.closed.Load() {
-		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		writeError(w, http.StatusServiceUnavailable, codeServerClosed, "", "server is shut down")
 		return true
 	}
 	return false
 }
 
-// Handler returns the HTTP handler serving the API above.
+// Handler returns the HTTP handler serving the API above, wrapped in
+// the tenant admission middleware (when configured) and the per-route
+// request accounting /metrics reads.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/columns/{name}/reports", s.handleReports)
 	mux.HandleFunc("POST /v1/columns/{name}/advance", s.handleAdvance)
 	mux.HandleFunc("POST /v1/columns/{name}/finalize", s.handleFinalize)
 	mux.HandleFunc("POST /v1/columns/{name}/merge", s.handleMerge)
+	mux.HandleFunc("GET /v1/columns", s.handleColumns)
 	mux.HandleFunc("GET /v1/columns/{name}/fi", s.handleFI)
 	mux.HandleFunc("GET /v1/columns/{name}", s.handleStatus)
 	mux.HandleFunc("GET /v1/columns/{name}/sketch", s.handleExport)
@@ -602,10 +728,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/join", s.handleJoin)
 	mux.HandleFunc("GET /v1/frequency", s.handleFrequency)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	// instrument sits outside admit so throttled requests are counted
+	// too; it reads the route pattern the mux stamps on the request.
+	return s.instrument(s.admit(mux))
 }
 
 // attrParam parses the ?attr= slot of an ingesting request. A matrix
@@ -640,19 +769,19 @@ func (s *Server) registerPending(w http.ResponseWriter, name string, kind protoc
 	s.mu.Lock()
 	if s.closed.Load() {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		writeError(w, http.StatusServiceUnavailable, codeServerClosed, "", "server is shut down")
 		return nil, false
 	}
 	if _, done := s.finished.get(name); done {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		writeError(w, http.StatusConflict, codeFinalized, name, "column %q is already finalized", name)
 		return nil, false
 	}
 	col, ok := s.pending[name]
 	if ok {
 		if col.kind != kind || col.attr != attr {
 			s.mu.Unlock()
-			httpError(w, http.StatusConflict, "column %q is %s state of attribute %d, not %s state of attribute %d",
+			writeError(w, http.StatusConflict, codeConflict, name, "column %q is %s state of attribute %d, not %s state of attribute %d",
 				name, col.kind.String(), col.attr, kind.String(), attr)
 			return nil, false
 		}
@@ -694,11 +823,11 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if h.Kind == protocol.KindMatrix {
-		s.handleMatrixReports(w, name, attr, body, h)
+		s.handleMatrixReports(w, r, name, attr, body, h)
 		return
 	}
 	if h.Kind == protocol.KindPlus {
-		s.handlePlusReports(w, name, attr, body, h)
+		s.handlePlusReports(w, r, name, attr, body, h)
 		return
 	}
 
@@ -724,27 +853,42 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Reserve the batch's privacy spend against the tenant's budget
+	// before anything is durable; a refused or failed ingest refunds.
+	release, ok := s.debitReports(w, r, name, br.Count())
+	if !ok {
+		return
+	}
 
 	// Durability before acknowledgement: the decoded reports go to the
 	// write-ahead log, fsynced, before anything is acked. A failed
 	// append rejects the request (at worst the column registered above
 	// sits empty until more reports arrive — a disk fault is an
-	// operator page either way).
+	// operator page either way). The (append, enqueue) pair holds the
+	// column's checkpoint gate shared, so a concurrent background
+	// checkpoint covers both halves of this request or neither.
+	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendReports(name, attr, batches); err != nil {
+			col.walGate.RUnlock()
+			release(false)
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 
-	// Feed the engine outside the lock. EnqueueAll blocks when the fold
-	// workers are behind (backpressure) and is atomic against a
+	// Feed the engine outside the lifecycle lock. EnqueueAll blocks when
+	// the fold workers are behind (backpressure) and is atomic against a
 	// concurrent finalize: the request's reports land entirely before
 	// the merge or not at all.
 	if err := col.join.EnqueueAll(batches); err != nil {
-		s.columnConflict(w, "column %q: %v", name, err)
+		col.walGate.RUnlock()
+		release(false)
+		s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
 		return
 	}
+	col.walGate.RUnlock()
+	release(true)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "kind": protocol.KindJoin.String(), "ingested": br.Count(), "total": col.join.N(),
 	})
@@ -783,8 +927,9 @@ func readAllBatches[T any](w http.ResponseWriter, s *Server, name string,
 }
 
 // handleMatrixReports is the KindMatrix branch of handleReports: the
-// same decode-register-log-enqueue order over the matrix column path.
-func (s *Server) handleMatrixReports(w http.ResponseWriter, name string, attr int, body *bufio.Reader, h protocol.Header) {
+// same decode-register-debit-log-enqueue order over the matrix column
+// path.
+func (s *Server) handleMatrixReports(w http.ResponseWriter, r *http.Request, name string, attr int, body *bufio.Reader, h protocol.Header) {
 	br, err := protocol.NewMatrixBatchReaderFrom(body, h, s.matrixP)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decoding matrix report stream: %v", err)
@@ -799,16 +944,27 @@ func (s *Server) handleMatrixReports(w http.ResponseWriter, name string, attr in
 	if !ok {
 		return
 	}
+	release, ok := s.debitReports(w, r, name, br.Count())
+	if !ok {
+		return
+	}
+	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendMatrixReports(name, attr, batches); err != nil {
+			col.walGate.RUnlock()
+			release(false)
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 	if err := col.matrix.EnqueueAll(batches); err != nil {
-		s.columnConflict(w, "column %q: %v", name, err)
+		col.walGate.RUnlock()
+		release(false)
+		s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
 		return
 	}
+	col.walGate.RUnlock()
+	release(true)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "kind": protocol.KindMatrix.String(), "ingested": br.Count(), "total": col.matrix.N(),
 	})
@@ -818,7 +974,7 @@ func (s *Server) handleMatrixReports(w http.ResponseWriter, name string, attr in
 // decode-register-log-enqueue order, plus the phase gate. The gate, the
 // WAL append, and the enqueue run under the column's operation mutex so
 // the log is written in acceptance order — see pendingColumn.opMu.
-func (s *Server) handlePlusReports(w http.ResponseWriter, name string, attr int, body *bufio.Reader, h protocol.Header) {
+func (s *Server) handlePlusReports(w http.ResponseWriter, r *http.Request, name string, attr int, body *bufio.Reader, h protocol.Header) {
 	if attr != 0 {
 		httpError(w, http.StatusBadRequest,
 			"plus columns are pinned to attribute 0: their sample and group families derive from the base seed")
@@ -843,16 +999,27 @@ func (s *Server) handlePlusReports(w http.ResponseWriter, name string, attr int,
 		s.plusConflict(w, name, err)
 		return
 	}
+	release, ok := s.debitReports(w, r, name, br.Count())
+	if !ok {
+		return
+	}
+	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendPlusReports(name, attr, group, batches); err != nil {
+			col.walGate.RUnlock()
+			release(false)
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 	if err := col.plus.EnqueueAll(group, batches); err != nil {
-		s.columnConflict(w, "column %q: %v", name, err)
+		col.walGate.RUnlock()
+		release(false)
+		s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
 		return
 	}
+	col.walGate.RUnlock()
+	release(true)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "kind": protocol.KindPlus.String(), "group": group.String(),
 		"ingested": br.Count(), "total": col.plus.N(),
@@ -863,7 +1030,7 @@ func (s *Server) handlePlusReports(w http.ResponseWriter, name string, attr int,
 // the column exists but is on the wrong side of its phase boundary for
 // the request — a conflict, not a malformed request.
 func (s *Server) plusConflict(w http.ResponseWriter, name string, err error) {
-	s.columnConflict(w, "column %q: %v", name, err)
+	s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
 }
 
 // advanceRequest is the JSON body of POST /v1/columns/{name}/advance.
@@ -936,17 +1103,17 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if _, done := s.finished.get(name); done {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		writeError(w, http.StatusConflict, codeFinalized, name, "column %q is already finalized", name)
 		return
 	}
 	col, ok := s.pending[name]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "column %q has no reports", name)
+		writeError(w, http.StatusNotFound, codeNotFound, name, "column %q has no reports", name)
 		return
 	}
 	if col.kind != protocol.KindPlus {
-		httpError(w, http.StatusConflict, "column %q is a %s column; advance applies to plus columns", name, col.kind.String())
+		writeError(w, http.StatusConflict, codeConflict, name, "column %q is a %s column; advance applies to plus columns", name, col.kind.String())
 		return
 	}
 
@@ -966,13 +1133,20 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The (advance record, phase flip) pair holds the checkpoint gate
+	// like a report's (append, enqueue): a background checkpoint either
+	// covers the advance record and captures the advanced phase, or
+	// neither.
+	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendPlusAdvance(name, col.attr, req.Domain, req.Theta, fi); err != nil {
+			col.walGate.RUnlock()
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 	frozen, err := col.plus.Advance(req.Domain, req.Theta, explicitFI(fi))
+	col.walGate.RUnlock()
 	if err != nil {
 		s.plusConflict(w, name, err)
 		return
@@ -998,7 +1172,7 @@ func (s *Server) handleFI(w http.ResponseWriter, r *http.Request) {
 	}
 	if fin, ok := s.finished.get(name); ok {
 		if fin.kind != protocol.KindPlus {
-			httpError(w, http.StatusConflict, "column %q is a %s column; /fi applies to plus columns", name, fin.kind.String())
+			writeError(w, http.StatusConflict, codeConflict, name, "column %q is a %s column; /fi applies to plus columns", name, fin.kind.String())
 			return
 		}
 		writeFrozen(fin.plus.Domain, fin.plus.Theta, fin.plus.FI, true)
@@ -1012,11 +1186,11 @@ func (s *Server) handleFI(w http.ResponseWriter, r *http.Request) {
 			writeFrozen(fin.plus.Domain, fin.plus.Theta, fin.plus.FI, true)
 			return
 		}
-		httpError(w, http.StatusNotFound, "unknown column %q", name)
+		writeError(w, http.StatusNotFound, codeNotFound, name, "unknown column %q", name)
 		return
 	}
 	if col.kind != protocol.KindPlus {
-		httpError(w, http.StatusConflict, "column %q is a %s column; /fi applies to plus columns", name, col.kind.String())
+		writeError(w, http.StatusConflict, codeConflict, name, "column %q is a %s column; /fi applies to plus columns", name, col.kind.String())
 		return
 	}
 	if domain, theta, fi, advanced := col.plus.AdvanceInfo(); advanced {
@@ -1059,13 +1233,13 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if _, done := s.finished.get(name); done {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "column %q is already finalized", name)
+		writeError(w, http.StatusConflict, codeFinalized, name, "column %q is already finalized", name)
 		return
 	}
 	col, ok := s.pending[name]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "column %q has no reports", name)
+		writeError(w, http.StatusNotFound, codeNotFound, name, "column %q has no reports", name)
 		return
 	}
 	// Finalize drains the column's queued folds; do it outside the lock
@@ -1094,7 +1268,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err == ingest.ErrFinalized {
-		s.columnConflict(w, "column %q is already finalized", name)
+		s.columnConflict(w, codeFinalized, name, "column %q is already finalized", name)
 		return
 	}
 	if errors.Is(err, ingest.ErrPlusNotAdvanced) {
@@ -1109,7 +1283,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		delete(s.pending, name)
 		s.mu.Unlock()
-		httpError(w, http.StatusInternalServerError, "finalizing column %q: %v", name, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, name, "finalizing column %q: %v", name, err)
 		return
 	}
 	// Persist the finalized sketch and retire the column's WAL before
@@ -1134,7 +1308,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	s.finished.install(name, fin)
 	s.mu.Unlock()
 	if persistErr != nil {
-		httpError(w, http.StatusInternalServerError,
+		writeError(w, http.StatusInternalServerError, codeInternal, name,
 			"column %q finalized in memory, but persisting failed: %v", name, persistErr)
 		return
 	}
@@ -1184,7 +1358,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, finalizedStatus(name, fin))
 		return
 	}
-	httpError(w, http.StatusNotFound, "unknown column %q", name)
+	writeError(w, http.StatusNotFound, codeNotFound, name, "unknown column %q", name)
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
@@ -1196,11 +1370,11 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	fin, ok := s.finished.get(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
+		s.notFinalized(w, name)
 		return
 	}
 	if fin.kind != protocol.KindJoin {
-		httpError(w, http.StatusConflict, "column %q is a %s column; export it via /snapshot", name, fin.kind.String())
+		writeError(w, http.StatusConflict, codeConflict, name, "column %q is a %s column; export it via /snapshot", name, fin.kind.String())
 		return
 	}
 	data, err := fin.join.MarshalBinary()
@@ -1278,15 +1452,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err == ingest.ErrFinalized {
-			httpError(w, http.StatusConflict, "column %q finalized while exporting; retry", name)
+			writeError(w, http.StatusConflict, codeFinalized, name, "column %q finalized while exporting; retry", name)
 			return
 		}
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "exporting column %q: %v", name, err)
+			writeError(w, http.StatusInternalServerError, codeInternal, name, "exporting column %q: %v", name, err)
 			return
 		}
 	default:
-		httpError(w, http.StatusNotFound, "unknown column %q", name)
+		writeError(w, http.StatusNotFound, codeNotFound, name, "unknown column %q", name)
 		return
 	}
 	s.snapshots.bump(name)
@@ -1336,7 +1510,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		// before buffering anything — with an actionable message instead
 		// of a 500 from the append layer after 100s of MiB of work.
 		if s.st != nil && limit > protocol.MaxRecordPayload {
-			httpError(w, http.StatusConflict,
+			writeError(w, http.StatusConflict, codeConflict, name,
 				"matrix snapshots encode to %d bytes under this configuration, above the %d-byte WAL record bound: durable matrix merges need a smaller sketch width (or an in-memory server)",
 				limit, protocol.MaxRecordPayload)
 			return
@@ -1359,7 +1533,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 	kind, attr, err := snap.Slot(s.params, s.matrixP, s.fams)
 	if err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, codeConflict, name, "%v", err)
 		return
 	}
 
@@ -1389,12 +1563,12 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		}
 		if _, done := s.finished.get(name); done {
 			s.mu.Unlock()
-			httpError(w, http.StatusConflict, "column %q is already finalized; merging finalized snapshots is not exact", name)
+			writeError(w, http.StatusConflict, codeFinalized, name, "column %q is already finalized; merging finalized snapshots is not exact", name)
 			return
 		}
 		if _, collecting := s.pending[name]; collecting {
 			s.mu.Unlock()
-			httpError(w, http.StatusConflict, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
+			writeError(w, http.StatusConflict, codeConflict, name, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
 			return
 		}
 		s.finished.install(name, fin)
@@ -1405,7 +1579,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		// (it cannot be undone observably) and reports the error.
 		if s.st != nil {
 			if err := s.st.Finalize(name, attr, snap); err != nil {
-				httpError(w, http.StatusInternalServerError,
+				writeError(w, http.StatusInternalServerError, codeInternal, name,
 					"column %q imported in memory, but persisting failed: %v", name, err)
 				return
 			}
@@ -1424,33 +1598,39 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Decode the aggregator before taking the WAL gate: a snapshot the
+	// column would reject must not be logged, and the gate should not be
+	// held across decoding work.
+	var magg *core.MatrixAggregator
+	var jagg *core.Aggregator
+	if kind == protocol.KindMatrix {
+		magg, err = snap.MatrixAggregator()
+	} else {
+		jagg, err = snap.Aggregator()
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
+		return
+	}
+	// Shared-mode gate: the (append, merge) pair must land on one side of
+	// any checkpoint rotation, as in handleReports.
+	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendMerge(name, kind, attr, data); err != nil {
+			col.walGate.RUnlock()
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
-
 	if kind == protocol.KindMatrix {
-		agg, err := snap.MatrixAggregator()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
-			return
-		}
-		if err := col.matrix.MergeAggregator(agg); err != nil {
-			s.columnConflict(w, "merging into column %q: %v", name, err)
-			return
-		}
+		err = col.matrix.MergeAggregator(magg)
 	} else {
-		agg, err := snap.Aggregator()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "restoring snapshot: %v", err)
-			return
-		}
-		if err := col.join.MergeAggregator(agg); err != nil {
-			s.columnConflict(w, "merging into column %q: %v", name, err)
-			return
-		}
+		err = col.join.MergeAggregator(jagg)
+	}
+	col.walGate.RUnlock()
+	if err != nil {
+		s.columnConflict(w, codeConflict, name, "merging into column %q: %v", name, err)
+		return
 	}
 	s.merges.bump(name)
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1470,7 +1650,7 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 	if s.st != nil && limit > protocol.MaxRecordPayload {
 		// As with matrix merges: a durable merge must fit one WAL record,
 		// and a composite snapshot has no valid split.
-		httpError(w, http.StatusConflict,
+		writeError(w, http.StatusConflict, codeConflict, name,
 			"plus snapshots can encode to %d bytes under this configuration, above the %d-byte WAL record bound: durable plus merges need a smaller sketch width (or an in-memory server)",
 			limit, protocol.MaxRecordPayload)
 		return
@@ -1491,7 +1671,7 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 		return
 	}
 	if err := snap.CompatibleWithPlus(s.params, s.seed); err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, codeConflict, name, "%v", err)
 		return
 	}
 
@@ -1512,12 +1692,12 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 		}
 		if _, done := s.finished.get(name); done {
 			s.mu.Unlock()
-			httpError(w, http.StatusConflict, "column %q is already finalized; merging finalized snapshots is not exact", name)
+			writeError(w, http.StatusConflict, codeFinalized, name, "column %q is already finalized; merging finalized snapshots is not exact", name)
 			return
 		}
 		if _, collecting := s.pending[name]; collecting {
 			s.mu.Unlock()
-			httpError(w, http.StatusConflict, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
+			writeError(w, http.StatusConflict, codeConflict, name, "column %q is collecting; a finalized snapshot can only be imported under a fresh name", name)
 			return
 		}
 		s.finished.install(name, fin)
@@ -1525,7 +1705,7 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 		s.merges.bump(name)
 		if s.st != nil {
 			if err := s.st.FinalizePlus(name, 0, snap); err != nil {
-				httpError(w, http.StatusInternalServerError,
+				writeError(w, http.StatusInternalServerError, codeInternal, name,
 					"column %q imported in memory, but persisting failed: %v", name, err)
 				return
 			}
@@ -1544,14 +1724,20 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 	defer col.opMu.Unlock()
 	if snap.Advanced && !col.plus.Advanced() {
 		// Adopt the snapshot's advance before merging — durably first,
-		// so replay crosses the boundary at the same point.
+		// so replay crosses the boundary at the same point. The WAL gate
+		// keeps the (append, advance) pair on one side of any checkpoint
+		// rotation.
+		col.walGate.RLock()
 		if s.st != nil {
 			if err := s.st.AppendPlusAdvance(name, 0, snap.Domain, snap.Theta, snap.FI); err != nil {
+				col.walGate.RUnlock()
 				s.storeAppendError(w, name, err)
 				return
 			}
 		}
-		if _, err := col.plus.Advance(snap.Domain, snap.Theta, explicitFI(snap.FI)); err != nil {
+		_, err := col.plus.Advance(snap.Domain, snap.Theta, explicitFI(snap.FI))
+		col.walGate.RUnlock()
+		if err != nil {
 			s.plusConflict(w, name, err)
 			return
 		}
@@ -1567,17 +1753,21 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 			s.plusConflict(w, name, fmt.Errorf("%w: merging a phase-1 snapshot into a phase-2 column", ingest.ErrPlusPhase))
 			return
 		case snap.Domain != domain || snap.Theta != theta || !slices.Equal(snap.FI, fi):
-			httpError(w, http.StatusConflict, "column %q: plus snapshot froze a different frequent-item set than the column", name)
+			writeError(w, http.StatusConflict, codeConflict, name, "column %q: plus snapshot froze a different frequent-item set than the column", name)
 			return
 		}
 	}
+	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendMerge(name, protocol.KindPlus, 0, data); err != nil {
+			col.walGate.RUnlock()
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
-	if err := col.plus.MergePlus(snap); err != nil {
+	err = col.plus.MergePlus(snap)
+	col.walGate.RUnlock()
+	if err != nil {
 		s.plusConflict(w, name, err)
 		return
 	}
@@ -1588,17 +1778,17 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 }
 
 // columnConflict answers an ingest lifecycle conflict (ErrFinalized,
-// ErrClosed). During shutdown those errors usually mean the column was
-// drained, or the engine stopped, underneath the request — the column
-// is checkpointed, not finalized — so a closed server answers the
-// retryable 503 instead of a 409 a gateway would treat as terminal and
-// drop its reports over.
-func (s *Server) columnConflict(w http.ResponseWriter, format string, args ...any) {
+// ErrClosed) with the given envelope code. During shutdown those errors
+// usually mean the column was drained, or the engine stopped,
+// underneath the request — the column is checkpointed, not finalized —
+// so a closed server answers the retryable 503 instead of a 409 a
+// gateway would treat as terminal and drop its reports over.
+func (s *Server) columnConflict(w http.ResponseWriter, code, column, format string, args ...any) {
 	if s.closed.Load() {
-		httpError(w, http.StatusServiceUnavailable, "server is shut down")
+		writeError(w, http.StatusServiceUnavailable, codeServerClosed, "", "server is shut down")
 		return
 	}
-	httpError(w, http.StatusConflict, format, args...)
+	writeError(w, http.StatusConflict, code, column, format, args...)
 }
 
 // storeAppendError maps a WAL append failure to the HTTP response. A
@@ -1611,15 +1801,47 @@ func (s *Server) columnConflict(w http.ResponseWriter, format string, args ...an
 func (s *Server) storeAppendError(w http.ResponseWriter, name string, err error) {
 	if errors.Is(err, store.ErrColumnFinalized) || errors.Is(err, store.ErrClosed) {
 		if s.closed.Load() {
-			httpError(w, http.StatusServiceUnavailable, "server is shut down")
+			writeError(w, http.StatusServiceUnavailable, codeServerClosed, "", "server is shut down")
 			return
 		}
 		if errors.Is(err, store.ErrColumnFinalized) {
-			httpError(w, http.StatusConflict, "column %q is already finalized", name)
+			writeError(w, http.StatusConflict, codeFinalized, name, "column %q is already finalized", name)
 			return
 		}
 	}
-	httpError(w, http.StatusInternalServerError, "persisting request for column %q: %v", name, err)
+	writeError(w, http.StatusInternalServerError, codeInternal, name, "persisting request for column %q: %v", name, err)
+}
+
+// notFinalized answers a query that named columns which turned out not
+// to be finalized, distinguishing "not ready" from "unknown": a name
+// still collecting gets 409 column_not_finalized (finalize it, or wait,
+// and retry — the column exists), an unknown name 404 column_not_found.
+// Unknown wins when both kinds are present: it is the error the caller
+// cannot fix by waiting.
+func (s *Server) notFinalized(w http.ResponseWriter, names ...string) {
+	s.mu.Lock()
+	var collecting, unknown []string
+	for _, name := range names {
+		if _, ok := s.pending[name]; ok {
+			collecting = append(collecting, name)
+		} else if _, ok := s.finished.get(name); !ok {
+			unknown = append(unknown, name)
+		}
+	}
+	s.mu.Unlock()
+	switch {
+	case len(unknown) > 0:
+		writeError(w, http.StatusNotFound, codeNotFound, unknown[0],
+			"unknown column(s): %s", strings.Join(unknown, ", "))
+	case len(collecting) > 0:
+		writeError(w, http.StatusConflict, codeNotFinalized, collecting[0],
+			"column(s) still collecting: %s; finalize them before querying", strings.Join(collecting, ", "))
+	default:
+		// Every named column finalized between the caller's lookup and
+		// ours — the query would succeed now.
+		writeError(w, http.StatusConflict, codeNotFinalized, "",
+			"columns finalized concurrently; retry")
+	}
 }
 
 // cacheKey builds a collision-proof cache key from a query type and its
@@ -1667,7 +1889,14 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	finL, okL := s.finished.get(left)
 	finR, okR := s.finished.get(right)
 	if !okL || !okR {
-		httpError(w, http.StatusNotFound, "both columns must be finalized (left ok: %v, right ok: %v)", okL, okR)
+		var stale []string
+		if !okL {
+			stale = append(stale, left)
+		}
+		if !okR {
+			stale = append(stale, right)
+		}
+		s.notFinalized(w, stale...)
 		return
 	}
 	if finL.kind == protocol.KindPlus && finR.kind == protocol.KindPlus {
@@ -1753,7 +1982,7 @@ func (s *Server) handleABJoin(w http.ResponseWriter, ab, truthRaw string) {
 		cols[i] = col
 	}
 	if missing != nil {
-		httpError(w, http.StatusNotFound, "A/B columns not finalized: %s", strings.Join(missing, ", "))
+		s.notFinalized(w, missing...)
 		return
 	}
 	if cols[0].kind != protocol.KindJoin || cols[1].kind != protocol.KindJoin {
@@ -1843,7 +2072,7 @@ func (s *Server) handleChainJoin(w http.ResponseWriter, path string) {
 		cols[i] = col
 	}
 	if missing != nil {
-		httpError(w, http.StatusNotFound, "chain columns not finalized: %s", strings.Join(missing, ", "))
+		s.notFinalized(w, missing...)
 		return
 	}
 
@@ -1902,7 +2131,7 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 	}
 	fin, ok := s.finished.get(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "column %q is not finalized", name)
+		s.notFinalized(w, name)
 		return
 	}
 	if fin.kind != protocol.KindJoin {
@@ -1925,6 +2154,49 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request) {
 		"estimateMedian": res.median,
 		"cached":         cached,
 	})
+}
+
+// handleColumns lists every column the server knows — collecting and
+// finalized — with its lifecycle state and the privacy spend its
+// reports represent (each accepted report costs its contributor ε, so
+// reports × ε is the column's total privacy expenditure). It stays
+// readable on a closed server, like /v1/status: listing columns is how
+// an operator inspects a draining node.
+func (s *Server) handleColumns(w http.ResponseWriter, _ *http.Request) {
+	type columnInfo struct {
+		Name         string  `json:"name"`
+		Kind         string  `json:"kind"`
+		State        string  `json:"state"`
+		Attr         int     `json:"attr"`
+		Reports      float64 `json:"reports"`
+		EpsilonSpent float64 `json:"epsilonSpent"`
+	}
+	// Snapshot both maps in one critical section so a column mid-finalize
+	// appears exactly once; the reads themselves happen off-lock.
+	s.mu.Lock()
+	pending := make(map[string]*pendingColumn, len(s.pending))
+	for name, col := range s.pending {
+		pending[name] = col
+	}
+	view := s.finished.view()
+	s.mu.Unlock()
+	list := make([]columnInfo, 0, len(pending)+len(view))
+	for name, col := range pending {
+		n := float64(col.n())
+		list = append(list, columnInfo{
+			Name: name, Kind: col.kind.String(), State: "collecting",
+			Attr: col.attr, Reports: n, EpsilonSpent: n * s.params.Epsilon,
+		})
+	}
+	for name, fin := range view {
+		n := fin.n()
+		list = append(list, columnInfo{
+			Name: name, Kind: fin.kind.String(), State: "finalized",
+			Attr: fin.attr, Reports: n, EpsilonSpent: n * s.params.Epsilon,
+		})
+	}
+	slices.SortFunc(list, func(a, b columnInfo) int { return strings.Compare(a.Name, b.Name) })
+	writeJSON(w, http.StatusOK, map[string]any{"columns": list, "count": len(list)})
 }
 
 // handleStats assembles the counters without ever writing to the
@@ -1978,14 +2250,37 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"matrixShards": o.MatrixShards,
 		"workers":      o.Workers,
 		"queue":        o.Queue,
+		"queueDepth":   s.engine.QueueDepth(),
+	}
+	if s.tenants != nil {
+		tenants := make(map[string]any)
+		for _, t := range s.tenants.snapshot() {
+			tenants[t.name] = map[string]any{
+				"requests":       t.requests,
+				"throttled":      t.throttled,
+				"budgetRefusals": t.budgetRefusals,
+				"epsilonSpent":   t.epsSpent,
+			}
+		}
+		stats["tenants"] = map[string]any{
+			"rate":          s.tenants.limits.rate,
+			"burst":         s.tenants.limits.burst,
+			"epsilonBudget": s.tenants.limits.epsBudget,
+			"perTenant":     tenants,
+		}
 	}
 	if s.st != nil {
 		ss := s.st.Stats()
 		stats["durability"] = map[string]any{
-			"walAppends":  ss.Appends,
-			"walBytes":    ss.Bytes,
-			"checkpoints": ss.Checkpoints,
-			"finalized":   ss.Finalized,
+			"walAppends":             ss.Appends,
+			"walBytes":               ss.Bytes,
+			"pendingWALBytes":        ss.PendingWALBytes,
+			"checkpoints":            ss.Checkpoints,
+			"backgroundCheckpoints":  ss.BackgroundCheckpoints,
+			"checkpointErrors":       ss.CheckpointErrors,
+			"lastCheckpointUnixNano": ss.LastCheckpointUnixNano,
+			"lastCheckpointNanos":    ss.LastCheckpointNanos,
+			"finalized":              ss.Finalized,
 			"recovered": map[string]any{
 				"columns":          s.recovered.Columns,
 				"finalizedColumns": s.recovered.FinalizedColumns,
@@ -2003,8 +2298,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

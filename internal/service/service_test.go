@@ -106,9 +106,13 @@ func TestServiceEndToEnd(t *testing.T) {
 	if code, body := get(t, ts.URL+"/v1/columns/A"); code != 200 || body["state"] != "collecting" {
 		t.Fatalf("status = %d %v", code, body)
 	}
-	// Join before finalize must 404.
-	if code, _ := get(t, ts.URL+"/v1/join?left=A&right=B"); code != 404 {
+	// Join before still-collecting columns is a 409 column_not_finalized
+	// — the columns exist, the caller should finalize and retry — not a
+	// 404 (which would mean the names are unknown).
+	if code, body := get(t, ts.URL+"/v1/join?left=A&right=B"); code != 409 {
 		t.Fatalf("join before finalize code %d", code)
+	} else if env, _ := body["error"].(map[string]any); env["code"] != "column_not_finalized" {
+		t.Fatalf("join before finalize error %v, want column_not_finalized", body)
 	}
 
 	for _, col := range []string{"A", "B"} {
@@ -261,7 +265,8 @@ func TestSnapshotFinalizeRace(t *testing.T) {
 	if code != 409 {
 		t.Fatalf("snapshot during finalize: code %d (%v), want 409", code, body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "retry") {
+	env, _ := body["error"].(map[string]any)
+	if msg, _ := env["message"].(string); !strings.Contains(msg, "retry") {
 		t.Fatalf("conflict does not tell the client to retry: %v", body)
 	}
 }

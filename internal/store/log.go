@@ -207,6 +207,50 @@ func (l *columnLog) seal() (uint64, error) {
 	return l.lastSeq, nil
 }
 
+// rotate closes the open segment without sealing the log: the next
+// append starts a fresh segment, so everything appended so far lives in
+// segments with seq <= the returned value. It is the background
+// checkpointer's cut point — unlike seal, the column keeps accepting
+// appends afterwards, which is what lets a checkpoint run while ingest
+// continues. Returns the highest segment seq that exists (0 = the
+// column has no durable records yet).
+func (l *columnLog) rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return 0, ErrColumnFinalized
+	}
+	if l.f != nil {
+		err := l.f.Close()
+		l.f = nil
+		if err != nil {
+			return l.lastSeq, err
+		}
+	}
+	return l.lastSeq, nil
+}
+
+// pendingWALBytes sums the sizes of the segments with seq > after: the
+// bytes a recovery would have to replay, which seeds the background
+// checkpointer's bytes-since-checkpoint counter across a restart.
+func pendingWALBytes(dir string, after uint64) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), segPrefix, segSuffix); ok && seq > after {
+			info, err := e.Info()
+			if err != nil {
+				return 0, err
+			}
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
 // close releases the open segment without sealing (process shutdown
 // that is not a checkpoint — i.e. the crash path in tests).
 func (l *columnLog) close() error {

@@ -56,6 +56,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"ldpjoin/internal/core"
 	"ldpjoin/internal/hashing"
@@ -90,11 +91,32 @@ type Options struct {
 	// (the page cache persists) but not power loss or kernel panics —
 	// acceptable for tests and throwaway deployments only.
 	NoSync bool
+	// CheckpointBytes triggers a background checkpoint of a column once
+	// its WAL has grown this many bytes past the last checkpoint cut.
+	// <= 0 disables the bytes trigger.
+	CheckpointBytes int64
+	// CheckpointInterval triggers a background checkpoint of a column
+	// once this much time has passed since its last checkpoint (or its
+	// first append) while it still has un-checkpointed WAL bytes. <= 0
+	// disables the time trigger. With both triggers disabled no
+	// background checkpointer runs — checkpoints happen only at
+	// shutdown, the pre-PR-7 behavior.
+	CheckpointInterval time.Duration
+	// CheckpointTick is the policy evaluation period of the background
+	// checkpointer; <= 0 derives a tick from the triggers (a quarter of
+	// CheckpointInterval, clamped to [50ms, 1s]).
+	CheckpointTick time.Duration
 }
 
 func (o Options) normalized() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.CheckpointTick <= 0 {
+		o.CheckpointTick = time.Second
+		if o.CheckpointInterval > 0 {
+			o.CheckpointTick = min(max(o.CheckpointInterval/4, 50*time.Millisecond), time.Second)
+		}
 	}
 	return o
 }
@@ -139,8 +161,15 @@ type columnMeta struct {
 type Stats struct {
 	Appends     int64 // acknowledged append calls (reports or merges)
 	Bytes       int64 // framed WAL bytes written
-	Checkpoints int64
+	Checkpoints int64 // checkpoint snapshots persisted (background + shutdown)
 	Finalized   int64 // finalize + finalized-import persists
+
+	// Background checkpointer counters (zero when it never ran).
+	BackgroundCheckpoints  int64 // checkpoints cut while ingest continued
+	CheckpointErrors       int64 // failed background checkpoint attempts
+	PendingWALBytes        int64 // WAL bytes not yet covered by a checkpoint, summed over columns
+	LastCheckpointUnixNano int64 // when the newest checkpoint was persisted (0 = never)
+	LastCheckpointNanos    int64 // how long the newest background checkpoint took
 }
 
 // RecoveryStats summarizes what Recover rebuilt.
@@ -206,6 +235,18 @@ type Store struct {
 	man       manifest
 	logs      map[string]*columnLog
 	stats     Stats
+	ckpt      map[string]*ckptTrack // per-column background-checkpoint bookkeeping
+}
+
+// ckptTrack is the background checkpointer's per-column state: how many
+// WAL bytes have landed since the last checkpoint cut, and when that
+// cut was. It exists only for columns with appends this process
+// lifetime (or un-checkpointed segments found at recovery) — exactly
+// the columns a background checkpoint could have work on.
+type ckptTrack struct {
+	bytes int64     // WAL bytes appended since the last persisted checkpoint
+	cut   int64     // bytes at the moment of the in-flight Rotate cut
+	last  time.Time // last persisted checkpoint (or first append / recovery)
 }
 
 // Open creates or reopens a data directory for the given protocol
@@ -235,6 +276,7 @@ func Open(dir string, p core.Params, seed int64, opts Options) (*Store, error) {
 		opts:   opts.normalized(),
 		lock:   lock,
 		logs:   make(map[string]*columnLog),
+		ckpt:   make(map[string]*ckptTrack),
 	}
 	fail := func(err error) (*Store, error) {
 		lock.Close()
@@ -294,7 +336,32 @@ func (st *Store) Dir() string { return st.dir }
 func (st *Store) Stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.stats
+	s := st.stats
+	for _, t := range st.ckpt {
+		s.PendingWALBytes += t.bytes
+	}
+	return s
+}
+
+// track returns (creating on first use) the checkpoint bookkeeping of a
+// column. Callers hold st.mu.
+func (st *Store) track(name string) *ckptTrack {
+	t, ok := st.ckpt[name]
+	if !ok {
+		t = &ckptTrack{last: time.Now()}
+		st.ckpt[name] = t
+	}
+	return t
+}
+
+// noteAppend records an acknowledged append in the store counters and
+// the column's bytes-since-checkpoint tracker.
+func (st *Store) noteAppend(name string, written int64) {
+	st.mu.Lock()
+	st.stats.Appends++
+	st.stats.Bytes += written
+	st.track(name).bytes += written
+	st.mu.Unlock()
 }
 
 // writeManifest persists the manifest atomically. Callers hold st.mu.
@@ -418,10 +485,7 @@ func appendReportRecords[T any](st *Store, name string, kind protocol.Kind, attr
 	if err != nil {
 		return err
 	}
-	st.mu.Lock()
-	st.stats.Appends++
-	st.stats.Bytes += written
-	st.mu.Unlock()
+	st.noteAppend(name, written)
 	return nil
 }
 
@@ -468,10 +532,7 @@ func (st *Store) AppendPlusReports(name string, attr int, group protocol.PlusGro
 	if err != nil {
 		return err
 	}
-	st.mu.Lock()
-	st.stats.Appends++
-	st.stats.Bytes += written
-	st.mu.Unlock()
+	st.noteAppend(name, written)
 	return nil
 }
 
@@ -489,10 +550,7 @@ func (st *Store) AppendPlusAdvance(name string, attr int, domain uint64, theta f
 	if err != nil {
 		return err
 	}
-	st.mu.Lock()
-	st.stats.Appends++
-	st.stats.Bytes += written
-	st.mu.Unlock()
+	st.noteAppend(name, written)
 	return nil
 }
 
@@ -513,10 +571,7 @@ func (st *Store) AppendMerge(name string, kind protocol.Kind, attr int, encoded 
 	if err != nil {
 		return err
 	}
-	st.mu.Lock()
-	st.stats.Appends++
-	st.stats.Bytes += written
-	st.mu.Unlock()
+	st.noteAppend(name, written)
 	return nil
 }
 
@@ -560,6 +615,7 @@ func (st *Store) Checkpoint(name string, attr int, snap *protocol.Snapshot) erro
 	_ = removeCovered(dir, covered, covered)
 	st.mu.Lock()
 	st.stats.Checkpoints++
+	delete(st.ckpt, name)
 	st.mu.Unlock()
 	return nil
 }
@@ -594,6 +650,7 @@ func (st *Store) Finalize(name string, attr int, snap *protocol.Snapshot) error 
 	merr := st.writeManifest()
 	st.stats.Finalized++
 	delete(st.logs, name)
+	delete(st.ckpt, name)
 	st.mu.Unlock()
 	// As in Checkpoint: final.snap is durable and wins at recovery, so
 	// failing to delete the retired files is not a failed finalize.
@@ -631,6 +688,7 @@ func (st *Store) CheckpointPlus(name string, attr int, snap *protocol.PlusSnapsh
 	_ = removeCovered(dir, covered, covered)
 	st.mu.Lock()
 	st.stats.Checkpoints++
+	delete(st.ckpt, name)
 	st.mu.Unlock()
 	return nil
 }
@@ -662,9 +720,127 @@ func (st *Store) FinalizePlus(name string, attr int, snap *protocol.PlusSnapshot
 	merr := st.writeManifest()
 	st.stats.Finalized++
 	delete(st.logs, name)
+	delete(st.ckpt, name)
 	st.mu.Unlock()
 	_ = removeCovered(dir, ^uint64(0), 0)
 	return merr
+}
+
+// lookupColumn returns the meta and open log of an existing collecting
+// column by name alone — the background checkpointer's lookup, which
+// (unlike column) must not create anything and takes the kind from the
+// manifest instead of asserting one.
+func (st *Store) lookupColumn(name string) (*columnMeta, *columnLog, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, nil, ErrClosed
+	}
+	meta, ok := st.man.Columns[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("store: unknown column %q", name)
+	}
+	if meta.Finalized {
+		return meta, nil, ErrColumnFinalized
+	}
+	log, ok := st.logs[name]
+	if !ok {
+		var err error
+		if log, err = openColumnLog(st.colDir(meta.ID), st.opts.SegmentBytes, st.opts.NoSync); err != nil {
+			return nil, nil, err
+		}
+		st.logs[name] = log
+	}
+	return meta, log, nil
+}
+
+// Rotate cuts a collecting column's WAL for a background checkpoint:
+// the open segment is closed — not sealed; the next append starts a
+// fresh segment — and the returned seq is the highest segment the
+// checkpoint must cover. The caller must exclude concurrent appends to
+// this column across Rotate and the in-memory state capture that
+// follows (the service's per-column checkpoint gate), so that the
+// captured state equals exactly the fold of segments <= covered.
+// covered == 0 means the column has no durable records yet.
+func (st *Store) Rotate(name string) (covered uint64, err error) {
+	_, log, err := st.lookupColumn(name)
+	if err != nil {
+		return 0, err
+	}
+	covered, err = log.rotate()
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	t := st.track(name)
+	t.cut = t.bytes
+	st.mu.Unlock()
+	return covered, nil
+}
+
+// SaveCheckpoint persists a background checkpoint of a collecting join
+// or matrix column: snap — the column's complete in-memory state at the
+// moment Rotate cut the WAL — is written as ckpt-<covered>.snap, after
+// which the covered segments (and older checkpoints) are deleted.
+// Unlike Checkpoint it does not seal the log: the column keeps
+// collecting, and a recovery restores the checkpoint then replays only
+// the segments above covered. A column finalized since the cut is a
+// benign race (ErrColumnFinalized): final.snap already holds a superset
+// of the state, so the checkpoint is simply dropped.
+func (st *Store) SaveCheckpoint(name string, covered uint64, snap *protocol.Snapshot) error {
+	if snap.Finalized {
+		return fmt.Errorf("store: background checkpoint of %q with a finalized snapshot; use Finalize", name)
+	}
+	data, err := protocol.EncodeSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding checkpoint of %q: %w", name, err)
+	}
+	return st.saveCheckpoint(name, covered, data)
+}
+
+// SaveCheckpointPlus is SaveCheckpoint for a plus column's composite
+// PSNP state.
+func (st *Store) SaveCheckpointPlus(name string, covered uint64, snap *protocol.PlusSnapshot) error {
+	if snap.Finalized {
+		return fmt.Errorf("store: background checkpoint of %q with a finalized plus snapshot; use FinalizePlus", name)
+	}
+	data, err := protocol.EncodePlusSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding plus checkpoint of %q: %w", name, err)
+	}
+	return st.saveCheckpoint(name, covered, data)
+}
+
+func (st *Store) saveCheckpoint(name string, covered uint64, data []byte) error {
+	if covered == 0 {
+		// Nothing durable to cover — and ckpt-00000000 would collide
+		// with removeCovered's keep-none sentinel, as in Checkpoint.
+		return nil
+	}
+	meta, _, err := st.lookupColumn(name)
+	if err != nil {
+		return err
+	}
+	dir := st.colDir(meta.ID)
+	if err := writeFileAtomic(filepath.Join(dir, ckptName(covered)), data, st.opts.NoSync); err != nil {
+		return err
+	}
+	// Durable past this point; deleting covered files is cleanup, never
+	// correctness — recovery takes the newest checkpoint and ignores
+	// covered segments.
+	_ = removeCovered(dir, covered, covered)
+	st.mu.Lock()
+	st.stats.Checkpoints++
+	st.stats.BackgroundCheckpoints++
+	st.stats.LastCheckpointUnixNano = time.Now().UnixNano()
+	t := st.track(name)
+	// Appends since the cut (the gate released after the state capture)
+	// belong to the next checkpoint; only the cut bytes are covered.
+	t.bytes -= t.cut
+	t.cut = 0
+	t.last = time.Now()
+	st.mu.Unlock()
+	return nil
 }
 
 // Recover replays the directory's durable state into r. It must be
@@ -848,6 +1024,14 @@ func (st *Store) recoverColumn(name string, meta *columnMeta, r Replayer, stats 
 	}
 	if err != nil {
 		return err
+	}
+	// Seed the background checkpointer with the replayed tail: segments
+	// above the checkpoint are exactly the bytes the next checkpoint
+	// would cover, so the bytes trigger keeps working across restarts.
+	if pending, err := pendingWALBytes(dir, ckptSeq); err == nil && pending > 0 {
+		st.mu.Lock()
+		st.track(name).bytes += pending
+		st.mu.Unlock()
 	}
 	stats.Columns++
 	return nil
