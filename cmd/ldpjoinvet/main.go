@@ -1,0 +1,77 @@
+// Command ldpjoinvet runs the ldpjoin invariant suite — five custom
+// static analyzers enforcing the locking, durability-ordering,
+// error-envelope, atomic-counter, and deterministic-iteration rules
+// the codebase depends on (see internal/tools/analyzers).
+//
+// Usage:
+//
+//	go run ./cmd/ldpjoinvet ./...
+//
+// Findings print in the vet format (file:line:col: analyzer: message)
+// and exit with status 1. A clean run prints a per-analyzer summary of
+// findings and waivers, so CI logs show what was checked rather than
+// silence. Individual lines are suppressed with an attributable waiver
+// comment:
+//
+//	//ldpjoinvet:ignore <analyzer> <reason>
+//
+// A waiver without a reason, or naming an unknown analyzer, is itself
+// a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldpjoin/internal/tools/analyzers"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ldpjoinvet [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analyzers.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analyzers.Run(pkgs, analyzers.All())
+	if err != nil {
+		fatal(err)
+	}
+
+	if len(res.Diagnostics) > 0 {
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s\n", d)
+		}
+		fmt.Fprintf(os.Stderr, "ldpjoinvet: %d finding(s) in %d package(s)\n", len(res.Diagnostics), res.Packages)
+		os.Exit(1)
+	}
+
+	fmt.Printf("ldpjoinvet: %d package(s) clean\n", res.Packages)
+	for _, a := range analyzers.All() {
+		waived := ""
+		if n := res.Waived[a.Name]; n > 0 {
+			waived = fmt.Sprintf(" (%d waived)", n)
+		}
+		fmt.Printf("  %-14s %d finding(s)%s\n", a.Name, res.Findings[a.Name], waived)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ldpjoinvet:", err)
+	os.Exit(2)
+}

@@ -69,6 +69,7 @@ func newQueryCache(capacity int) *queryCache {
 		sh := &c.shards[i]
 		sh.capacity = capacity / shards
 		if i < capacity%shards {
+			//ldpjoinvet:ignore atomiccounter construction: the cache has not been shared yet
 			sh.capacity++
 		}
 		sh.entries = make(map[string]any)
@@ -159,6 +160,7 @@ func (sh *cacheShard) put(key string, v any, evictions *atomic.Int64) {
 	for len(sh.entries) >= sh.capacity {
 		victim := sh.order[sh.head]
 		sh.order[sh.head] = ""
+		//ldpjoinvet:ignore atomiccounter the caller holds sh.mu, per this method's contract
 		sh.head++
 		delete(sh.entries, victim)
 		evictions.Add(1)

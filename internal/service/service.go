@@ -993,20 +993,28 @@ func (s *Server) handlePlusReports(w http.ResponseWriter, r *http.Request, name 
 	if !ok {
 		return
 	}
-	col.opMu.Lock()
-	defer col.opMu.Unlock()
-	if err := col.plus.CheckGroup(group); err != nil {
-		s.plusConflict(w, name, err)
-		return
-	}
+	// Reserve the spend before taking the column's operation lock: the
+	// ledger is reserve-then-refund anyway (a failed append refunds),
+	// so a group conflict below refunds the same way — and no response,
+	// success or error, is ever written while opMu is held. A parked
+	// client reading slowly must never wedge the column's phase
+	// machinery (the PR 5 lesson, enforced by the lockio analyzer).
 	release, ok := s.debitReports(w, r, name, br.Count())
 	if !ok {
+		return
+	}
+	col.opMu.Lock()
+	if err := col.plus.CheckGroup(group); err != nil {
+		col.opMu.Unlock()
+		release(false)
+		s.plusConflict(w, name, err)
 		return
 	}
 	col.walGate.RLock()
 	if s.st != nil {
 		if err := s.st.AppendPlusReports(name, attr, group, batches); err != nil {
 			col.walGate.RUnlock()
+			col.opMu.Unlock()
 			release(false)
 			s.storeAppendError(w, name, err)
 			return
@@ -1014,15 +1022,18 @@ func (s *Server) handlePlusReports(w http.ResponseWriter, r *http.Request, name 
 	}
 	if err := col.plus.EnqueueAll(group, batches); err != nil {
 		col.walGate.RUnlock()
+		col.opMu.Unlock()
 		release(false)
 		s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
 		return
 	}
 	col.walGate.RUnlock()
+	total := col.plus.N()
+	col.opMu.Unlock()
 	release(true)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"column": name, "kind": protocol.KindPlus.String(), "group": group.String(),
-		"ingested": br.Count(), "total": col.plus.N(),
+		"ingested": br.Count(), "total": total,
 	})
 }
 
@@ -1117,11 +1128,13 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// opMu is released explicitly on every path before a response is
+	// written — never held across a client socket write (lockio rule).
 	col.opMu.Lock()
-	defer col.opMu.Unlock()
 	// Check the phase before anything reaches the WAL: a second advance
 	// record would be rejected at replay, so it must never be written.
 	if col.plus.Advanced() {
+		col.opMu.Unlock()
 		s.plusConflict(w, name, ingest.ErrPlusAdvanced)
 		return
 	}
@@ -1129,6 +1142,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if fi == nil {
 		var err error
 		if fi, err = col.plus.ProposeFI(req.Domain, req.Theta); err != nil {
+			col.opMu.Unlock()
 			s.plusConflict(w, name, err)
 			return
 		}
@@ -1141,12 +1155,14 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		if err := s.st.AppendPlusAdvance(name, col.attr, req.Domain, req.Theta, fi); err != nil {
 			col.walGate.RUnlock()
+			col.opMu.Unlock()
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 	frozen, err := col.plus.Advance(req.Domain, req.Theta, explicitFI(fi))
 	col.walGate.RUnlock()
+	col.opMu.Unlock()
 	if err != nil {
 		s.plusConflict(w, name, err)
 		return
@@ -1720,8 +1736,9 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 	if !ok {
 		return
 	}
+	// opMu is released explicitly on every path before a response is
+	// written — never held across a client socket write (lockio rule).
 	col.opMu.Lock()
-	defer col.opMu.Unlock()
 	if snap.Advanced && !col.plus.Advanced() {
 		// Adopt the snapshot's advance before merging — durably first,
 		// so replay crosses the boundary at the same point. The WAL gate
@@ -1731,6 +1748,7 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 		if s.st != nil {
 			if err := s.st.AppendPlusAdvance(name, 0, snap.Domain, snap.Theta, snap.FI); err != nil {
 				col.walGate.RUnlock()
+				col.opMu.Unlock()
 				s.storeAppendError(w, name, err)
 				return
 			}
@@ -1738,6 +1756,7 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 		_, err := col.plus.Advance(snap.Domain, snap.Theta, explicitFI(snap.FI))
 		col.walGate.RUnlock()
 		if err != nil {
+			col.opMu.Unlock()
 			s.plusConflict(w, name, err)
 			return
 		}
@@ -1750,9 +1769,11 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 	if domain, theta, fi, advanced := col.plus.AdvanceInfo(); advanced {
 		switch {
 		case !snap.Advanced:
+			col.opMu.Unlock()
 			s.plusConflict(w, name, fmt.Errorf("%w: merging a phase-1 snapshot into a phase-2 column", ingest.ErrPlusPhase))
 			return
 		case snap.Domain != domain || snap.Theta != theta || !slices.Equal(snap.FI, fi):
+			col.opMu.Unlock()
 			writeError(w, http.StatusConflict, codeConflict, name, "column %q: plus snapshot froze a different frequent-item set than the column", name)
 			return
 		}
@@ -1761,12 +1782,14 @@ func (s *Server) handlePlusMerge(w http.ResponseWriter, r *http.Request, name st
 	if s.st != nil {
 		if err := s.st.AppendMerge(name, protocol.KindPlus, 0, data); err != nil {
 			col.walGate.RUnlock()
+			col.opMu.Unlock()
 			s.storeAppendError(w, name, err)
 			return
 		}
 	}
 	err = col.plus.MergePlus(snap)
 	col.walGate.RUnlock()
+	col.opMu.Unlock()
 	if err != nil {
 		s.plusConflict(w, name, err)
 		return

@@ -125,6 +125,7 @@ func (l *columnLog) appendFunc(next func() []byte) (int64, error) {
 	callStart := l.size
 	var written int64
 	for chunk := next(); chunk != nil; chunk = next() {
+		//ldpjoinvet:ignore lockio the WAL lock exists to serialize appends; holding it across the segment write is the design
 		n, err := l.f.Write(chunk)
 		l.size += int64(n)
 		written += int64(n)
@@ -145,6 +146,7 @@ func (l *columnLog) appendFunc(next func() []byte) (int64, error) {
 		}
 	}
 	if !l.noSync {
+		//ldpjoinvet:ignore lockio fsync-before-ack under the WAL lock is the durability contract, not a hazard
 		if err := l.f.Sync(); err != nil {
 			// The records were written but not durably: the caller will
 			// refuse the request, so they must not stay in the segment

@@ -1,0 +1,176 @@
+// Package analysistest runs a single analyzer over fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that the fixtures would port over unchanged.
+//
+// A fixture line carries expectations as quoted regular expressions:
+//
+//	http.Error(w, "boom", 500) // want `http\.Error writes text/plain`
+//
+// Multiple expectations on one line each match one diagnostic. A
+// diagnostic with no matching expectation, or an expectation no
+// diagnostic matched, fails the test. Diagnostics from the "waiver"
+// pseudo-analyzer (malformed //ldpjoinvet:ignore comments) participate
+// like any other, so fixtures can pin the waiver contract too.
+//
+// Fixture packages are real packages of this module — `go list`
+// resolves explicit testdata paths even though wildcards skip them —
+// so fixtures type-check against the standard library and may import
+// sibling fixture packages by their full module path.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ldpjoin/internal/tools/analyzers"
+)
+
+// wantRE matches one quoted expectation: a Go string literal in
+// backquotes or double quotes.
+var wantRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// Run loads every package under testdata/src/<sub> for each sub,
+// runs a (with waiver handling) over all of them, and checks the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analyzers.Analyzer, subs ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect every fixture directory that contains Go files, as
+	// explicit ./testdata/... patterns (wildcards skip testdata).
+	var patterns []string
+	for _, sub := range subs {
+		root := filepath.Join(cwd, "testdata", "src", sub)
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			entries, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					rel, err := filepath.Rel(cwd, path)
+					if err != nil {
+						return err
+					}
+					patterns = append(patterns, "./"+filepath.ToSlash(rel))
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking fixtures for %s: %v", sub, err)
+		}
+	}
+	if len(patterns) == 0 {
+		t.Fatalf("no fixture packages under testdata/src for %v", subs)
+	}
+
+	pkgs, err := analyzers.Load(cwd, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	res, err := analyzers.Run(pkgs, []*analyzers.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, pkgs, res.Diagnostics)
+}
+
+// expectation is one `// want` regexp, positioned.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkgs []*analyzers.Package, diags []analyzers.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			file := pkg.Fset.Position(f.Pos()).Filename
+			if seen[file] {
+				continue
+			}
+			seen[file] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					for _, lit := range wantRE.FindAllString(text, -1) {
+						pattern, err := unquote(lit)
+						if err != nil {
+							t.Errorf("%s:%d: bad want literal %s: %v", file, line, lit, err)
+							continue
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", file, line, pattern, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: file, line: line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	s, err := strconv.Unquote(lit)
+	if err != nil {
+		return "", fmt.Errorf("unquoting %s: %w", lit, err)
+	}
+	return s, nil
+}

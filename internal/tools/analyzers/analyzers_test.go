@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ldpjoin/internal/tools/analyzers"
+	"ldpjoin/internal/tools/analyzers/analysistest"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analyzers.LockIO, "lockio")
+}
+
+func TestWALOrder(t *testing.T) {
+	analysistest.Run(t, analyzers.WALOrder, "walorder")
+}
+
+func TestEnvelope(t *testing.T) {
+	analysistest.Run(t, analyzers.Envelope, "envelope")
+}
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, analyzers.AtomicCounter, "atomiccounter")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analyzers.MapOrder, "maporder")
+}

@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCounter flags unsynchronized increments of plain integer
+// counter fields on shared structs — the PR 5 bug class where hit and
+// snapshot counters were bumped on the read path with no exclusive
+// lock, racing under -race and losing counts in production.
+//
+// A struct is considered shared when it carries concurrency machinery
+// of its own: a sync.Mutex/RWMutex field or a sync/atomic field. An
+// x.field++ or x.field += n on a plain integer field of such a struct
+// is reported unless an exclusive (write) mutex lock is held at that
+// point — an RLock does not protect a write, and neither does hoping
+// only one goroutine ever calls the method. The fix is an atomic.Int64
+// (what the service's counterMap uses) or performing the increment
+// inside the exclusive section.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "counter fields on shared structs must be atomic or incremented under an exclusive lock",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	ls := &lockScanner{
+		info: pass.TypesInfo,
+		visit: func(n ast.Node, held lockState) {
+			var target ast.Expr
+			switch s := n.(type) {
+			case *ast.IncDecStmt:
+				target = s.X
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || (s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN) {
+					return
+				}
+				target = s.Lhs[0]
+			default:
+				return
+			}
+			for _, kind := range held {
+				if kind == lockExclusive {
+					return
+				}
+			}
+			field, owner := sharedStructIntField(pass.TypesInfo, target)
+			if field == "" {
+				return
+			}
+			pass.Reportf(n.Pos(), "unsynchronized increment of %s on shared struct %s: use an atomic type or hold the exclusive lock (an RLock does not protect writes)", field, owner)
+		},
+	}
+	for _, f := range pass.Files {
+		ls.scanFile(f)
+	}
+	return nil
+}
+
+// sharedStructIntField matches expr as a selection of a plain integer
+// field whose owning struct also carries a mutex or atomic field,
+// returning the field's source text and the owner type name.
+func sharedStructIntField(info *types.Info, expr ast.Expr) (field, owner string) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", ""
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !isPlainInt(v.Type()) {
+		return "", ""
+	}
+	recv := deref(selection.Recv())
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", ""
+	}
+	shared := false
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if isSyncLockerField(t) || isAtomicType(t) {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		return "", ""
+	}
+	return types.ExprString(sel), named.Obj().Name()
+}

@@ -1,0 +1,204 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	loader *loader
+}
+
+// loader type-checks packages from source using metadata from a single
+// `go list -deps -json` invocation — no network, no module downloads,
+// no dependency on golang.org/x/tools. The standard library is
+// type-checked from GOROOT sources on demand; with CGO_ENABLED=0 the
+// transitive file set is pure Go, so go/types needs nothing else.
+type loader struct {
+	fset  *token.FileSet
+	metas map[string]*listPackage
+	types map[string]*types.Package
+	infos map[string]*types.Info
+	asts  map[string][]*ast.File
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (as the go tool understands them, relative to
+// dir) and returns the matched packages type-checked, with their full
+// dependency closure available for well-known-type lookups. Test files
+// are not loaded: ldpjoinvet checks production code.
+//
+// Explicit testdata paths work — `go list ./testdata/src/lockio` names
+// the directory directly even though wildcards skip testdata — which is
+// what the analysistest fixtures rely on.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e",
+		"-json=ImportPath,Name,Dir,GoFiles,ImportMap,Standard,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO_ENABLED=0 selects the pure-Go file set for net and friends;
+	// cgo-generated files do not exist on disk, so the source
+	// type-checker could not follow them.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.Bytes())
+	}
+
+	l := &loader{
+		fset:  token.NewFileSet(),
+		metas: make(map[string]*listPackage),
+		types: make(map[string]*types.Package),
+		infos: make(map[string]*types.Info),
+		asts:  make(map[string][]*ast.File),
+	}
+	var roots []string
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		meta := p
+		l.metas[p.ImportPath] = &meta
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+
+	var pkgs []*Package
+	for _, path := range roots {
+		m := l.metas[path]
+		if m.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", path, m.Error.Err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		tpkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: path,
+			Dir:        m.Dir,
+			Fset:       l.fset,
+			Files:      l.asts[path],
+			Types:      tpkg,
+			Info:       l.infos[path],
+			loader:     l,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// check type-checks path (memoized), recursively checking imports via
+// the metadata map. The importing package's ImportMap translates source
+// import paths through the standard library's vendoring.
+func (l *loader) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.types[path]; ok {
+		return p, nil
+	}
+	m := l.metas[path]
+	if m == nil {
+		return nil, fmt.Errorf("package %q missing from go list dependency closure", path)
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("go list %s: %s", path, m.Error.Err)
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if mapped, ok := m.ImportMap[ip]; ok {
+				ip = mapped
+			}
+			return l.check(ip)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	l.types[path] = pkg
+	l.infos[path] = info
+	l.asts[path] = files
+	return pkg, nil
+}
+
+// lookup finds pkgPath.name anywhere in the loaded closure,
+// type-checking the package on demand if it was listed but not yet
+// needed. Returns nil when absent — analyzers treat that as "this
+// well-known type cannot occur here".
+func (l *loader) lookup(pkgPath, name string) types.Object {
+	pkg, ok := l.types[pkgPath]
+	if !ok {
+		if l.metas[pkgPath] == nil {
+			return nil
+		}
+		var err error
+		pkg, err = l.check(pkgPath)
+		if err != nil {
+			return nil
+		}
+	}
+	return pkg.Scope().Lookup(name)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,115 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder guards byte-identical state in the codec and durability
+// layers: Go's map iteration order is deliberately random, so a
+// `range` over a map that feeds an encoder, hash, or writer produces
+// different bytes on every run — breaking the SNAP/PSNP canonical
+// encodings, WAL determinism, and the federation property that merged
+// state is byte-identical to single-node state.
+//
+// In packages with a protocol, store, or core path segment, a range
+// statement over a map whose body reaches a byte sink — a Write*/
+// Encode*/Marshal*/Sum*/Fprint* call, a protocol-style Append*/Put*
+// encoder function, or a builtin append onto a []byte — is reported.
+// The fix is the collect-sort-iterate idiom: range over
+// slices.Sorted(maps.Keys(m)) (itself a slice, which this analyzer
+// never flags), or any other total order on the keys.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no range over a map feeding an encoder, hash, or writer in protocol/store/core",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !pathHasSegment(path, "protocol") && !pathHasSegment(path, "store") && !pathHasSegment(path, "core") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findByteSink(pass, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(), "range over map %s feeds %s; map iteration order is random and would break byte-identical state — iterate sorted keys (e.g. slices.Sorted(maps.Keys(m)))", types.ExprString(rng.X), sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkMethodPrefixes match calls that emit bytes into a stream, hash,
+// or encoder.
+var sinkMethodPrefixes = []string{"Write", "Encode", "Marshal", "Sum", "Fprint"}
+
+// findByteSink returns a description of the first byte-emitting call
+// in body, or "".
+func findByteSink(pass *Pass, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtin append onto a []byte accumulates an encoding.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				if isByteSlice(pass.TypesInfo.TypeOf(call.Args[0])) {
+					sink = "a []byte append"
+					return false
+				}
+			}
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.Name()
+		for _, prefix := range sinkMethodPrefixes {
+			if strings.HasPrefix(name, prefix) {
+				sink = "a call to " + name
+				return false
+			}
+		}
+		// Encoder-building package functions in codec packages:
+		// protocol.AppendRecord, binary.AppendUvarint, binary.PutUvarint...
+		if fn.Type().(*types.Signature).Recv() == nil &&
+			(strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "Put")) {
+			sink = "a call to " + name
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Result is one run of a set of analyzers over a set of packages.
+type Result struct {
+	// Diagnostics holds the surviving findings (waived ones removed)
+	// plus any malformed-waiver diagnostics, sorted by position.
+	Diagnostics []Diagnostic
+	// Findings counts surviving diagnostics per analyzer, including
+	// the "waiver" pseudo-analyzer for malformed waivers.
+	Findings map[string]int
+	// Waived counts suppressed diagnostics per analyzer.
+	Waived map[string]int
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// lineKey addresses one source line for waiver coverage.
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run executes each analyzer over each package, applies waivers, and
+// flags malformed waivers: a missing reason (for analyzers in this
+// run) and a name matching no registered analyzer are both findings —
+// the first because suppressions must carry their justification, the
+// second because a typo would otherwise silently waive nothing.
+func Run(pkgs []*Package, as []*Analyzer) (Result, error) {
+	res := Result{
+		Findings: make(map[string]int),
+		Waived:   make(map[string]int),
+		Packages: len(pkgs),
+	}
+	running := make(map[string]bool, len(as))
+	for _, a := range as {
+		running[a.Name] = true
+		res.Findings[a.Name] = 0
+	}
+	registered := make(map[string]bool)
+	for _, a := range All() {
+		registered[a.Name] = true
+	}
+
+	for _, pkg := range pkgs {
+		covered := make(map[string]map[lineKey]bool)
+		for _, f := range pkg.Files {
+			file := pkg.Fset.Position(f.Pos()).Filename
+			for _, w := range collectWaivers(pkg.Fset, f) {
+				at := token.Position{Filename: file, Line: w.line, Column: 1}
+				switch {
+				case !registered[w.analyzer]:
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
+						Pos:      at,
+						Analyzer: waiverName,
+						Message:  fmt.Sprintf("waiver names unknown analyzer %q", w.analyzer),
+					})
+					res.Findings[waiverName]++
+				case w.reason == "" && running[w.analyzer]:
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
+						Pos:      at,
+						Analyzer: waiverName,
+						Message:  fmt.Sprintf("waiver for %q has no reason; write //%s %s <why>", w.analyzer, waiverPrefix, w.analyzer),
+					})
+					res.Findings[waiverName]++
+				default:
+					m := covered[w.analyzer]
+					if m == nil {
+						m = make(map[lineKey]bool)
+						covered[w.analyzer] = m
+					}
+					m[lineKey{file, w.line}] = true
+					m[lineKey{file, w.line + 1}] = true
+				}
+			}
+		}
+
+		for _, a := range as {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				lookup:    pkg.loader.lookup,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return res, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				if covered[a.Name][lineKey{d.Pos.Filename, d.Pos.Line}] {
+					res.Waived[a.Name]++
+					continue
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+				res.Findings[a.Name]++
+			}
+		}
+	}
+
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}

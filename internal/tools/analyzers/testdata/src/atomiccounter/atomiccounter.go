@@ -1,0 +1,94 @@
+// Package atomiccounter exercises the atomiccounter analyzer: plain
+// integer counters on shared structs must be atomic or bumped under the
+// exclusive lock.
+package atomiccounter
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stats carries a mutex, which marks it shared: its plain counters are
+// reachable from more than one goroutine.
+type stats struct {
+	mu   sync.Mutex
+	hits int64
+	good atomic.Int64
+}
+
+// The PR 5 bug shape: the read path bumped a plain counter with no
+// exclusive lock, losing counts under contention.
+func (s *stats) bumpUnlocked() {
+	s.hits++ // want `unsynchronized increment of s\.hits on shared struct stats`
+}
+
+func (s *stats) addUnlocked(n int64) {
+	s.hits += n // want `unsynchronized increment of s\.hits on shared struct stats`
+}
+
+func (s *stats) bumpLocked() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func (s *stats) bumpDeferLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+}
+
+func (s *stats) bumpAtomic() {
+	s.good.Add(1)
+}
+
+// rwstats shows the subtle half of the rule: an RLock is held, but a
+// read lock does not protect a write.
+type rwstats struct {
+	mu    sync.RWMutex
+	reads int64
+}
+
+func (r *rwstats) bumpUnderRLock() {
+	r.mu.RLock()
+	r.reads++ // want `an RLock does not protect writes`
+	r.mu.RUnlock()
+}
+
+func (r *rwstats) bumpUnderWriteLock() {
+	r.mu.Lock()
+	r.reads++
+	r.mu.Unlock()
+}
+
+// An early-unlocked path leaves the fallthrough increment bare.
+func (r *rwstats) bumpAfterUnlock() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.reads++ // want `unsynchronized increment of r\.reads on shared struct rwstats`
+}
+
+// local carries no concurrency machinery, so it is not shared-marked:
+// plain counters on it are fine.
+type local struct {
+	n int
+}
+
+func (l *local) bump() {
+	l.n++
+}
+
+// A loop variable is not a struct field at all.
+func count(xs []int) int {
+	total := 0
+	for range xs {
+		total++
+	}
+	return total
+}
+
+// A waived increment documents why it cannot race.
+func (s *stats) bumpWaived() {
+	//ldpjoinvet:ignore atomiccounter construction-time bump, the struct has not escaped yet
+	s.hits++
+}

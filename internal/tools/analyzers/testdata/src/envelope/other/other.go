@@ -1,0 +1,12 @@
+// Package other sits outside any service path segment: http.Error is
+// still banned module-wide, but a bare error WriteHeader is allowed —
+// non-service packages (test scaffolding, debug endpoints) do not owe
+// clients the envelope.
+package other
+
+import "net/http"
+
+func respond(w http.ResponseWriter) {
+	http.Error(w, "nope", 500) // want `http\.Error writes text/plain, not the structured error envelope`
+	w.WriteHeader(500)         // out of scope here: no service path segment
+}

@@ -1,0 +1,30 @@
+// Package waiver exercises the waiver contract itself: a reason-less
+// waiver and a waiver naming an unknown analyzer are both diagnostics,
+// and neither suppresses the underlying finding.
+package waiver
+
+import "sync"
+
+type counters struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// A waiver with no reason is itself a finding, and suppresses nothing.
+func (c *counters) reasonless() {
+	//ldpjoinvet:ignore atomiccounter
+	c.n++
+}
+
+// A typo'd analyzer name would silently waive nothing, so it is a
+// finding too.
+func (c *counters) unknownAnalyzer() {
+	//ldpjoinvet:ignore atomiccounters typo means this suppresses nothing
+	c.n++
+}
+
+// The well-formed shape: analyzer name plus justification.
+func (c *counters) properlyWaived() {
+	//ldpjoinvet:ignore atomiccounter single-goroutine test helper, never shared
+	c.n++
+}

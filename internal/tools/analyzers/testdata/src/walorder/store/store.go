@@ -1,0 +1,16 @@
+// Package store is a stand-in for ldpjoin/internal/store: the walorder
+// analyzer matches WAL-append methods by name on a receiver from a
+// package whose import path ends in "store".
+package store
+
+// Store is the durable log façade the service appends to before
+// applying any mutation.
+type Store struct{}
+
+func (s *Store) AppendReports(column string, reports [][]byte) error       { return nil }
+func (s *Store) AppendMatrixReports(column string, reports [][]byte) error { return nil }
+func (s *Store) AppendPlusReports(column string, reports [][]byte) error   { return nil }
+func (s *Store) AppendPlusAdvance(column string, round uint64) error       { return nil }
+func (s *Store) AppendMerge(column string, blob []byte) error              { return nil }
+func (s *Store) Finalize(column string, blob []byte) error                 { return nil }
+func (s *Store) FinalizePlus(column string, blob []byte) error             { return nil }

@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// waiverPrefix introduces an explicit suppression comment:
+//
+//	//ldpjoinvet:ignore <analyzer> <reason>
+//
+// A waiver covers diagnostics from <analyzer> on its own line (trailing
+// form) and on the line immediately below (standalone form). The reason
+// is part of the contract: waivers exist so every suppressed invariant
+// carries its justification in the source, reviewable like code.
+const waiverPrefix = "ldpjoinvet:ignore"
+
+// waiverName is the pseudo-analyzer that malformed waivers are
+// attributed to in diagnostics.
+const waiverName = "waiver"
+
+type waiver struct {
+	analyzer string
+	reason   string
+	line     int // the comment's own line
+}
+
+// collectWaivers scans a file's comments for waiver directives.
+func collectWaivers(fset *token.FileSet, file *ast.File) []waiver {
+	var ws []waiver
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+waiverPrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			w := waiver{line: fset.Position(c.Pos()).Line}
+			if len(fields) > 0 {
+				w.analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				w.reason = strings.Join(fields[1:], " ")
+			}
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
