@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldpjoin/internal/hashing"
+)
+
+// benchAggregator builds an aggregator at the deployment-ish shape the
+// service benches use (K=9, M=512, ε=4) filled with perturbed reports
+// over a Zipf-ish value range, ready to finalize.
+func benchAggregator(tb testing.TB) *Aggregator {
+	tb.Helper()
+	p := Params{K: 9, M: 512, Epsilon: 4}
+	fam := hashing.NewFamily(42, p.K, p.M)
+	agg := NewAggregator(p, fam)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]uint64, 1<<13)
+	for i := range data {
+		data[i] = uint64(rng.Intn(1 << 16))
+	}
+	agg.CollectColumn(data, rng)
+	return agg
+}
+
+// BenchmarkFinalize measures the debias-scale + row-restore hot path:
+// K independent fused scale+FWHT transforms. Each iteration restores
+// the accumulation state from a template copy so the transform always
+// runs on fresh (untransformed) rows; the copy is ~9·512 floats and is
+// noise next to the transforms.
+func BenchmarkFinalize(b *testing.B) {
+	agg := benchAggregator(b)
+	template := make([][]float64, len(agg.rows))
+	for j := range agg.rows {
+		template[j] = append([]float64(nil), agg.rows[j]...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range agg.rows {
+			copy(agg.rows[j], template[j])
+		}
+		agg.done = false
+		agg.Finalize()
+	}
+}
+
+// BenchmarkFrequentItems measures the FI scan (Algorithm 4's candidate
+// sweep) over a 64Ki-item domain — large enough to engage the sharded
+// path — with the median estimator the serving endpoint uses.
+func BenchmarkFrequentItems(b *testing.B) {
+	s := benchAggregator(b).Finalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkItems = s.FrequentItems(1<<16, 64, false)
+	}
+}
+
+// BenchmarkFrequencyMedian measures a single point lookup — the
+// per-candidate cost inside the FI scan and the /v1/frequency path —
+// which must stay allocation-free for K ≤ maxStackK.
+func BenchmarkFrequencyMedian(b *testing.B) {
+	s := benchAggregator(b).Finalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkFloat = s.FrequencyMedian(uint64(i) & 0xffff)
+	}
+}
+
+var (
+	benchSinkItems []uint64
+	benchSinkFloat float64
+)

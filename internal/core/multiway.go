@@ -7,8 +7,8 @@ import (
 
 	"ldpjoin/internal/hadamard"
 	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/kernel"
 	"ldpjoin/internal/ldp"
-	"ldpjoin/internal/sketch"
 )
 
 // MatrixReport is the message a client holding a two-attribute tuple
@@ -218,32 +218,41 @@ func (ma *MatrixAggregator) CollectTable(a, b []uint64, rng *rand.Rand) {
 
 // Finalize restores every replica out of the double Hadamard domain and
 // returns the matrix sketch.
+//
+// Replicas are independent, so they restore in parallel across
+// GOMAXPROCS with one column scratch per worker invocation. Within a
+// replica the debias scale is folded into the row transforms
+// (FWHTScaled multiplies each cell exactly once before any butterfly
+// addition — bit-identical to scaling the whole matrix first), then
+// the columns transform with the same radix-4 kernel. Every arithmetic
+// operation and its operands match the scale-then-naive-transform
+// schedule, so finalized matrix state stays byte-identical to the
+// pre-kernel implementation regardless of worker count.
 func (ma *MatrixAggregator) Finalize() *MatrixSketch {
 	if ma.done {
 		panic("core: MatrixAggregator.Finalize called twice")
 	}
 	ma.done = true
 	m1, m2 := ma.params.M1, ma.params.M2
-	col := make([]float64, m1)
-	for _, mat := range ma.mats {
-		for i := range mat {
-			mat[i] *= ma.scale
-		}
-		// Transform along l2 (each row), then along l1 (each column):
-		// H^T·M·H^T with symmetric H.
+	mats, scale := ma.mats, ma.scale
+	kernel.RowApply(len(mats), func(j int) {
+		mat := mats[j]
+		// Transform along l2 (each row, scale fused), then along l1
+		// (each column): H^T·M·H^T with symmetric H.
 		for x := 0; x < m1; x++ {
-			hadamard.Transform(mat[x*m2 : (x+1)*m2])
+			kernel.FWHTScaled(mat[x*m2:(x+1)*m2], scale)
 		}
+		col := make([]float64, m1)
 		for y := 0; y < m2; y++ {
 			for x := 0; x < m1; x++ {
 				col[x] = mat[x*m2+y]
 			}
-			hadamard.Transform(col)
+			kernel.FWHT(col)
 			for x := 0; x < m1; x++ {
 				mat[x*m2+y] = col[x]
 			}
 		}
-	}
+	})
 	return &MatrixSketch{params: ma.params, famA: ma.famA, famB: ma.famB, mats: ma.mats, n: ma.n}
 }
 
@@ -299,11 +308,22 @@ func (ms *MatrixSketch) Mat(j int) []float64 { return ms.mats[j] }
 
 // VecMat returns v × M_j: out[y] = Σ_x v[x]·M_j[x, y].
 func (ms *MatrixSketch) VecMat(j int, v []float64) []float64 {
+	out := make([]float64, ms.params.M2)
+	ms.VecMatInto(j, v, out)
+	return out
+}
+
+// VecMatInto computes v × M_j into out (length M2, zeroed here), the
+// allocation-free form ChainEstimate ping-pongs through: out[y] =
+// Σ_x v[x]·M_j[x, y]. v and out must not alias.
+func (ms *MatrixSketch) VecMatInto(j int, v, out []float64) {
 	m1, m2 := ms.params.M1, ms.params.M2
-	if len(v) != m1 {
+	if len(v) != m1 || len(out) != m2 {
 		panic("core: VecMat dimension mismatch")
 	}
-	out := make([]float64, m2)
+	for y := range out {
+		out[y] = 0
+	}
 	mat := ms.mats[j]
 	for x := 0; x < m1; x++ {
 		vx := v[x]
@@ -315,7 +335,6 @@ func (ms *MatrixSketch) VecMat(j int, v []float64) []float64 {
 			out[y] += vx * c
 		}
 	}
-	return out
 }
 
 // CycleEstimate estimates the size of the 3-cycle join
@@ -336,7 +355,8 @@ func CycleEstimate(m1, m2, m3 *MatrixSketch) float64 {
 	}
 	mA, mB := m1.params.M1, m1.params.M2
 	mC := m2.params.M2
-	ests := make([]float64, k)
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, k)
 	prod := make([]float64, mA*mC)
 	for j := 0; j < k; j++ {
 		// prod = M1_j × M2_j (mA×mC).
@@ -366,9 +386,9 @@ func CycleEstimate(m1, m2, m3 *MatrixSketch) float64 {
 				tr += prod[x*mC+z] * a3[z*mA+x]
 			}
 		}
-		ests[j] = tr
+		ests = append(ests, tr)
 	}
-	return sketch.Median(ests)
+	return kernel.MedianInPlace(ests)
 }
 
 // ChainEstimate estimates the size of the chain join
@@ -382,18 +402,33 @@ func ChainEstimate(left *Sketch, mids []*MatrixSketch, right *Sketch) float64 {
 	if right.params.K != k {
 		panic("core: chain ends disagree on K")
 	}
+	maxM2 := 0
 	for _, m := range mids {
 		if m.params.K != k {
 			panic("core: chain matrix disagrees on K")
 		}
+		if m.params.M2 > maxM2 {
+			maxM2 = m.params.M2
+		}
 	}
-	ests := make([]float64, k)
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, k)
+	// Two ping-pong buffers sized to the widest intermediate carry the
+	// vector down the chain, so the whole replica loop allocates twice
+	// total instead of once per (replica, middle) step. Alternating
+	// buffers keeps VecMatInto's no-alias contract: step i reads the
+	// vector step i−1 wrote into the other buffer.
+	var bufs [2][]float64
+	bufs[0] = make([]float64, maxM2)
+	bufs[1] = make([]float64, maxM2)
 	for j := 0; j < k; j++ {
 		v := left.Row(j)
-		for _, m := range mids {
-			v = m.VecMat(j, v)
+		for i, m := range mids {
+			dst := bufs[i%2][:m.params.M2]
+			m.VecMatInto(j, v, dst)
+			v = dst
 		}
-		ests[j] = sketch.Dot(v, right.Row(j))
+		ests = append(ests, kernel.Dot(v, right.Row(j)))
 	}
-	return sketch.Median(ests)
+	return kernel.MedianInPlace(ests)
 }

@@ -135,9 +135,13 @@ func joinEstPlus(a, b *PlusState, fi []uint64, literalNT, meanFI bool) (lEst, hE
 		ntHA *= a.High.N() / popA
 		ntHB *= b.High.N() / popB
 	}
+	// Subtracting the uniform |NT|/m contribution (Theorem 8) folds into
+	// the dot products via JoinSizeShifted — same estimate as
+	// MinusConstant().JoinSize(MinusConstant()) without the four
+	// full-sketch copies per estimate.
 	m := float64(a.Sample.Params().M)
-	lEst = a.Low.MinusConstant(ntLA / m).JoinSize(b.Low.MinusConstant(ntLB / m))
-	hEst = a.High.MinusConstant(ntHA / m).JoinSize(b.High.MinusConstant(ntHB / m))
+	lEst = a.Low.JoinSizeShifted(b.Low, ntLA/m, ntLB/m)
+	hEst = a.High.JoinSizeShifted(b.High, ntHA/m, ntHB/m)
 
 	scaleL := popA * popB / (a.Low.N() * b.Low.N())
 	scaleH := popA * popB / (a.High.N() * b.High.N())

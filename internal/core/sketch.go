@@ -2,12 +2,19 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 
-	"ldpjoin/internal/hadamard"
 	"ldpjoin/internal/hashing"
+	"ldpjoin/internal/kernel"
 	"ldpjoin/internal/ldp"
-	"ldpjoin/internal/sketch"
 )
+
+// maxStackK is the widest row-estimate vector the query methods keep on
+// the stack. Deployed sketch depths are single to low double digits
+// (the paper's configurations top out well under 16), so point lookups
+// and the FI scan are allocation-free in practice; deeper sketches fall
+// back to one heap scratch per call.
+const maxStackK = 16
 
 // Aggregator is the server side of LDPJoinSketch construction (Algorithm
 // 2, PriSk): it accumulates the perturbed coefficients at the sampled
@@ -111,17 +118,21 @@ func (a *Aggregator) Compatible(other *Aggregator) bool {
 // restores the sketch (line 6: M ← M × H_m^T; with H symmetric this is a
 // row-wise Walsh–Hadamard transform). The aggregator cannot be used
 // afterwards.
+//
+// The K rows are independent, so they restore in parallel across
+// GOMAXPROCS; each row runs the fused scale+radix-4 transform, which is
+// bit-exact with scaling then hadamard.Transform — finalized state is
+// persisted and federated byte-identically, so the worker count and the
+// kernel rewrite must not (and do not) show up in the output.
 func (a *Aggregator) Finalize() *Sketch {
 	if a.done {
 		panic("core: Finalize called twice")
 	}
 	a.done = true
-	for j := range a.rows {
-		for x := range a.rows[j] {
-			a.rows[j][x] *= a.scale
-		}
-		hadamard.Transform(a.rows[j])
-	}
+	rows, scale := a.rows, a.scale
+	kernel.RowApply(len(rows), func(j int) {
+		kernel.FWHTScaled(rows[j], scale)
+	})
 	return &Sketch{params: a.params, fam: a.fam, rows: a.rows, n: a.n}
 }
 
@@ -183,6 +194,17 @@ func (s *Sketch) Merge(other *Sketch) {
 	s.n += other.n
 }
 
+// estScratch returns a row-estimate buffer of capacity K: the caller's
+// stack array when it is wide enough, one heap slice otherwise. Query
+// methods pass their own stack array so the common K ≤ maxStackK case
+// allocates nothing.
+func estScratch(buf *[maxStackK]float64, k int) []float64 {
+	if k <= maxStackK {
+		return buf[:0]
+	}
+	return make([]float64, 0, k)
+}
+
 // JoinSize estimates |A ⋈ B| between the populations behind s and other
 // (Eq 5): the median over rows of the row inner products. Both sketches
 // must share the hash family.
@@ -190,11 +212,31 @@ func (s *Sketch) JoinSize(other *Sketch) float64 {
 	if !sameFamily(s.fam, other.fam) {
 		panic("core: JoinSize across hash families")
 	}
-	ests := make([]float64, s.params.K)
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, s.params.K)
 	for j := range s.rows {
-		ests[j] = sketch.Dot(s.rows[j], other.rows[j])
+		ests = append(ests, kernel.Dot(s.rows[j], other.rows[j]))
 	}
-	return sketch.Median(ests)
+	return kernel.MedianInPlace(ests)
+}
+
+// JoinSizeShifted estimates |A ⋈ B| with a constant subtracted from
+// every cell of each side first: the median over rows of
+// Σ_x (s[j,x]−ca)·(other[j,x]−cb). It equals
+// MinusConstant(ca).JoinSize(other.MinusConstant(cb)) — Algorithm 5's
+// removal of the uniform |NT|/m non-target contribution (Theorem 8) —
+// without copying either sketch; the offsets fold into the dot-product
+// inner loop instead.
+func (s *Sketch) JoinSizeShifted(other *Sketch, ca, cb float64) float64 {
+	if !sameFamily(s.fam, other.fam) {
+		panic("core: JoinSizeShifted across hash families")
+	}
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, s.params.K)
+	for j := range s.rows {
+		ests = append(ests, kernel.DotShifted(s.rows[j], other.rows[j], ca, cb))
+	}
+	return kernel.MedianInPlace(ests)
 }
 
 // JoinSizeMean is the ablation variant of JoinSize that averages the row
@@ -205,11 +247,12 @@ func (s *Sketch) JoinSizeMean(other *Sketch) float64 {
 	if !sameFamily(s.fam, other.fam) {
 		panic("core: JoinSizeMean across hash families")
 	}
-	ests := make([]float64, s.params.K)
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, s.params.K)
 	for j := range s.rows {
-		ests[j] = sketch.Dot(s.rows[j], other.rows[j])
+		ests = append(ests, kernel.Dot(s.rows[j], other.rows[j]))
 	}
-	return sketch.Mean(ests)
+	return kernel.Mean(ests)
 }
 
 // SelfJoinSize estimates the second frequency moment F2 = Σ_d f(d)² of
@@ -224,11 +267,12 @@ func (s *Sketch) JoinSizeMean(other *Sketch) float64 {
 func (s *Sketch) SelfJoinSize() float64 {
 	ceps := ldp.CEpsilon(s.params.Epsilon)
 	bias := (float64(s.params.M)*float64(s.params.K)*ceps*ceps - 1) * s.n
-	ests := make([]float64, s.params.K)
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, s.params.K)
 	for j := range s.rows {
-		ests[j] = sketch.Dot(s.rows[j], s.rows[j]) - bias
+		ests = append(ests, kernel.Dot(s.rows[j], s.rows[j])-bias)
 	}
-	return sketch.Median(ests)
+	return kernel.MedianInPlace(ests)
 }
 
 // Frequency estimates f(d) as mean_j M[j, h_j(d)]·ξ_j(d) (Theorem 7). The
@@ -250,25 +294,82 @@ func (s *Sketch) Frequency(d uint64) float64 {
 // thresholding the mean harvests exactly the values whose estimate was
 // inflated by a collision spike and floods FI with false positives.
 func (s *Sketch) FrequencyMedian(d uint64) float64 {
-	ests := make([]float64, s.params.K)
-	for j := range s.rows {
-		ests[j] = s.rows[j][s.fam.Bucket(j, d)] * float64(s.fam.Sign(j, d))
-	}
-	return sketch.Median(ests)
+	var buf [maxStackK]float64
+	return s.frequencyMedianInto(d, estScratch(&buf, s.params.K))
 }
+
+// frequencyMedianInto is FrequencyMedian over a caller-owned scratch
+// buffer (capacity ≥ K, contents irrelevant) — the allocation-free
+// inner call of the FI scan, whose workers each carry one scratch.
+func (s *Sketch) frequencyMedianInto(d uint64, ests []float64) float64 {
+	ests = ests[:0]
+	for j := range s.rows {
+		ests = append(ests, s.rows[j][s.fam.Bucket(j, d)]*float64(s.fam.Sign(j, d)))
+	}
+	return kernel.MedianInPlace(ests)
+}
+
+// frequentItemsSpan is the smallest domain span the FI scan hands one
+// worker: below this the per-goroutine overhead beats the K hash
+// evaluations per value being spread out.
+const frequentItemsSpan = 4096
 
 // FrequentItems scans [0, domain) and returns the values whose estimated
 // frequency exceeds threshold — the server side of LDPJoinSketch+ phase 1.
 // useMean selects the Theorem 7 mean estimator (the paper's literal
 // reading); the default median is the robust choice (see FrequencyMedian).
+//
+// The scan is O(domain·K) hash evaluations with no cross-value state, so
+// it shards the domain into contiguous spans scanned in parallel across
+// GOMAXPROCS, each worker carrying its own estimate scratch. Every value
+// is judged independently by the same threshold and the spans
+// concatenate in order, so the result — sorted strictly ascending, the
+// canonical FI form — is identical to the serial scan no matter the
+// worker count (the determinism the WAL-replayed advance proposal
+// requires).
 func (s *Sketch) FrequentItems(domain uint64, threshold float64, useMean bool) []uint64 {
-	var out []uint64
-	est := s.FrequencyMedian
-	if useMean {
-		est = s.Frequency
+	shards := runtime.GOMAXPROCS(0) * 4
+	if max := int(domain / frequentItemsSpan); shards > max {
+		shards = max
 	}
-	for d := uint64(0); d < domain; d++ {
-		if est(d) > threshold {
+	if shards <= 1 {
+		return s.frequentItemsRange(0, domain, threshold, useMean)
+	}
+	span := domain / uint64(shards)
+	outs := make([][]uint64, shards)
+	kernel.RowApply(shards, func(w int) {
+		lo := uint64(w) * span
+		hi := lo + span
+		if w == shards-1 {
+			hi = domain
+		}
+		outs[w] = s.frequentItemsRange(lo, hi, threshold, useMean)
+	})
+	var total int
+	for _, part := range outs {
+		total += len(part)
+	}
+	out := make([]uint64, 0, total)
+	for _, part := range outs {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// frequentItemsRange is the serial FI scan over [lo, hi), reusing one
+// estimate scratch across the whole span.
+func (s *Sketch) frequentItemsRange(lo, hi uint64, threshold float64, useMean bool) []uint64 {
+	var out []uint64
+	var buf [maxStackK]float64
+	ests := estScratch(&buf, s.params.K)[:0]
+	for d := lo; d < hi; d++ {
+		var f float64
+		if useMean {
+			f = s.Frequency(d)
+		} else {
+			f = s.frequencyMedianInto(d, ests)
+		}
+		if f > threshold {
 			out = append(out, d)
 		}
 	}
@@ -276,8 +377,12 @@ func (s *Sketch) FrequentItems(domain uint64, threshold float64, useMean bool) [
 }
 
 // MinusConstant returns a copy of the sketch with c subtracted from every
-// cell. JoinEst (Algorithm 5) uses it to remove the uniform |NT|/m
-// contribution of non-target values (Theorem 8).
+// cell — the literal reading of Algorithm 5's removal of the uniform
+// |NT|/m non-target contribution (Theorem 8). The serving path does not
+// use it anymore: JoinSizeShifted computes the identical estimate with
+// the offsets folded into the dot-product inner loop, skipping the two
+// full-sketch copies. MinusConstant remains as the executable reference
+// the property tests pin JoinSizeShifted against.
 func (s *Sketch) MinusConstant(c float64) *Sketch {
 	rows := make([][]float64, len(s.rows))
 	for j := range rows {

@@ -65,7 +65,7 @@ func (c *Collector) ingest(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		if err := c.col.Enqueue(batch); err != nil {
+		if err := c.col.EnqueueAllPooled([][]core.Report{batch}); err != nil {
 			return err
 		}
 	}

@@ -269,13 +269,31 @@ func (c *Column) Enqueue(batch []core.Report) error {
 // dropped and surfaces as an error from Finalize, which then yields no
 // sketch at all.
 func (c *Column) EnqueueAll(batches [][]core.Report) error {
+	return c.enqueueAll(batches, false)
+}
+
+// EnqueueAllPooled is EnqueueAll for batches drawn from the protocol
+// batch pool (BatchReader.Next, DecodeReportsPayload): once a fold has
+// consumed a batch it is recycled with protocol.PutReportBatch. The
+// ownership transfer is therefore total — the caller must not read,
+// reuse, or re-enqueue a batch after a successful call, because its
+// backing array may already be carrying the next decoded batch. On
+// error the batches were not scheduled and remain the caller's.
+func (c *Column) EnqueueAllPooled(batches [][]core.Report) error {
+	return c.enqueueAll(batches, true)
+}
+
+func (c *Column) enqueueAll(batches [][]core.Report, recycle bool) error {
 	var folds []func()
 	var total int64
 	for _, batch := range batches {
 		if len(batch) == 0 {
+			if recycle {
+				protocol.PutReportBatch(batch)
+			}
 			continue
 		}
-		folds = append(folds, c.fold(batch))
+		folds = append(folds, c.fold(batch, recycle))
 		total += int64(len(batch))
 	}
 	if len(folds) == 0 {
@@ -298,14 +316,16 @@ func (c *Column) EnqueueAll(batches [][]core.Report) error {
 	return nil
 }
 
-// fold builds the worker task adding one batch to the next shard.
-func (c *Column) fold(batch []core.Report) func() {
+// fold builds the worker task adding one batch to the next shard. With
+// recycle set the fold is where the batch dies — EnqueueAllPooled
+// transferred total ownership — so after the reports land in the shard
+// the batch goes back to the protocol batch pool for the next decode.
+func (c *Column) fold(batch []core.Report, recycle bool) func() {
 	sh := c.shards[c.next.Add(1)%uint64(len(c.shards))]
 	return func() {
 		defer c.wg.Done()
 		k, m := c.eng.params.K, c.eng.params.M
 		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		for _, r := range batch {
 			if int(r.Row) >= k || int(r.Col) >= m || (r.Y != 1 && r.Y != -1) {
 				c.setErr(fmt.Errorf("ingest: report (y=%d, row=%d, col=%d) out of sketch bounds (%d, %d)",
@@ -313,6 +333,10 @@ func (c *Column) fold(batch []core.Report) func() {
 				continue
 			}
 			sh.agg.Add(r)
+		}
+		sh.mu.Unlock()
+		if recycle {
+			protocol.PutReportBatch(batch)
 		}
 	}
 }

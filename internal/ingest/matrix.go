@@ -92,13 +92,28 @@ func (c *MatrixColumn) Enqueue(batch []core.MatrixReport) error {
 // Column.EnqueueAll: every batch lands before a concurrent drain, or
 // none does. The engine takes ownership of the batch slices.
 func (c *MatrixColumn) EnqueueAll(batches [][]core.MatrixReport) error {
+	return c.enqueueAll(batches, false)
+}
+
+// EnqueueAllPooled is EnqueueAll for batches drawn from the protocol
+// batch pool; consumed batches are recycled with
+// protocol.PutMatrixBatch, under the same total-ownership contract as
+// Column.EnqueueAllPooled.
+func (c *MatrixColumn) EnqueueAllPooled(batches [][]core.MatrixReport) error {
+	return c.enqueueAll(batches, true)
+}
+
+func (c *MatrixColumn) enqueueAll(batches [][]core.MatrixReport, recycle bool) error {
 	var folds []func()
 	var total int64
 	for _, batch := range batches {
 		if len(batch) == 0 {
+			if recycle {
+				protocol.PutMatrixBatch(batch)
+			}
 			continue
 		}
-		folds = append(folds, c.fold(batch))
+		folds = append(folds, c.fold(batch, recycle))
 		total += int64(len(batch))
 	}
 	if len(folds) == 0 {
@@ -121,14 +136,15 @@ func (c *MatrixColumn) EnqueueAll(batches [][]core.MatrixReport) error {
 	return nil
 }
 
-// fold builds the worker task adding one batch to the next shard.
-func (c *MatrixColumn) fold(batch []core.MatrixReport) func() {
+// fold builds the worker task adding one batch to the next shard; with
+// recycle set it returns the consumed batch to the protocol pool like
+// Column.fold.
+func (c *MatrixColumn) fold(batch []core.MatrixReport, recycle bool) func() {
 	sh := c.shards[c.next.Add(1)%uint64(len(c.shards))]
 	return func() {
 		defer c.wg.Done()
 		p := c.params
 		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		agg := sh.ensure(c)
 		for _, r := range batch {
 			if int(r.Row) >= p.K || int(r.L1) >= p.M1 || int(r.L2) >= p.M2 || (r.Y != 1 && r.Y != -1) {
@@ -137,6 +153,10 @@ func (c *MatrixColumn) fold(batch []core.MatrixReport) func() {
 				continue
 			}
 			agg.Add(r)
+		}
+		sh.mu.Unlock()
+		if recycle {
+			protocol.PutMatrixBatch(batch)
 		}
 	}
 }

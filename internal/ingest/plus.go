@@ -106,6 +106,17 @@ func (c *PlusColumn) phaseLocked() string {
 // The phase check and the enqueue happen under the column mutex, so a
 // concurrent Advance cannot slip between them.
 func (c *PlusColumn) EnqueueAll(group protocol.PlusGroup, batches [][]core.Report) error {
+	return c.enqueueAll(group, batches, false)
+}
+
+// EnqueueAllPooled is EnqueueAll for batches drawn from the protocol
+// batch pool, under the same total-ownership contract as
+// Column.EnqueueAllPooled.
+func (c *PlusColumn) EnqueueAllPooled(group protocol.PlusGroup, batches [][]core.Report) error {
+	return c.enqueueAll(group, batches, true)
+}
+
+func (c *PlusColumn) enqueueAll(group protocol.PlusGroup, batches [][]core.Report, recycle bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.checkGroupLocked(group); err != nil {
@@ -115,7 +126,7 @@ func (c *PlusColumn) EnqueueAll(group protocol.PlusGroup, batches [][]core.Repor
 	if err != nil {
 		return err
 	}
-	return col.EnqueueAll(batches)
+	return col.enqueueAll(batches, recycle)
 }
 
 // Advanced reports whether the phase boundary has passed.

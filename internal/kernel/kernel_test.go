@@ -1,0 +1,228 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"ldpjoin/internal/hadamard"
+	"ldpjoin/internal/sketch"
+)
+
+// naiveDot is the reference sequential inner product (sketch.Dot's
+// loop, duplicated here so the pin does not move if the reference
+// package ever adopts the kernel).
+func naiveDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// randVec draws a length-n vector of integer-valued cells in the range
+// unfinalized sketch state actually holds (sums of ±1 contributions).
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(rng.Intn(2001) - 1000)
+	}
+	return v
+}
+
+// TestFWHTBitExact pins the radix-4 kernel to the naive radix-2
+// butterfly with exact (==) equality across every power-of-two length
+// through 4× the cache block, on integer-valued and on fractional
+// state. This is the guarantee federation and the golden SNAP/PSNP
+// testdata lean on: a sketch finalized through the kernel is
+// byte-identical to one finalized through hadamard.Transform.
+func TestFWHTBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 4*fwhtBlock; n <<= 1 {
+		for trial := 0; trial < 4; trial++ {
+			want := randVec(rng, n)
+			if trial%2 == 1 { // fractional cells (post-scale magnitudes)
+				for i := range want {
+					want[i] *= 1.375e3
+				}
+			}
+			got := append([]float64(nil), want...)
+			hadamard.Transform(want)
+			FWHT(got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d: FWHT[%d] = %v, naive %v", n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFWHTScaledBitExact pins the fused scale+transform against
+// scale-then-naive-transform, exactly — the Finalize path's identity.
+func TestFWHTScaledBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 4*fwhtBlock; n <<= 1 {
+		for _, c := range []float64{1, 2.5, 18 * 1.0398, -0.125} {
+			want := randVec(rng, n)
+			got := append([]float64(nil), want...)
+			for i := range want {
+				want[i] *= c
+			}
+			hadamard.Transform(want)
+			FWHTScaled(got, c)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d c=%v: FWHTScaled[%d] = %v, naive %v", n, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFWHTInvolution checks the defining property on the kernel alone:
+// FWHT(FWHT(v)) = m·v, exactly, for integer-valued v (every
+// intermediate is an integer sum well within float64 exactness).
+func TestFWHTInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 1024; n <<= 1 {
+		orig := randVec(rng, n)
+		v := append([]float64(nil), orig...)
+		FWHT(v)
+		FWHT(v)
+		for i := range v {
+			if v[i] != float64(n)*orig[i] {
+				t.Fatalf("n=%d: double transform[%d] = %v, want %v", n, i, v[i], float64(n)*orig[i])
+			}
+		}
+	}
+}
+
+// TestDotProperty pins Dot and DotShifted against the sequential
+// reference within floating-point reassociation tolerance, over
+// quick-generated vectors.
+func TestDotProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(func(pairs []struct{ A, B int16 }, caRaw, cbRaw int16) bool {
+		a := make([]float64, len(pairs))
+		b := make([]float64, len(pairs))
+		var scale float64
+		for i, p := range pairs {
+			a[i], b[i] = float64(p.A), float64(p.B)
+			scale += math.Abs(a[i]*b[i]) + 1
+		}
+		ca, cb := float64(caRaw)/8, float64(cbRaw)/8
+		if d := Dot(a, b); math.Abs(d-naiveDot(a, b)) > 1e-9*scale {
+			return false
+		}
+		want := 0.0
+		for i := range a {
+			want += (a[i] - ca) * (b[i] - cb)
+		}
+		shiftScale := scale + float64(len(a))*(math.Abs(ca)+1)*(math.Abs(cb)+1)*1e3
+		return math.Abs(DotShifted(a, b, ca, cb)-want) <= 1e-9*shiftScale
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDotShiftedMatchesMinusConstant checks the algebraic identity the
+// plus join path relies on: DotShifted equals the dot of the two
+// shifted copies (same subtract-then-multiply per element).
+func TestDotShiftedMatchesMinusConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 513} {
+		a, b := randVec(rng, n), randVec(rng, n)
+		ca, cb := rng.Float64()*10, rng.Float64()*10
+		sa := make([]float64, n)
+		sb := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sa[i], sb[i] = a[i]-ca, b[i]-cb
+		}
+		want := naiveDot(sa, sb)
+		got := DotShifted(a, b, ca, cb)
+		tol := 1e-9 * (math.Abs(want) + 1)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("n=%d: DotShifted = %v, shifted naive dot %v", n, got, want)
+		}
+	}
+}
+
+// TestScale pins Scale against the per-element multiply, exactly.
+func TestScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 3, 4, 7, 100} {
+		v := randVec(rng, n)
+		want := make([]float64, n)
+		for i := range v {
+			want[i] = v[i] * 3.25
+		}
+		Scale(v, 3.25)
+		for i := range v {
+			if v[i] != want[i] {
+				t.Fatalf("n=%d: Scale[%d] = %v, want %v", n, i, v[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMedianInPlace pins MedianInPlace against sketch.Median (which
+// copies and uses sort.Float64s), exactly, including even lengths and
+// duplicates.
+func TestMedianInPlace(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(func(raw []int16) bool {
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x % 8) // force duplicates
+		}
+		want := sketch.Median(v)
+		got := MedianInPlace(v)
+		if len(raw) == 0 {
+			return math.IsNaN(got) && math.IsNaN(want)
+		}
+		return got == want && sort.Float64sAreSorted(v)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowApply checks completeness (every row exactly once) and that
+// results do not depend on GOMAXPROCS-driven scheduling.
+func TestRowApply(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		hits := make([]atomic.Int32, n)
+		RowApply(n, func(j int) { hits[j].Add(1) })
+		for j := range hits {
+			if got := hits[j].Load(); got != 1 {
+				t.Fatalf("n=%d: row %d applied %d times", n, j, got)
+			}
+		}
+	}
+}
+
+// TestRowApplyParallelFWHT is the race-detector canary for the parallel
+// finalize shape: many rows transformed concurrently must equal the
+// serial result exactly.
+func TestRowApplyParallelFWHT(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const k, m = 32, 256
+	rows := make([][]float64, k)
+	want := make([][]float64, k)
+	for j := range rows {
+		rows[j] = randVec(rng, m)
+		want[j] = append([]float64(nil), rows[j]...)
+		hadamard.Transform(want[j])
+	}
+	RowApply(k, func(j int) { FWHTScaled(rows[j], 1) })
+	for j := range rows {
+		for i := range rows[j] {
+			if rows[j][i] != want[j][i] {
+				t.Fatalf("row %d cell %d: %v != %v", j, i, rows[j][i], want[j][i])
+			}
+		}
+	}
+}

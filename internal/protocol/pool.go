@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"sync"
+
+	"ldpjoin/internal/core"
+)
+
+// Batch pooling for the ingest hot path. Every report that enters the
+// system rides a []core.Report (or []core.MatrixReport) batch from the
+// stream decoder through the WAL append and into a fold worker, after
+// which the batch is garbage — at DefaultBatchSize that is ~28 KiB of
+// allocation per 4096 reports, all of it with an obvious lifetime. The
+// pools below recycle those batches: decoders draw from the pool, the
+// fold workers (the single point where a batch dies) put them back.
+//
+// Put only accepts batches with capacity exactly DefaultBatchSize. That
+// is not just a size filter — it is the aliasing guard that makes
+// recycling safe with the recovery path, which decodes one WAL payload
+// into a single slice and re-batches it by sub-slicing. A sub-slice
+// s[a:b] of a larger decode has capacity cap(s)−a > DefaultBatchSize
+// for every chunk but the last, so it is rejected; the last chunk's
+// region [a, cap) extends to the end of the backing array and overlaps
+// no other chunk, so append-style reuse (which writes only within
+// [a, a+cap)) can never scribble on another live batch's cells.
+
+var reportBatchPool = sync.Pool{
+	New: func() any {
+		b := make([]core.Report, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
+var matrixBatchPool = sync.Pool{
+	New: func() any {
+		b := make([]core.MatrixReport, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
+// GetReportBatch returns an empty report batch with capacity
+// DefaultBatchSize, recycled when one is available.
+func GetReportBatch() []core.Report {
+	return (*reportBatchPool.Get().(*[]core.Report))[:0]
+}
+
+// PutReportBatch recycles a batch obtained from GetReportBatch (or any
+// slice whose capacity is exactly DefaultBatchSize — see the aliasing
+// analysis above). The caller must not touch b afterwards. Batches of
+// any other capacity are dropped for the garbage collector.
+func PutReportBatch(b []core.Report) {
+	if cap(b) != DefaultBatchSize {
+		return
+	}
+	b = b[:0]
+	reportBatchPool.Put(&b)
+}
+
+// GetMatrixBatch returns an empty matrix-report batch with capacity
+// DefaultBatchSize, recycled when one is available.
+func GetMatrixBatch() []core.MatrixReport {
+	return (*matrixBatchPool.Get().(*[]core.MatrixReport))[:0]
+}
+
+// PutMatrixBatch recycles a batch obtained from GetMatrixBatch, under
+// the same capacity guard as PutReportBatch.
+func PutMatrixBatch(b []core.MatrixReport) {
+	if cap(b) != DefaultBatchSize {
+		return
+	}
+	b = b[:0]
+	matrixBatchPool.Put(&b)
+}

@@ -152,18 +152,27 @@ func AppendReportsPayload(buf []byte, reports []core.Report) []byte {
 // every report against the expected parameters exactly like the stream
 // decoder — a corrupted-but-checksum-valid log (or a log written under
 // other parameters) surfaces as an error, never as out-of-range state
-// in a sketch.
+// in a sketch. Payloads of up to DefaultBatchSize reports — the size
+// the ingest path writes, so the common case during WAL replay — decode
+// into a pooled batch the caller may recycle with PutReportBatch.
 func DecodeReportsPayload(payload []byte, expect core.Params) ([]core.Report, error) {
 	if len(payload)%ReportSize != 0 {
 		return nil, fmt.Errorf("%w: reports payload of %d bytes is not a multiple of %d", ErrBadRecord, len(payload), ReportSize)
 	}
-	reports := make([]core.Report, 0, len(payload)/ReportSize)
+	var reports []core.Report
+	if n := len(payload) / ReportSize; n <= DefaultBatchSize {
+		reports = GetReportBatch()
+	} else {
+		reports = make([]core.Report, 0, n)
+	}
 	for off := 0; off < len(payload); off += ReportSize {
 		rep, err := DecodeReport(payload[off : off+ReportSize])
 		if err != nil {
+			PutReportBatch(reports)
 			return nil, fmt.Errorf("%w: report %d: %v", ErrBadRecord, len(reports), err)
 		}
 		if int(rep.Row) >= expect.K || int(rep.Col) >= expect.M {
+			PutReportBatch(reports)
 			return nil, fmt.Errorf("%w: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
 				ErrBadRecord, len(reports), rep.Row, rep.Col, expect.K, expect.M)
 		}
@@ -261,18 +270,27 @@ func AppendMatrixReportsPayload(buf []byte, reports []core.MatrixReport) []byte 
 
 // DecodeMatrixReportsPayload decodes a RecordMatrixReports payload,
 // bounds-checking every report against the expected matrix parameters
-// exactly like the stream decoder.
+// exactly like the stream decoder. Payloads of up to DefaultBatchSize
+// reports decode into a pooled batch the caller may recycle with
+// PutMatrixBatch.
 func DecodeMatrixReportsPayload(payload []byte, expect core.MatrixParams) ([]core.MatrixReport, error) {
 	if len(payload)%MatrixReportSize != 0 {
 		return nil, fmt.Errorf("%w: matrix reports payload of %d bytes is not a multiple of %d", ErrBadRecord, len(payload), MatrixReportSize)
 	}
-	reports := make([]core.MatrixReport, 0, len(payload)/MatrixReportSize)
+	var reports []core.MatrixReport
+	if n := len(payload) / MatrixReportSize; n <= DefaultBatchSize {
+		reports = GetMatrixBatch()
+	} else {
+		reports = make([]core.MatrixReport, 0, n)
+	}
 	for off := 0; off < len(payload); off += MatrixReportSize {
 		rep, err := DecodeMatrixReport(payload[off : off+MatrixReportSize])
 		if err != nil {
+			PutMatrixBatch(reports)
 			return nil, fmt.Errorf("%w: matrix report %d: %v", ErrBadRecord, len(reports), err)
 		}
 		if int(rep.Row) >= expect.K || int(rep.L1) >= expect.M1 || int(rep.L2) >= expect.M2 {
+			PutMatrixBatch(reports)
 			return nil, fmt.Errorf("%w: matrix report %d indices (%d,%d,%d) out of sketch bounds (%d,%d,%d)",
 				ErrBadRecord, len(reports), rep.Row, rep.L1, rep.L2, expect.K, expect.M1, expect.M2)
 		}

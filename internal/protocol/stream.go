@@ -88,30 +88,35 @@ func (r *BatchReader) Header() Header { return r.h }
 func (r *BatchReader) Count() int { return r.n }
 
 // Next decodes up to max reports (DefaultBatchSize when max <= 0) into a
-// freshly allocated batch, which the caller owns. At the clean end of
-// the stream it returns (nil, io.EOF). A decode, bounds, or truncation
-// error discards the partially decoded batch: a malformed stream never
-// delivers reports beyond the last complete Next.
+// batch drawn from the package batch pool; the caller owns it and may
+// recycle it with PutReportBatch once the reports are consumed. At the
+// clean end of the stream it returns (nil, io.EOF). A decode, bounds, or
+// truncation error discards the partially decoded batch: a malformed
+// stream never delivers reports beyond the last complete Next.
 func (r *BatchReader) Next(max int) ([]core.Report, error) {
 	if max <= 0 {
 		max = DefaultBatchSize
 	}
-	var batch []core.Report
+	batch := GetReportBatch()
 	for len(batch) < max {
 		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
 			if err == io.EOF {
 				if len(batch) > 0 {
 					return batch, nil
 				}
+				PutReportBatch(batch)
 				return nil, io.EOF
 			}
+			PutReportBatch(batch)
 			return nil, fmt.Errorf("protocol: reading report %d: %w", r.n, err)
 		}
 		rep, err := DecodeReport(r.buf[:])
 		if err != nil {
+			PutReportBatch(batch)
 			return nil, err
 		}
 		if int(rep.Row) >= r.expect.K || int(rep.Col) >= r.expect.M {
+			PutReportBatch(batch)
 			return nil, fmt.Errorf("protocol: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
 				r.n, rep.Row, rep.Col, r.expect.K, r.expect.M)
 		}
@@ -144,6 +149,7 @@ func ReadStream(r io.Reader, expect core.Params, sink func(core.Report)) (Header
 			sink(rep)
 		}
 		delivered += len(batch)
+		PutReportBatch(batch)
 	}
 }
 
@@ -207,6 +213,7 @@ func ReadPlusStream(r io.Reader, expect core.Params, sink func(core.Report)) (He
 			sink(rep)
 		}
 		delivered += len(batch)
+		PutReportBatch(batch)
 	}
 }
 
@@ -282,28 +289,33 @@ func (r *MatrixBatchReader) Header() Header { return r.h }
 func (r *MatrixBatchReader) Count() int { return r.n }
 
 // Next decodes up to max matrix reports (DefaultBatchSize when max <= 0)
-// into a freshly allocated batch, which the caller owns. At the clean
-// end of the stream it returns (nil, io.EOF).
+// into a batch drawn from the package batch pool; the caller owns it and
+// may recycle it with PutMatrixBatch once the reports are consumed. At
+// the clean end of the stream it returns (nil, io.EOF).
 func (r *MatrixBatchReader) Next(max int) ([]core.MatrixReport, error) {
 	if max <= 0 {
 		max = DefaultBatchSize
 	}
-	var batch []core.MatrixReport
+	batch := GetMatrixBatch()
 	for len(batch) < max {
 		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
 			if err == io.EOF {
 				if len(batch) > 0 {
 					return batch, nil
 				}
+				PutMatrixBatch(batch)
 				return nil, io.EOF
 			}
+			PutMatrixBatch(batch)
 			return nil, fmt.Errorf("protocol: reading matrix report %d: %w", r.n, err)
 		}
 		rep, err := DecodeMatrixReport(r.buf[:])
 		if err != nil {
+			PutMatrixBatch(batch)
 			return nil, err
 		}
 		if int(rep.Row) >= r.expect.K || int(rep.L1) >= r.expect.M1 || int(rep.L2) >= r.expect.M2 {
+			PutMatrixBatch(batch)
 			return nil, fmt.Errorf("protocol: matrix report %d indices (%d,%d,%d) out of bounds (%d,%d,%d)",
 				r.n, rep.Row, rep.L1, rep.L2, r.expect.K, r.expect.M1, r.expect.M2)
 		}
@@ -335,6 +347,7 @@ func ReadMatrixStream(r io.Reader, expect core.MatrixParams, sink func(core.Matr
 			sink(rep)
 		}
 		delivered += len(batch)
+		PutMatrixBatch(batch)
 	}
 }
 

@@ -443,14 +443,18 @@ func (r recoverer) RecoverReports(info store.ColumnInfo, reports []core.Report) 
 	// to 2^20 reports, and folding that as a single task would serialize
 	// recovery on one shard. Split, and replay fans out across the
 	// engine's workers like the original traffic did (fold order cannot
-	// change the result — integer cells commute).
+	// change the result — integer cells commute). The pooled enqueue
+	// recycles the decoded chunks; the sub-slice partition is safe to
+	// recycle because only a chunk whose region reaches the end of the
+	// decoded array can pass the pool's capacity guard (see
+	// protocol.PutReportBatch).
 	var batches [][]core.Report
 	for len(reports) > 0 {
 		n := min(protocol.DefaultBatchSize, len(reports))
 		batches = append(batches, reports[:n])
 		reports = reports[n:]
 	}
-	return col.join.EnqueueAll(batches)
+	return col.join.EnqueueAllPooled(batches)
 }
 
 func (r recoverer) RecoverMatrixReports(info store.ColumnInfo, reports []core.MatrixReport) error {
@@ -464,7 +468,7 @@ func (r recoverer) RecoverMatrixReports(info store.ColumnInfo, reports []core.Ma
 		batches = append(batches, reports[:n])
 		reports = reports[n:]
 	}
-	return col.matrix.EnqueueAll(batches)
+	return col.matrix.EnqueueAllPooled(batches)
 }
 
 // explicitFI normalizes a decoded FI slice for PlusColumn.Advance,
@@ -515,7 +519,7 @@ func (r recoverer) RecoverPlusReports(info store.ColumnInfo, group protocol.Plus
 		batches = append(batches, reports[:n])
 		reports = reports[n:]
 	}
-	return col.plus.EnqueueAll(group, batches)
+	return col.plus.EnqueueAllPooled(group, batches)
 }
 
 func (r recoverer) RecoverPlusAdvance(info store.ColumnInfo, domain uint64, theta float64, fi []uint64) error {
@@ -877,11 +881,13 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Feed the engine outside the lifecycle lock. EnqueueAll blocks when
-	// the fold workers are behind (backpressure) and is atomic against a
-	// concurrent finalize: the request's reports land entirely before
-	// the merge or not at all.
-	if err := col.join.EnqueueAll(batches); err != nil {
+	// Feed the engine outside the lifecycle lock. The pooled enqueue
+	// blocks when the fold workers are behind (backpressure), is atomic
+	// against a concurrent finalize — the request's reports land
+	// entirely before the merge or not at all — and recycles each batch
+	// into the protocol pool once its fold has consumed it (the WAL
+	// append above already read them).
+	if err := col.join.EnqueueAllPooled(batches); err != nil {
 		col.walGate.RUnlock()
 		release(false)
 		s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
@@ -957,7 +963,7 @@ func (s *Server) handleMatrixReports(w http.ResponseWriter, r *http.Request, nam
 			return
 		}
 	}
-	if err := col.matrix.EnqueueAll(batches); err != nil {
+	if err := col.matrix.EnqueueAllPooled(batches); err != nil {
 		col.walGate.RUnlock()
 		release(false)
 		s.columnConflict(w, codeConflict, name, "column %q: %v", name, err)
@@ -1020,7 +1026,7 @@ func (s *Server) handlePlusReports(w http.ResponseWriter, r *http.Request, name 
 			return
 		}
 	}
-	if err := col.plus.EnqueueAll(group, batches); err != nil {
+	if err := col.plus.EnqueueAllPooled(group, batches); err != nil {
 		col.walGate.RUnlock()
 		col.opMu.Unlock()
 		release(false)

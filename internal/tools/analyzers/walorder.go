@@ -33,10 +33,11 @@ var WALOrder = &Analyzer{
 
 // walApplyMethods are the ingest-side state mutations a handler acks.
 var walApplyMethods = map[string]bool{
-	"EnqueueAll":      true,
-	"Advance":         true,
-	"MergeAggregator": true,
-	"MergePlus":       true,
+	"EnqueueAll":       true,
+	"EnqueueAllPooled": true,
+	"Advance":          true,
+	"MergeAggregator":  true,
+	"MergePlus":        true,
 }
 
 // walAppendMethods are the store-side durability points.
