@@ -1,22 +1,44 @@
-// Command ldpjoinvet runs the ldpjoin invariant suite — five custom
+// Command ldpjoinvet runs the ldpjoin invariant suite — nine custom
 // static analyzers enforcing the locking, durability-ordering,
-// error-envelope, atomic-counter, and deterministic-iteration rules
-// the codebase depends on (see internal/tools/analyzers).
+// error-envelope, atomic-counter, deterministic-iteration,
+// pooled-ownership, hot-path-allocation, lock-order, and
+// waiver-hygiene rules the codebase depends on (see
+// internal/tools/analyzers).
 //
 // Usage:
 //
-//	go run ./cmd/ldpjoinvet ./...
+//	go run ./cmd/ldpjoinvet [-json] [-escapes] ./...
 //
-// Findings print in the vet format (file:line:col: analyzer: message)
-// and exit with status 1. A clean run prints a per-analyzer summary of
-// findings and waivers, so CI logs show what was checked rather than
-// silence. Individual lines are suppressed with an attributable waiver
-// comment:
+// Test files are analyzed too: each package loads as its test variant,
+// exactly as `go test` compiles it, so the contracts bind test code
+// with waivers — not path exemptions — covering deliberate violations.
+//
+// Findings print in the vet format (file:line:col: analyzer: message),
+// or as a JSON array of {file,line,col,analyzer,message} objects with
+// -json — the shape CI turns into GitHub annotations. A clean run
+// prints a per-analyzer summary of findings and waivers (suppressed
+// under -json), so CI logs show what was checked rather than silence.
+//
+// -escapes additionally cross-checks hotalloc against the real
+// compiler: it shells out to `go build -gcflags=-m` and reports heap
+// allocations the escape analysis observes inside hot functions that
+// the static rules did not flag. It is opt-in because it compiles the
+// tree (cached after the first run).
+//
+// Exit codes:
+//
+//	0  no findings
+//	1  findings (or the -escapes cross-check disagreed)
+//	2  the load itself failed: bad pattern, unresolvable package, or
+//	   code that does not type-check
+//
+// Individual lines are suppressed with an attributable waiver comment:
 //
 //	//ldpjoinvet:ignore <analyzer> <reason>
 //
-// A waiver without a reason, or naming an unknown analyzer, is itself
-// a finding.
+// A waiver without a reason, naming an unknown analyzer, or — per the
+// waiverhygiene analyzer — no longer suppressing anything is itself a
+// finding.
 package main
 
 import (
@@ -28,11 +50,14 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of vet-format lines")
+	escapes := flag.Bool("escapes", false, "cross-check hotalloc against go build -gcflags=-m escape analysis")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ldpjoinvet [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ldpjoinvet [-json] [-escapes] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
+		flag.PrintDefaults()
 	}
 	flag.Parse()
 	patterns := flag.Args()
@@ -44,7 +69,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := analyzers.Load(dir, patterns...)
+	pkgs, err := analyzers.LoadTests(dir, patterns...)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,12 +77,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	diags := res.Diagnostics
+	if *escapes {
+		extra, err := analyzers.EscapeCrossCheck(dir, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, extra...)
+	}
 
-	if len(res.Diagnostics) > 0 {
-		for _, d := range res.Diagnostics {
+	if *jsonOut {
+		if err := analyzers.EncodeJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(diags) > 0 {
+		for _, d := range diags {
 			fmt.Printf("%s\n", d)
 		}
-		fmt.Fprintf(os.Stderr, "ldpjoinvet: %d finding(s) in %d package(s)\n", len(res.Diagnostics), res.Packages)
+		fmt.Fprintf(os.Stderr, "ldpjoinvet: %d finding(s) in %d package(s)\n", len(diags), res.Packages)
 		os.Exit(1)
 	}
 

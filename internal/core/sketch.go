@@ -208,6 +208,8 @@ func estScratch(buf *[maxStackK]float64, k int) []float64 {
 // JoinSize estimates |A ⋈ B| between the populations behind s and other
 // (Eq 5): the median over rows of the row inner products. Both sketches
 // must share the hash family.
+//
+//ldpjoin:hotpath
 func (s *Sketch) JoinSize(other *Sketch) float64 {
 	if !sameFamily(s.fam, other.fam) {
 		panic("core: JoinSize across hash families")
@@ -227,6 +229,8 @@ func (s *Sketch) JoinSize(other *Sketch) float64 {
 // removal of the uniform |NT|/m non-target contribution (Theorem 8) —
 // without copying either sketch; the offsets fold into the dot-product
 // inner loop instead.
+//
+//ldpjoin:hotpath
 func (s *Sketch) JoinSizeShifted(other *Sketch, ca, cb float64) float64 {
 	if !sameFamily(s.fam, other.fam) {
 		panic("core: JoinSizeShifted across hash families")
@@ -243,6 +247,8 @@ func (s *Sketch) JoinSizeShifted(other *Sketch, ca, cb float64) float64 {
 // estimators instead of taking their median. The mean has the same
 // expectation but no resistance to collision spikes; the ablation bench
 // quantifies the difference.
+//
+//ldpjoin:hotpath
 func (s *Sketch) JoinSizeMean(other *Sketch) float64 {
 	if !sameFamily(s.fam, other.fam) {
 		panic("core: JoinSizeMean across hash families")
@@ -264,6 +270,8 @@ func (s *Sketch) JoinSizeMean(other *Sketch) float64 {
 // JoinSize needs no such correction because the two sketches' noises are
 // independent and zero-mean). The bias n·(m·k·c_ε²−1) is subtracted
 // before the row median.
+//
+//ldpjoin:hotpath
 func (s *Sketch) SelfJoinSize() float64 {
 	ceps := ldp.CEpsilon(s.params.Epsilon)
 	bias := (float64(s.params.M)*float64(s.params.K)*ceps*ceps - 1) * s.n
@@ -279,6 +287,8 @@ func (s *Sketch) SelfJoinSize() float64 {
 // estimate is unbiased, but its error is heavy-tailed: a collision with a
 // heavy item in a single row shifts the mean by f_heavy/k. Use
 // FrequencyMedian when robustness matters more than unbiasedness.
+//
+//ldpjoin:hotpath
 func (s *Sketch) Frequency(d uint64) float64 {
 	var sum float64
 	for j := range s.rows {
@@ -293,6 +303,8 @@ func (s *Sketch) Frequency(d uint64) float64 {
 // thresholding estimates over a large domain (phase 1 of LDPJoinSketch+):
 // thresholding the mean harvests exactly the values whose estimate was
 // inflated by a collision spike and floods FI with false positives.
+//
+//ldpjoin:hotpath
 func (s *Sketch) FrequencyMedian(d uint64) float64 {
 	var buf [maxStackK]float64
 	return s.frequencyMedianInto(d, estScratch(&buf, s.params.K))
@@ -301,6 +313,8 @@ func (s *Sketch) FrequencyMedian(d uint64) float64 {
 // frequencyMedianInto is FrequencyMedian over a caller-owned scratch
 // buffer (capacity ≥ K, contents irrelevant) — the allocation-free
 // inner call of the FI scan, whose workers each carry one scratch.
+//
+//ldpjoin:hotpath
 func (s *Sketch) frequencyMedianInto(d uint64, ests []float64) float64 {
 	ests = ests[:0]
 	for j := range s.rows {

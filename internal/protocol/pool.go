@@ -40,6 +40,8 @@ var matrixBatchPool = sync.Pool{
 
 // GetReportBatch returns an empty report batch with capacity
 // DefaultBatchSize, recycled when one is available.
+//
+//ldpjoin:hotpath
 func GetReportBatch() []core.Report {
 	return (*reportBatchPool.Get().(*[]core.Report))[:0]
 }
@@ -58,6 +60,8 @@ func PutReportBatch(b []core.Report) {
 
 // GetMatrixBatch returns an empty matrix-report batch with capacity
 // DefaultBatchSize, recycled when one is available.
+//
+//ldpjoin:hotpath
 func GetMatrixBatch() []core.MatrixReport {
 	return (*matrixBatchPool.Get().(*[]core.MatrixReport))[:0]
 }

@@ -15,7 +15,8 @@ func TestReportBatchPoolInvariant(t *testing.T) {
 	PutReportBatch(make([]core.Report, 0, 10))
 	PutReportBatch(make([]core.Report, 2*DefaultBatchSize))
 	big := make([]core.Report, 3*DefaultBatchSize)
-	PutReportBatch(big[:DefaultBatchSize])           // cap 3·B — rejected
+	PutReportBatch(big[:DefaultBatchSize]) // cap 3·B — rejected
+	//ldpjoinvet:ignore poolown deliberate reuse: the wrong-capacity Put above was rejected, and the tail exercises the cap==B acceptance path
 	PutReportBatch(big[2*DefaultBatchSize:])         // tail, cap exactly B — accepted
 	PutMatrixBatch(make([]core.MatrixReport, 0, 10)) // wrong-capacity matrix
 	PutMatrixBatch(GetMatrixBatch()[:1])

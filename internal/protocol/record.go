@@ -168,13 +168,15 @@ func DecodeReportsPayload(payload []byte, expect core.Params) ([]core.Report, er
 	for off := 0; off < len(payload); off += ReportSize {
 		rep, err := DecodeReport(payload[off : off+ReportSize])
 		if err != nil {
+			n := len(reports)
 			PutReportBatch(reports)
-			return nil, fmt.Errorf("%w: report %d: %v", ErrBadRecord, len(reports), err)
+			return nil, fmt.Errorf("%w: report %d: %v", ErrBadRecord, n, err)
 		}
 		if int(rep.Row) >= expect.K || int(rep.Col) >= expect.M {
+			n := len(reports)
 			PutReportBatch(reports)
 			return nil, fmt.Errorf("%w: report %d indices (%d,%d) out of sketch bounds (%d,%d)",
-				ErrBadRecord, len(reports), rep.Row, rep.Col, expect.K, expect.M)
+				ErrBadRecord, n, rep.Row, rep.Col, expect.K, expect.M)
 		}
 		reports = append(reports, rep)
 	}
@@ -286,13 +288,15 @@ func DecodeMatrixReportsPayload(payload []byte, expect core.MatrixParams) ([]cor
 	for off := 0; off < len(payload); off += MatrixReportSize {
 		rep, err := DecodeMatrixReport(payload[off : off+MatrixReportSize])
 		if err != nil {
+			n := len(reports)
 			PutMatrixBatch(reports)
-			return nil, fmt.Errorf("%w: matrix report %d: %v", ErrBadRecord, len(reports), err)
+			return nil, fmt.Errorf("%w: matrix report %d: %v", ErrBadRecord, n, err)
 		}
 		if int(rep.Row) >= expect.K || int(rep.L1) >= expect.M1 || int(rep.L2) >= expect.M2 {
+			n := len(reports)
 			PutMatrixBatch(reports)
 			return nil, fmt.Errorf("%w: matrix report %d indices (%d,%d,%d) out of sketch bounds (%d,%d,%d)",
-				ErrBadRecord, len(reports), rep.Row, rep.L1, rep.L2, expect.K, expect.M1, expect.M2)
+				ErrBadRecord, n, rep.Row, rep.L1, rep.L2, expect.K, expect.M1, expect.M2)
 		}
 		reports = append(reports, rep)
 	}

@@ -2,8 +2,10 @@
 // mechanically enforce the cross-cutting invariants this codebase
 // otherwise trusts to code review — lock discipline on the serving
 // path, WAL-append-before-ack durability ordering, the structured
-// error envelope, atomic counters, and deterministic (sorted-key)
-// iteration wherever bytes that must be stable are produced.
+// error envelope, atomic counters, deterministic (sorted-key)
+// iteration wherever bytes that must be stable are produced,
+// pooled-buffer ownership transfer, allocation-free hot paths, and a
+// single global lock-acquisition order.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Reportf, testdata/src fixtures with
@@ -14,6 +16,19 @@
 // from source, so the suite works offline and adds no module
 // requirements.
 //
+// Beyond the per-package Run pass, the framework provides two pieces
+// of shared dataflow infrastructure the analyzers build on:
+//
+//   - a lightweight def-use/alias walk (dataflow.go) that tracks a
+//     value — and everything aliasing it through assignment,
+//     sub-slicing, and range — in approximate execution order, with
+//     branch merging and kills on reassignment; poolown is built on
+//     it and any future ownership- or taint-style rule can be too;
+//   - per-function summaries accumulated across packages in
+//     Pass.Shared plus an optional Finish hook that runs once after
+//     every package, which is how lockorder stitches a cross-package,
+//     cross-function lock-acquisition graph out of per-package passes.
+//
 // # Waivers
 //
 // Every analyzer honors an explicit, attributable escape hatch:
@@ -23,7 +38,10 @@
 // placed on the flagged line or on its own line immediately above. The
 // reason is mandatory — a waiver without one is itself a diagnostic,
 // as is a waiver naming an analyzer that does not exist (a typo there
-// would otherwise silently waive nothing).
+// would otherwise silently waive nothing), and — when the
+// waiverhygiene analyzer is in the run — so is a well-formed waiver
+// that no longer suppresses anything (a burned-down waiver must be
+// deleted, not left to rot).
 package analyzers
 
 import (
@@ -31,6 +49,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // An Analyzer describes one invariant check. Name is the identifier
@@ -40,6 +59,13 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+
+	// Finish, when non-nil, runs once after Run has been applied to
+	// every package, with the same Shared map each of those passes
+	// saw. Analyzers whose findings are properties of the whole
+	// program — lockorder's acquisition graph — accumulate summaries
+	// per package in Run and report from Finish.
+	Finish func(*FinishPass) error
 }
 
 // A Diagnostic is one finding, positioned and attributed to the
@@ -62,6 +88,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Shared is scratch state that survives across packages within one
+	// Run invocation: every Pass handed to one analyzer during one
+	// suite run shares the same map, and the analyzer's FinishPass
+	// receives it last. Per-package analyzers ignore it.
+	Shared map[string]any
+
 	// lookup resolves an object in any package of the load (the
 	// analyzed packages and their whole dependency closure), so
 	// analyzers can fetch well-known types — net/http.ResponseWriter,
@@ -81,6 +113,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Path returns the package's import path normalized for analysis
+// gating: the " [pkg.test]" suffix go list gives test variants is
+// stripped, and an external test package maps to the package under
+// test ("ldpjoin/internal/service_test" gates like ".../service"), so
+// path-segment rules apply identically to production and test code.
+func (p *Pass) Path() string {
+	return normTestPkgPath(p.Pkg.Path())
+}
+
 // LookupType resolves pkgPath.name to its type, or nil when the
 // package is not in the load's dependency closure.
 func (p *Pass) LookupType(pkgPath, name string) types.Type {
@@ -91,7 +132,49 @@ func (p *Pass) LookupType(pkgPath, name string) types.Type {
 	return obj.Type()
 }
 
+// A FinishPass is an analyzer's whole-program view after every
+// package's Run: the accumulated Shared state plus a position-explicit
+// reporter (Finish has no single package to resolve positions in, so
+// callers pass the token.Position they recorded during Run).
+type FinishPass struct {
+	Analyzer *Analyzer
+	Shared   map[string]any
+
+	report func(Diagnostic)
+}
+
+// ReportAt records a diagnostic at an explicit position.
+func (p *FinishPass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// normPkgPath strips the " [pkg.test]" variant suffix go list attaches
+// to test packages, leaving the importable path.
+func normPkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// normTestPkgPath is normPkgPath plus folding an external test package
+// onto the package it tests: ".../protocol_test" → ".../protocol".
+func normTestPkgPath(path string) string {
+	path = normPkgPath(path)
+	if rest, ok := strings.CutSuffix(path, "_test"); ok {
+		return rest
+	}
+	return path
+}
+
 // All returns the full ldpjoinvet suite, in the order summaries print.
 func All() []*Analyzer {
-	return []*Analyzer{LockIO, WALOrder, Envelope, AtomicCounter, MapOrder}
+	return []*Analyzer{
+		LockIO, WALOrder, Envelope, AtomicCounter, MapOrder,
+		PoolOwn, HotAlloc, LockOrder, WaiverHygiene,
+	}
 }

@@ -41,6 +41,16 @@ var wantRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
 // diagnostics against the fixtures' want comments.
 func Run(t *testing.T, a *analyzers.Analyzer, subs ...string) {
 	t.Helper()
+	RunSuite(t, []*analyzers.Analyzer{a}, subs...)
+}
+
+// RunSuite is Run for a set of analyzers executed together — required
+// for analyzers whose findings only exist relative to a whole run
+// (waiverhygiene's dead-waiver check needs the analyzer whose waiver
+// went dead to be in the same run), and handy for fixtures exercising
+// cross-analyzer interplay.
+func RunSuite(t *testing.T, as []*analyzers.Analyzer, subs ...string) {
+	t.Helper()
 	cwd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
@@ -86,12 +96,20 @@ func Run(t *testing.T, a *analyzers.Analyzer, subs ...string) {
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
-	res, err := analyzers.Run(pkgs, []*analyzers.Analyzer{a})
+	res, err := analyzers.Run(pkgs, as)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("running %v: %v", names(as), err)
 	}
 
 	checkExpectations(t, pkgs, res.Diagnostics)
+}
+
+func names(as []*analyzers.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
 }
 
 // expectation is one `// want` regexp, positioned.
@@ -115,9 +133,17 @@ func checkExpectations(t *testing.T, pkgs []*analyzers.Package, diags []analyzer
 			seen[file] = true
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
+					// A comment that IS a want, or — for directive
+					// comments like //ldpjoinvet:ignore, which run to
+					// end of line and so cannot be followed by a
+					// separate comment — a want embedded at its tail.
 					text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
 					if !ok {
-						continue
+						i := strings.Index(c.Text, "// want ")
+						if i <= 0 {
+							continue
+						}
+						text = c.Text[i+len("// want "):]
 					}
 					line := pkg.Fset.Position(c.Pos()).Line
 					for _, lit := range wantRE.FindAllString(text, -1) {

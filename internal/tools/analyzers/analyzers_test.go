@@ -26,3 +26,23 @@ func TestAtomicCounter(t *testing.T) {
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analyzers.MapOrder, "maporder")
 }
+
+func TestPoolOwn(t *testing.T) {
+	analysistest.Run(t, analyzers.PoolOwn, "poolown")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analyzers.HotAlloc, "hotalloc")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analyzers.LockOrder, "lockorder")
+}
+
+// TestWaiverHygiene needs a suite: a waiver is dead only relative to
+// analyzers that actually ran alongside waiverhygiene.
+func TestWaiverHygiene(t *testing.T) {
+	analysistest.RunSuite(t, []*analyzers.Analyzer{
+		analyzers.AtomicCounter, analyzers.LockIO, analyzers.WaiverHygiene,
+	}, "waiverhygiene")
+}

@@ -1,0 +1,581 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared def-use/alias dataflow walk: a lightweight
+// abstract interpreter over function bodies that tracks which values a
+// "consuming" call has taken ownership of, through the aliases the
+// function creates. It is the value-flow sibling of lockScanner's
+// lock-state walk and deliberately shares its shape — statements are
+// scanned in approximate execution order, branches are scanned
+// independently and merged, and paths that terminate (return, break,
+// continue) do not contribute to the fall-through state.
+//
+// The abstraction:
+//
+//   - every local variable maps to a *group id*; variables that alias
+//     the same backing storage (x := y, x := y[:n], &y) share a group;
+//   - element relationships (x := ys[i], zs := [][]T{x}) are tracked
+//     as a container edge between groups rather than a merge, so
+//     consuming a container consumes its elements but consuming one
+//     element does not poison its siblings or the container;
+//   - a consuming call marks the group (and, transitively via
+//     container edges, contained groups) as consumed;
+//   - any later use of a variable in a consumed group — read, write
+//     through it, send, return, capture — fires onUse;
+//   - reassignment kills: binding a variable to a fresh value moves it
+//     to a new, unconsumed group.
+//
+// Two deliberate imprecisions keep the walk linear and predictable:
+// values stored into struct fields or maps before consumption are not
+// tracked through the heap, and a consumption performed inside a
+// function literal does not flow into the enclosing function (the
+// literal may run later or never). Both directions of test fixtures
+// document what the walk does catch.
+
+// ownConsumption records one ownership transfer: what took the value
+// and where.
+type ownConsumption struct {
+	desc string // e.g. "EnqueueAllPooled" or "protocol.PutReportBatch"
+	pos  token.Pos
+}
+
+// ownState is the per-path abstract state: variable → group id, and
+// group id → consumption. Group ids are unique per walk and never
+// reused, so states cloned at branches can share them safely.
+type ownState struct {
+	group    map[*types.Var]int
+	consumed map[int]*ownConsumption
+}
+
+// pendingConsume is a consumption observed in an if statement's init
+// or condition, applied only after the branches — the error-return
+// idiom `if err := Put(b); err != nil { return err }` leaves b owned
+// by the caller on the error path, so the error branch may still use
+// it.
+type pendingConsume struct {
+	arg ast.Expr
+	c   ownConsumption
+}
+
+// ownWalk drives the walk over one package's files.
+type ownWalk struct {
+	info *types.Info
+
+	// classify identifies consuming calls: it returns the argument
+	// expressions whose ownership the call takes and a short
+	// description for diagnostics, or (nil, "") for ordinary calls.
+	classify func(call *ast.CallExpr) (args []ast.Expr, desc string)
+
+	// onUse fires for every use of a consumed value.
+	onUse func(id *ast.Ident, c *ownConsumption)
+
+	nextID    int
+	container map[int]int // group id → containing group id
+	pending   *[]pendingConsume
+}
+
+func (w *ownWalk) newState() *ownState {
+	return &ownState{
+		group:    make(map[*types.Var]int),
+		consumed: make(map[int]*ownConsumption),
+	}
+}
+
+func (w *ownWalk) clone(st *ownState) *ownState {
+	out := &ownState{
+		group:    make(map[*types.Var]int, len(st.group)),
+		consumed: make(map[int]*ownConsumption, len(st.consumed)),
+	}
+	for v, g := range st.group {
+		out.group[v] = g
+	}
+	for g, c := range st.consumed {
+		out.consumed[g] = c
+	}
+	return out
+}
+
+// mergeState folds src into dst as the join of two fall-through
+// branches: consumption on either path is consumption ("might already
+// be pooled here"), and when a variable was rebound differently per
+// branch the consumed binding wins.
+func (w *ownWalk) mergeState(dst, src *ownState) {
+	for g, c := range src.consumed {
+		if dst.consumed[g] == nil {
+			dst.consumed[g] = c
+		}
+	}
+	for v, g := range src.group {
+		dg, ok := dst.group[v]
+		if !ok {
+			dst.group[v] = g
+			continue
+		}
+		if dg != g && dst.consumed[g] != nil && dst.consumed[dg] == nil {
+			dst.group[v] = g
+		}
+	}
+}
+
+func (w *ownWalk) fresh() int {
+	w.nextID++
+	return w.nextID
+}
+
+func (w *ownWalk) groupOf(st *ownState, v *types.Var) int {
+	if g, ok := st.group[v]; ok {
+		return g
+	}
+	g := w.fresh()
+	st.group[v] = g
+	return g
+}
+
+// consumptionOf returns the consumption covering group g, following
+// container edges upward (an element of a consumed container is
+// consumed too).
+func (w *ownWalk) consumptionOf(st *ownState, g int) *ownConsumption {
+	for depth := 0; depth < 32; depth++ {
+		if c := st.consumed[g]; c != nil {
+			return c
+		}
+		parent, ok := w.container[g]
+		if !ok {
+			return nil
+		}
+		g = parent
+	}
+	return nil
+}
+
+// union merges b's group into a's.
+func (w *ownWalk) union(st *ownState, a, b *types.Var) {
+	ga, gb := w.groupOf(st, a), w.groupOf(st, b)
+	if ga == gb {
+		return
+	}
+	for v, g := range st.group {
+		if g == gb {
+			st.group[v] = ga
+		}
+	}
+	if c := st.consumed[gb]; c != nil && st.consumed[ga] == nil {
+		st.consumed[ga] = c
+	}
+	if p, ok := w.container[gb]; ok {
+		if _, has := w.container[ga]; !has {
+			w.container[ga] = p
+		}
+	}
+}
+
+// ident resolves e to the variable it names, or nil.
+func (w *ownWalk) ident(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := w.info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = w.info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// rootVar unwraps slicing, address-of, and parens to the variable
+// whose backing storage e shares, or nil.
+func (w *ownWalk) rootVar(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.Ident:
+			return w.ident(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// bind records the aliasing effect of `lhs := rhs` (or =).
+func (w *ownWalk) bind(st *ownState, lhs *types.Var, rhs ast.Expr) {
+	if lhs == nil {
+		return
+	}
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.IndexExpr:
+		// lhs is an element of rhs's container: fresh group, contained
+		// in the container's group.
+		if root := w.rootVar(x.X); root != nil {
+			g := w.fresh()
+			st.group[lhs] = g
+			w.container[g] = w.groupOf(st, root)
+			return
+		}
+	case *ast.CompositeLit:
+		// lhs is a new container holding each element: the elements'
+		// groups become contained in lhs's fresh group.
+		g := w.fresh()
+		st.group[lhs] = g
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if ev := w.rootVar(elt); ev != nil {
+				w.container[w.groupOf(st, ev)] = g
+			}
+		}
+		return
+	default:
+		if root := w.rootVar(rhs); root != nil {
+			w.union(st, root, lhs)
+			return
+		}
+	}
+	// Fresh value (call result, literal, field read, ...): kill.
+	st.group[lhs] = w.fresh()
+}
+
+// markConsumed marks the storage reachable from arg as consumed.
+// Composite literals consume their elements ({batch} passed to
+// EnqueueAllPooled consumes batch); slicing consumes the root (the
+// sub-slice shares the backing array). Indexing is not tracked — a
+// per-element Put through batches[i] consumes only that element, which
+// this abstraction cannot name.
+func (w *ownWalk) markConsumed(st *ownState, arg ast.Expr, c ownConsumption) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			w.markConsumed(st, elt, c)
+		}
+	default:
+		if root := w.rootVar(arg); root != nil {
+			g := w.groupOf(st, root)
+			cc := c
+			st.consumed[g] = &cc
+		}
+	}
+}
+
+// checkUses reports every use of a consumed variable inside e,
+// including uses captured by nested function literals (the capture
+// point is where the aliasing escape happens).
+func (w *ownWalk) checkUses(e ast.Expr, st *ownState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := w.info.Uses[id].(*types.Var)
+		if v == nil {
+			return true
+		}
+		g, ok := st.group[v]
+		if !ok {
+			return true
+		}
+		if c := w.consumptionOf(st, g); c != nil {
+			w.onUse(id, c)
+		}
+		return true
+	})
+}
+
+// applyConsume processes consuming calls inside e. When a pending list
+// is active (if-init/cond position) the consumption is deferred to the
+// statement after the if.
+func (w *ownWalk) applyConsume(e ast.Expr, st *ownState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		args, desc := w.classify(call)
+		for _, arg := range args {
+			c := ownConsumption{desc: desc, pos: call.Pos()}
+			if w.pending != nil {
+				*w.pending = append(*w.pending, pendingConsume{arg: arg, c: c})
+			} else {
+				w.markConsumed(st, arg, c)
+			}
+		}
+		return true
+	})
+}
+
+// scanFile scans every function declaration and function literal in f,
+// each from an empty state. A literal's body is additionally visited
+// by checkUses at its creation point for uses of already-consumed
+// outer values; its own consumptions stay local to its own scan.
+func (w *ownWalk) scanFile(f *ast.File) {
+	if w.container == nil {
+		w.container = make(map[int]int)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				w.scanStmts(fn.Body.List, w.newState())
+			}
+		case *ast.FuncLit:
+			w.scanStmts(fn.Body.List, w.newState())
+		}
+		return true
+	})
+}
+
+func (w *ownWalk) scanStmts(stmts []ast.Stmt, st *ownState) (*ownState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.scanStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *ownWalk) scanStmt(stmt ast.Stmt, st *ownState) (*ownState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.checkUses(s.X, st)
+		w.applyConsume(s.X, st)
+		return st, false
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkUses(rhs, st)
+			w.applyConsume(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			// A plain identifier target is a (re)binding, not a use;
+			// writing *through* a consumed value (b[i] = x, s.f = y
+			// where the base is consumed) is a use of the base.
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				w.checkUses(lhs, st)
+			}
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				w.bind(st, w.ident(lhs), s.Rhs[i])
+			}
+		} else {
+			// Multi-value call/comma-ok: every bound variable is fresh.
+			for _, lhs := range s.Lhs {
+				if v := w.ident(lhs); v != nil {
+					st.group[v] = w.fresh()
+				}
+			}
+		}
+		return st, false
+
+	case *ast.IncDecStmt:
+		w.checkUses(s.X, st)
+		return st, false
+
+	case *ast.SendStmt:
+		w.checkUses(s.Chan, st)
+		w.checkUses(s.Value, st)
+		return st, false
+
+	case *ast.DeferStmt:
+		// Arguments evaluate now; the call itself runs at return, after
+		// every remaining statement, so a deferred Put does not consume
+		// for the purposes of this walk.
+		for _, arg := range s.Call.Args {
+			w.checkUses(arg, st)
+		}
+		return st, false
+
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.checkUses(arg, st)
+		}
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					w.checkUses(val, st)
+					w.applyConsume(val, st)
+				}
+				if len(vs.Names) == len(vs.Values) {
+					for i, name := range vs.Names {
+						w.bind(st, w.ident(name), vs.Values[i])
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkUses(r, st)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.scanStmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.scanStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		// Consumptions in the init/cond apply only after the whole if:
+		// the error branch of `if err := consume(b); err != nil` still
+		// owns b (the consumer reports failure by leaving ownership
+		// with the caller).
+		var deferred []pendingConsume
+		prev := w.pending
+		w.pending = &deferred
+		if s.Init != nil {
+			st, _ = w.scanStmt(s.Init, st)
+		}
+		w.checkUses(s.Cond, st)
+		w.applyConsume(s.Cond, st)
+		w.pending = prev
+
+		thenSt, thenTerm := w.scanStmts(s.Body.List, w.clone(st))
+		elseSt, elseTerm := w.clone(st), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.scanStmt(s.Else, w.clone(st))
+		}
+		var out *ownState
+		var term bool
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			out, term = elseSt, false
+		case elseTerm:
+			out, term = thenSt, false
+		default:
+			w.mergeState(thenSt, elseSt)
+			out, term = thenSt, false
+		}
+		for _, pc := range deferred {
+			w.markConsumed(out, pc.arg, pc.c)
+		}
+		return out, term
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.scanStmt(s.Init, st)
+		}
+		w.checkUses(s.Cond, st)
+		return w.scanLoopBody(s.Body.List, st), false
+
+	case *ast.RangeStmt:
+		w.checkUses(s.X, st)
+		if val := w.ident(s.Value); val != nil {
+			// The range value is an element of X's container.
+			if root := w.rootVar(s.X); root != nil {
+				g := w.fresh()
+				st.group[val] = g
+				w.container[g] = w.groupOf(st, root)
+			} else {
+				st.group[val] = w.fresh()
+			}
+		}
+		if key := w.ident(s.Key); key != nil {
+			st.group[key] = w.fresh()
+		}
+		return w.scanLoopBody(s.Body.List, st), false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.scanStmt(s.Init, st)
+		}
+		w.checkUses(s.Tag, st)
+		return w.scanCases(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.scanStmt(s.Init, st)
+		}
+		return w.scanCases(s.Body, st)
+
+	case *ast.SelectStmt:
+		return w.scanCases(s.Body, st)
+
+	default:
+		return st, false
+	}
+}
+
+// scanLoopBody scans a loop body twice: once from the entry state, and
+// once from entry∪exit to surface loop-carried consumption (Put at the
+// bottom of an iteration, use at the top of the next). Duplicate
+// diagnostics from the two passes collapse in the runner's dedup.
+func (w *ownWalk) scanLoopBody(body []ast.Stmt, st *ownState) *ownState {
+	first, _ := w.scanStmts(body, w.clone(st))
+	carried := w.clone(st)
+	w.mergeState(carried, first)
+	second, _ := w.scanStmts(body, carried)
+	out := w.clone(st)
+	w.mergeState(out, second)
+	return out
+}
+
+func (w *ownWalk) scanCases(body *ast.BlockStmt, st *ownState) (*ownState, bool) {
+	out := w.clone(st)
+	hasDefault := false
+	allTerminate := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.checkUses(e, st)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+			if c.Comm != nil {
+				stmts = append([]ast.Stmt{c.Comm}, stmts...)
+			}
+		}
+		cs, term := w.scanStmts(stmts, w.clone(st))
+		if !term {
+			allTerminate = false
+			w.mergeState(out, cs)
+		}
+	}
+	return out, hasDefault && allTerminate && len(body.List) > 0
+}

@@ -22,7 +22,7 @@ var Envelope = &Analyzer{
 }
 
 func runEnvelope(pass *Pass) error {
-	inService := pathHasSegment(pass.Pkg.Path(), "service")
+	inService := pathHasSegment(pass.Path(), "service")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

@@ -1,0 +1,195 @@
+package analyzers
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeCrossCheck is hotalloc's opt-in second opinion: it runs the
+// real compiler's escape analysis (go build -gcflags=-m) over the
+// given packages and reports every heap allocation the compiler
+// observes inside a hot function that hotalloc's static rules did not
+// flag and no hotalloc waiver excuses. When the static heuristics and
+// the compiler disagree, one of them is wrong — either the rules need
+// teaching or the code allocates in a way the rules were written to
+// forbid.
+//
+// Diagnostics carry the "hotalloc" analyzer name, so existing hotalloc
+// waivers cover the compiler-observed findings on the same lines. The
+// check shells out to `go build`, so it is wired behind an explicit
+// flag (ldpjoinvet -escapes) rather than running on every invocation;
+// the build cache replays -m diagnostics, so repeat runs are cheap.
+func EscapeCrossCheck(dir string, pkgs []*Package) ([]Diagnostic, error) {
+	// Re-run hotalloc's static pass privately to learn where the hot
+	// functions are and which already carry a static finding.
+	shared := make(map[string]any)
+	waived := make(map[lineKey]bool)
+	importPaths := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.ImportPath, "testdata") {
+			continue // fixtures are not buildable production packages
+		}
+		// Test variants fold onto the production package: `go build`
+		// compiles only non-test files, which is where hot code lives.
+		importPaths[normTestPkgPath(pkg.ImportPath)] = true
+		pass := &Pass{
+			Analyzer:  HotAlloc,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Shared:    shared,
+			lookup:    pkg.loader.lookup,
+			report:    func(Diagnostic) {},
+		}
+		if err := HotAlloc.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, f := range pkg.Files {
+			file := pkg.Fset.Position(f.Pos()).Filename
+			for _, w := range collectWaivers(pkg.Fset, f) {
+				if w.analyzer == HotAlloc.Name {
+					waived[lineKey{file, w.line}] = true
+					waived[lineKey{file, w.line + 1}] = true
+				}
+			}
+		}
+	}
+	recs, _ := shared["funcs"].([]*hotFuncRec)
+	if len(recs) == 0 {
+		return nil, nil
+	}
+
+	args := []string{"build", "-gcflags=-m"}
+	for p := range importPaths {
+		args = append(args, p)
+	}
+	sort.Strings(args[2:])
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.Bytes())
+	}
+
+	// Positions where the compiler inlined a callee: an escape note at
+	// the same spot belongs to the inlined function's body, not to code
+	// written in the hot function — the callee owns its own allocation
+	// policy (the estScratch stack-spill idiom relies on this), mirroring
+	// the static pass's per-function scoping.
+	lines := strings.Split(out.String(), "\n")
+	inlined := make(map[string]bool)
+	for _, line := range lines {
+		if pos, _, ok := splitCompilerNote(line); ok && strings.HasPrefix(noteText(line), "inlining call to ") {
+			inlined[pos] = true
+		}
+	}
+
+	var diags []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	for _, line := range lines {
+		file, ln, msg, ok := parseEscapeLine(line)
+		if !ok {
+			continue
+		}
+		if pos, _, ok := splitCompilerNote(line); ok && inlined[pos] {
+			continue
+		}
+		// A quoted literal escaping is constant boxing (a panic or log
+		// argument) — exempt statically, so exempt here too.
+		if strings.HasPrefix(msg, `"`) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		for _, rec := range recs {
+			if rec.file != file || ln < rec.start || ln > rec.end {
+				continue
+			}
+			if rec.findings > 0 {
+				break // static rules already flagged this function
+			}
+			if waived[lineKey{file, ln}] {
+				break
+			}
+			d := Diagnostic{
+				Pos:      token.Position{Filename: file, Line: ln, Column: 1},
+				Analyzer: HotAlloc.Name,
+				Message:  fmt.Sprintf("compiler escape analysis: %s in hot function %s, but hotalloc's static rules found nothing here — teach the rules or remove the allocation", msg, rec.name),
+			}
+			if !seen[d] {
+				seen[d] = true
+				diags = append(diags, d)
+			}
+			break
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// splitCompilerNote splits a -m output line "file:line:col: text" into
+// the position prefix "file:line:col" and the note text.
+func splitCompilerNote(line string) (pos, text string, ok bool) {
+	parts := strings.SplitN(line, ": ", 2)
+	if len(parts) != 2 || strings.Count(parts[0], ":") != 2 {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
+
+// noteText returns the text portion of a -m output line, or "".
+func noteText(line string) string {
+	_, text, _ := splitCompilerNote(line)
+	return text
+}
+
+// parseEscapeLine extracts heap allocations from -m output lines like
+//
+//	internal/kernel/rowapply.go:31:7: func literal escapes to heap
+//	internal/core/sketch.go:210:13: moved to heap: buf
+//
+// "does not escape" lines and inliner chatter are skipped.
+func parseEscapeLine(line string) (file string, ln int, msg string, ok bool) {
+	const (
+		escapes = " escapes to heap"
+		moved   = "moved to heap: "
+	)
+	pos, text, ok := splitCompilerNote(line)
+	if !ok {
+		return "", 0, "", false
+	}
+	var what string
+	switch {
+	case strings.HasSuffix(text, escapes):
+		what = text
+	case strings.HasPrefix(text, moved):
+		what = "variable " + strings.TrimPrefix(text, moved) + " moved to heap"
+	default:
+		return "", 0, "", false
+	}
+	parts := strings.SplitN(pos, ":", 3)
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], n, what, true
+}

@@ -1,0 +1,59 @@
+package analyzers
+
+import "testing"
+
+func TestParseEscapeLine(t *testing.T) {
+	cases := []struct {
+		line string
+		file string
+		ln   int
+		msg  string
+		ok   bool
+	}{
+		{
+			line: "internal/kernel/rowapply.go:31:7: func literal escapes to heap",
+			file: "internal/kernel/rowapply.go", ln: 31,
+			msg: "func literal escapes to heap", ok: true,
+		},
+		{
+			line: "internal/core/sketch.go:210:13: moved to heap: buf",
+			file: "internal/core/sketch.go", ln: 210,
+			msg: "variable buf moved to heap", ok: true,
+		},
+		{
+			// A colon inside the escaping expression must not truncate
+			// the message.
+			line: `internal/core/sketch.go:215:9: "core: JoinSize across hash families" escapes to heap`,
+			file: "internal/core/sketch.go", ln: 215,
+			msg: `"core: JoinSize across hash families" escapes to heap`, ok: true,
+		},
+		{line: "internal/core/sketch.go:300:2: s does not escape", ok: false},
+		{line: "internal/core/sketch.go:218:20: inlining call to estScratch", ok: false},
+		{line: "# ldpjoin/internal/core", ok: false},
+		{line: "", ok: false},
+	}
+	for _, c := range cases {
+		file, ln, msg, ok := parseEscapeLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseEscapeLine(%q): ok=%v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if file != c.file || ln != c.ln || msg != c.msg {
+			t.Errorf("parseEscapeLine(%q) = (%q, %d, %q), want (%q, %d, %q)",
+				c.line, file, ln, msg, c.file, c.ln, c.msg)
+		}
+	}
+}
+
+func TestSplitCompilerNote(t *testing.T) {
+	pos, text, ok := splitCompilerNote("a/b.go:12:3: something happened: detail")
+	if !ok || pos != "a/b.go:12:3" || text != "something happened: detail" {
+		t.Fatalf("got (%q, %q, %v)", pos, text, ok)
+	}
+	if _, _, ok := splitCompilerNote("# package header"); ok {
+		t.Fatal("package header should not parse as a note")
+	}
+}

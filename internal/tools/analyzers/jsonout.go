@@ -1,0 +1,34 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the machine-readable form of one diagnostic, stable
+// for CI consumers (the GitHub-annotation step feeds these through jq).
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON writes diagnostics as a JSON array of JSONFinding. An
+// empty or nil slice encodes as [] — consumers always get an array.
+func EncodeJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]JSONFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

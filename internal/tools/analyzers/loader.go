@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
@@ -50,23 +51,44 @@ type listPackage struct {
 	ImportMap  map[string]string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
 	Error      *struct{ Err string }
 }
 
 // Load resolves patterns (as the go tool understands them, relative to
 // dir) and returns the matched packages type-checked, with their full
 // dependency closure available for well-known-type lookups. Test files
-// are not loaded: ldpjoinvet checks production code.
+// are not loaded; LoadTests is the variant that includes them.
 //
 // Explicit testdata paths work — `go list ./testdata/src/lockio` names
 // the directory directly even though wildcards skip testdata — which is
 // what the analysistest fixtures rely on.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{
+	return load(dir, false, patterns...)
+}
+
+// LoadTests is Load with test code included: each matched package with
+// test files is analyzed as its test variant (production + _test.go
+// files compiled together, exactly as `go test` builds it), and
+// external _test packages load alongside. This is what `ldpjoinvet`
+// and the clean-tree check run — the analyzers' contracts bind test
+// code too, with waivers (not path exemptions) covering deliberate
+// violations. The synthesized ".test" main packages are skipped: their
+// _testmain.go exists only inside the go tool's build.
+func LoadTests(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, true, patterns...)
+}
+
+func load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	args := []string{
 		"list", "-e",
-		"-json=ImportPath,Name,Dir,GoFiles,ImportMap,Standard,DepOnly,Error",
-		"-deps", "--",
-	}, patterns...)
+		"-json=ImportPath,Name,Dir,GoFiles,ImportMap,Standard,DepOnly,ForTest,Error",
+		"-deps",
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(append(args, "--"), patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	// CGO_ENABLED=0 selects the pure-Go file set for net and friends;
@@ -88,6 +110,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		asts:  make(map[string][]*ast.File),
 	}
 	var roots []string
+	hasVariant := make(map[string]bool) // import path → a "pkg [pkg.test]" root exists
 	dec := json.NewDecoder(&out)
 	for {
 		var p listPackage
@@ -98,14 +121,29 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		meta := p
 		l.metas[p.ImportPath] = &meta
-		if !p.DepOnly && !p.Standard {
-			roots = append(roots, p.ImportPath)
+		if p.DepOnly || p.Standard {
+			continue
 		}
+		// The synthesized test-binary main package: its _testmain.go is
+		// generated inside the build, not on disk.
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.ForTest != "" && normPkgPath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+		roots = append(roots, p.ImportPath)
 	}
 
 	var pkgs []*Package
 	for _, path := range roots {
 		m := l.metas[path]
+		// When the in-package test variant is a root, it subsumes the
+		// plain package (same production files plus the _test.go files)
+		// — analyzing both would just duplicate every diagnostic.
+		if m.ForTest == "" && hasVariant[path] {
+			continue
+		}
 		if m.Error != nil {
 			return nil, fmt.Errorf("go list %s: %s", path, m.Error.Err)
 		}
@@ -132,7 +170,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 // check type-checks path (memoized), recursively checking imports via
 // the metadata map. The importing package's ImportMap translates source
-// import paths through the standard library's vendoring.
+// import paths through the standard library's vendoring (and, under
+// -test, onto the in-package test variants).
 func (l *loader) check(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil

@@ -1,0 +1,99 @@
+package analyzers_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ldpjoin/internal/tools/analyzers"
+)
+
+// TestLoadMissingDirectory: a pattern naming a directory that does not
+// exist must fail loudly, not return zero packages — a silent empty
+// load would make ldpjoinvet report "clean" for a typo'd path.
+func TestLoadMissingDirectory(t *testing.T) {
+	cwd := mustGetwd(t)
+	_, err := analyzers.Load(cwd, "./does/not/exist")
+	wantErrContaining(t, err, "does/not/exist")
+}
+
+// TestLoadUnresolvablePackage: an import-path pattern outside the
+// module resolves to nothing and must error.
+func TestLoadUnresolvablePackage(t *testing.T) {
+	cwd := mustGetwd(t)
+	_, err := analyzers.Load(cwd, "ldpjoin/no/such/pkg")
+	wantErrContaining(t, err, "ldpjoin/no/such/pkg")
+}
+
+// TestLoadGoListFailure: when the `go list` subprocess itself cannot
+// run (here: the working directory is gone), the error names go list
+// so the operator looks at the environment, not the analyzers.
+func TestLoadGoListFailure(t *testing.T) {
+	_, err := analyzers.Load("/nonexistent-ldpjoinvet-dir", "./...")
+	wantErrContaining(t, err, "go list")
+}
+
+// TestLoadTypeCheckError: code that parses but does not type-check must
+// abort the load with the compiler's position and message. Analyzing a
+// half-checked tree would produce garbage findings; refusing is the
+// contract. The fixture lives under testdata so build wildcards never
+// see it.
+func TestLoadTypeCheckError(t *testing.T) {
+	cwd := mustGetwd(t)
+	_, err := analyzers.Load(cwd, "./testdata/broken")
+	wantErrContaining(t, err, "type-checking")
+	wantErrContaining(t, err, "broken.go:7")
+}
+
+// TestLoadTestsVariantSubsumesPlain: under LoadTests a package with
+// test files loads exactly once, as its test variant — never as both
+// the plain package and the variant, which would duplicate every
+// diagnostic.
+func TestLoadTestsVariantSubsumesPlain(t *testing.T) {
+	cwd := mustGetwd(t)
+	pkgs, err := analyzers.LoadTests(cwd, "ldpjoin/internal/protocol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	hasTestFile := false
+	for _, p := range pkgs {
+		norm := strings.TrimSuffix(strings.SplitN(p.ImportPath, " ", 2)[0], "_test")
+		seen[norm]++
+		for _, f := range p.Files {
+			if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+				hasTestFile = true
+			}
+		}
+	}
+	if seen["ldpjoin/internal/protocol"] == 0 {
+		t.Fatalf("protocol package not loaded; got %v", seen)
+	}
+	for path, n := range seen {
+		if n > 1 {
+			t.Errorf("package %s loaded %d times; the test variant must subsume the plain package", path, n)
+		}
+	}
+	if !hasTestFile {
+		t.Error("LoadTests loaded no _test.go files for internal/protocol")
+	}
+}
+
+func mustGetwd(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cwd
+}
+
+func wantErrContaining(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("want error containing %q, got: %v", substr, err)
+	}
+}

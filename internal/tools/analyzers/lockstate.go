@@ -59,6 +59,11 @@ func (s lockState) merge(other lockState) {
 type lockScanner struct {
 	info  *types.Info
 	visit func(n ast.Node, held lockState)
+
+	// onAcquire, when non-nil, fires at every Lock/RLock call with the
+	// state held *before* the acquisition — exactly the "held while
+	// acquiring" edges a lock-order analysis needs.
+	onAcquire func(call *ast.CallExpr, name string, kind lockKind, held lockState)
 }
 
 // scanFile scans every function declaration and function literal in f.
@@ -284,8 +289,14 @@ func (ls *lockScanner) applyLockOps(e ast.Expr, held lockState) {
 	op, name := ls.lockOp(call)
 	switch op {
 	case "Lock":
+		if ls.onAcquire != nil {
+			ls.onAcquire(call, name, lockExclusive, held)
+		}
 		held[name] = lockExclusive
 	case "RLock":
+		if ls.onAcquire != nil {
+			ls.onAcquire(call, name, lockShared, held)
+		}
 		if held[name] < lockShared {
 			held[name] = lockShared
 		}

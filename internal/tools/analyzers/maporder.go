@@ -27,7 +27,7 @@ var MapOrder = &Analyzer{
 }
 
 func runMapOrder(pass *Pass) error {
-	path := pass.Pkg.Path()
+	path := pass.Path()
 	if !pathHasSegment(path, "protocol") && !pathHasSegment(path, "store") && !pathHasSegment(path, "core") {
 		return nil
 	}

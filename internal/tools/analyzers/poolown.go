@@ -1,0 +1,80 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolOwn enforces the pooled-buffer ownership contract from
+// internal/protocol's batch pools: once a call transfers ownership of
+// a pooled slice — EnqueueAllPooled on an ingest column (the batches
+// are recycled after apply) or a direct protocol.PutReportBatch /
+// protocol.PutMatrixBatch — the caller must not read, write, store,
+// return, or otherwise touch that value again, including through
+// sub-slices and aliases. The pool may hand the backing array to a
+// concurrent decoder immediately; a use-after-transfer is a data race
+// that corrupts sketch updates without ever failing a test.
+//
+// The analysis runs everywhere (not just in ingest/protocol): any
+// package can obtain and return pooled batches. The error-return idiom
+// is understood — in `if err := col.EnqueueAllPooled(bs); err != nil`,
+// the error branch still owns the batches (on failure they were not
+// scheduled and remain the caller's), so only the fall-through path
+// treats them as transferred.
+var PoolOwn = &Analyzer{
+	Name: "poolown",
+	Doc:  "flag uses of pooled batches after EnqueueAllPooled or a protocol pool Put took ownership",
+	Run:  runPoolOwn,
+}
+
+func runPoolOwn(pass *Pass) error {
+	w := &ownWalk{
+		info: pass.TypesInfo,
+		classify: func(call *ast.CallExpr) ([]ast.Expr, string) {
+			return classifyPoolConsumer(pass.TypesInfo, call)
+		},
+	}
+	w.onUse = func(id *ast.Ident, c *ownConsumption) {
+		pass.Reportf(id.Pos(), "%s used after %s took ownership (line %d); the pool may already have handed its backing array to another goroutine",
+			id.Name, c.desc, pass.Fset.Position(c.pos).Line)
+	}
+	for _, f := range pass.Files {
+		w.scanFile(f)
+	}
+	return nil
+}
+
+// classifyPoolConsumer recognizes the calls that take ownership of
+// pooled storage. Matching is by name plus defining-package segment so
+// the testdata fixture stand-ins exercise the same paths as the
+// production packages.
+func classifyPoolConsumer(info *types.Info, call *ast.CallExpr) ([]ast.Expr, string) {
+	if fn, _ := methodCall(info, call); fn != nil {
+		if fn.Name() == "EnqueueAllPooled" && receiverPkgLastSegment(fn) == "ingest" {
+			// Ownership transfers for the slice-typed arguments (the
+			// batches); scalar arguments like a plus-column group stay
+			// the caller's.
+			var args []ast.Expr
+			for _, arg := range call.Args {
+				if t := info.TypeOf(arg); t != nil {
+					if _, ok := t.Underlying().(*types.Slice); ok {
+						args = append(args, arg)
+					}
+				}
+			}
+			return args, "EnqueueAllPooled"
+		}
+		return nil, ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "PutReportBatch", "PutMatrixBatch":
+		if lastSegment(normPkgPath(fn.Pkg().Path())) == "protocol" && len(call.Args) > 0 {
+			return call.Args[:1], "protocol." + fn.Name()
+		}
+	}
+	return nil, ""
+}

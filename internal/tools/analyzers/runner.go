@@ -26,11 +26,31 @@ type lineKey struct {
 	line int
 }
 
+// trackedWaiver is one well-formed waiver with its suppression count,
+// so a run that includes waiverhygiene can flag the dead ones.
+type trackedWaiver struct {
+	analyzer string
+	pos      token.Position
+	used     int
+}
+
 // Run executes each analyzer over each package, applies waivers, and
 // flags malformed waivers: a missing reason (for analyzers in this
 // run) and a name matching no registered analyzer are both findings —
 // the first because suppressions must carry their justification, the
 // second because a typo would otherwise silently waive nothing.
+//
+// Waiver coverage is collected globally before any analyzer runs and
+// applied after every analyzer (including Finish hooks) has reported,
+// so whole-program analyzers' diagnostics are waivable exactly like
+// per-package ones. Identical diagnostics (same position, analyzer,
+// and message) are deduplicated — a package and its test variant share
+// their production files, and one finding must not count twice.
+//
+// When the run includes the waiverhygiene analyzer, every well-formed
+// waiver that suppressed zero diagnostics — for an analyzer that
+// actually ran — is itself a finding: burned-down waivers must be
+// deleted, or the suppression outlives the code it excused.
 func Run(pkgs []*Package, as []*Analyzer) (Result, error) {
 	res := Result{
 		Findings: make(map[string]int),
@@ -38,19 +58,32 @@ func Run(pkgs []*Package, as []*Analyzer) (Result, error) {
 		Packages: len(pkgs),
 	}
 	running := make(map[string]bool, len(as))
+	hygiene := false
 	for _, a := range as {
 		running[a.Name] = true
 		res.Findings[a.Name] = 0
+		if a.Name == hygieneName {
+			hygiene = true
+		}
 	}
 	registered := make(map[string]bool)
 	for _, a := range All() {
 		registered[a.Name] = true
 	}
 
+	// Phase 0: collect every waiver in every file once (a production
+	// file appears in both a package and its test variant; the seen
+	// map keeps its waivers single-counted).
+	covered := make(map[string]map[lineKey]*trackedWaiver)
+	var tracked []*trackedWaiver
+	seenFile := make(map[string]bool)
 	for _, pkg := range pkgs {
-		covered := make(map[string]map[lineKey]bool)
 		for _, f := range pkg.Files {
 			file := pkg.Fset.Position(f.Pos()).Filename
+			if seenFile[file] {
+				continue
+			}
+			seenFile[file] = true
 			for _, w := range collectWaivers(pkg.Fset, f) {
 				at := token.Position{Filename: file, Line: w.line, Column: 1}
 				switch {
@@ -60,49 +93,110 @@ func Run(pkgs []*Package, as []*Analyzer) (Result, error) {
 						Analyzer: waiverName,
 						Message:  fmt.Sprintf("waiver names unknown analyzer %q", w.analyzer),
 					})
-					res.Findings[waiverName]++
 				case w.reason == "" && running[w.analyzer]:
 					res.Diagnostics = append(res.Diagnostics, Diagnostic{
 						Pos:      at,
 						Analyzer: waiverName,
 						Message:  fmt.Sprintf("waiver for %q has no reason; write //%s %s <why>", w.analyzer, waiverPrefix, w.analyzer),
 					})
-					res.Findings[waiverName]++
 				default:
+					tw := &trackedWaiver{analyzer: w.analyzer, pos: at}
+					tracked = append(tracked, tw)
 					m := covered[w.analyzer]
 					if m == nil {
-						m = make(map[lineKey]bool)
+						m = make(map[lineKey]*trackedWaiver)
 						covered[w.analyzer] = m
 					}
-					m[lineKey{file, w.line}] = true
-					m[lineKey{file, w.line + 1}] = true
+					m[lineKey{file, w.line}] = tw
+					m[lineKey{file, w.line + 1}] = tw
 				}
 			}
 		}
+	}
 
+	// Phase 1: per-package passes, sharing one scratch map per
+	// analyzer across packages.
+	shared := make(map[string]map[string]any, len(as))
+	for _, a := range as {
+		shared[a.Name] = make(map[string]any)
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range as {
-			var diags []Diagnostic
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Shared:    shared[a.Name],
 				lookup:    pkg.loader.lookup,
-				report:    func(d Diagnostic) { diags = append(diags, d) },
+				report:    func(d Diagnostic) { raw = append(raw, d) },
 			}
 			if err := a.Run(pass); err != nil {
 				return res, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
-			for _, d := range diags {
-				if covered[a.Name][lineKey{d.Pos.Filename, d.Pos.Line}] {
-					res.Waived[a.Name]++
-					continue
-				}
-				res.Diagnostics = append(res.Diagnostics, d)
-				res.Findings[a.Name]++
-			}
 		}
+	}
+
+	// Phase 2: whole-program Finish hooks.
+	for _, a := range as {
+		if a.Finish == nil {
+			continue
+		}
+		fp := &FinishPass{
+			Analyzer: a,
+			Shared:   shared[a.Name],
+			report:   func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Finish(fp); err != nil {
+			return res, fmt.Errorf("%s finish: %v", a.Name, err)
+		}
+	}
+
+	// Phase 3: dedup, then apply waiver coverage.
+	seenDiag := make(map[Diagnostic]bool, len(raw))
+	for _, d := range raw {
+		if seenDiag[d] {
+			continue
+		}
+		seenDiag[d] = true
+		if tw := covered[d.Analyzer][lineKey{d.Pos.Filename, d.Pos.Line}]; tw != nil {
+			tw.used++
+			res.Waived[d.Analyzer]++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+
+	// Phase 4: dead-waiver hygiene. A waiver for an analyzer that ran
+	// and suppressed nothing is a finding (itself waivable with a
+	// waiverhygiene waiver — whose own liveness is deliberately not
+	// checked, ending the recursion).
+	if hygiene {
+		for _, tw := range tracked {
+			if tw.used > 0 || !running[tw.analyzer] || tw.analyzer == hygieneName {
+				continue
+			}
+			d := Diagnostic{
+				Pos:      tw.pos,
+				Analyzer: hygieneName,
+				Message:  fmt.Sprintf("waiver for %q suppresses nothing; delete it (the finding it excused is gone)", tw.analyzer),
+			}
+			if hw := covered[hygieneName][lineKey{d.Pos.Filename, d.Pos.Line}]; hw != nil {
+				hw.used++
+				res.Waived[hygieneName]++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		res.Findings[d.Analyzer]++
 	}
 
 	sort.Slice(res.Diagnostics, func(i, j int) bool {

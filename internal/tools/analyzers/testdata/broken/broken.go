@@ -1,0 +1,9 @@
+// Package broken does not type-check: loader_test uses it to prove
+// Load surfaces type errors instead of analyzing a half-checked tree.
+// It lives under testdata so build wildcards never match it.
+package broken
+
+func mismatched() int {
+	var s string = 42
+	return s
+}

@@ -1,0 +1,59 @@
+// Package annotated exercises the //ldpjoin:hotpath directive: outside
+// kernel packages only annotated functions are hot, and everything
+// else allocates freely.
+package annotated
+
+// State is scratch a hot function might hand back.
+type State struct {
+	counts []int
+}
+
+// Sum is hot and clean.
+//
+//ldpjoin:hotpath
+func Sum(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// Histogram is hot and allocates a map per call.
+//
+//ldpjoin:hotpath
+func Histogram(vals []int) map[int]int {
+	out := map[int]int{} // want `map literal allocates on the hot path`
+	for _, v := range vals {
+		out[v]++
+	}
+	return out
+}
+
+// NewState is hot and heap-allocates its result.
+//
+//ldpjoin:hotpath
+func NewState() *State {
+	return &State{} // want `&composite literal allocates on the hot path`
+}
+
+// Concat is hot and builds a string per call.
+//
+//ldpjoin:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates on the hot path`
+}
+
+// Cold is unannotated: the same allocations draw no findings.
+func Cold(n int) []int {
+	out := make([]int, n)
+	return append(out, len(out))
+}
+
+// WaivedHot shows the escape hatch for a deliberate allocation on an
+// otherwise-hot path.
+//
+//ldpjoin:hotpath
+func WaivedHot(n int) []int {
+	return make([]int, n) //ldpjoinvet:ignore hotalloc fixture demonstrates a justified one-off allocation
+}

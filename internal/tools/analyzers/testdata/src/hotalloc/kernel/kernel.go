@@ -1,0 +1,73 @@
+// Package kernel is a stand-in for ldpjoin/internal/kernel: every
+// function in a package whose import path has a "kernel" segment is
+// hot, and hot functions must not allocate.
+package kernel
+
+// Accumulate is the well-behaved shape: index loops over preallocated
+// storage, no allocation anywhere.
+func Accumulate(dst, src []float64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Scaled allocates its result — the classic "helper that looks free"
+// inner-loop bug.
+func Scaled(src []float64, by float64) []float64 {
+	out := make([]float64, len(src)) // want `make allocates on the hot path`
+	for i, v := range src {
+		out[i] = v * by
+	}
+	return out
+}
+
+// Grow appends into a slice it does not own, so steady-state growth
+// reallocates every call.
+func Grow(dst []float64, v float64) []float64 {
+	tmp := append(dst, v) // want `append may grow and allocate`
+	return tmp
+}
+
+// Fill is the sanctioned scratch idiom: appending a slice onto itself
+// (reset with [:0]) fills preallocated capacity without growing.
+func Fill(buf []float64, n int) []float64 {
+	buf = append(buf[:0], 0)
+	for i := 1; i < n; i++ {
+		buf = append(buf, float64(i))
+	}
+	return buf
+}
+
+// Box returns a float through any, boxing it on every call.
+func Box(v float64) any {
+	return v // want `implicit conversion to interface boxes a float64 value`
+}
+
+// Closure captures sum; closures allocate.
+func Closure(vals []float64) float64 {
+	sum := 0.0
+	add := func(v float64) { sum += v } // want `function literal captures sum`
+	for _, v := range vals {
+		add(v)
+	}
+	return sum
+}
+
+// Spawn allocates a goroutine per call.
+func Spawn(fn func()) {
+	go fn() // want `go statement allocates`
+}
+
+// Literal materializes a fresh slice per call.
+func Literal() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+// Stringify copies the byte slice into a fresh string.
+func Stringify(b []byte) string {
+	return string(b) // want `string/\[\]byte conversion copies and allocates`
+}

@@ -1,0 +1,48 @@
+// Package service is a stand-in for ldpjoin/internal/service: the
+// lockorder analyzer builds a cross-function lock-acquisition graph
+// over service/store/ingest packages and reports every edge of any
+// cycle — two code paths that disagree about acquisition order can
+// deadlock under load.
+package service
+
+import "sync"
+
+// Server mirrors the production locking layers: walGate above mu.
+type Server struct {
+	mu      sync.Mutex
+	opMu    sync.Mutex
+	walGate sync.RWMutex
+}
+
+// Checkpoint establishes walGate → mu.
+func (s *Server) Checkpoint() {
+	s.walGate.Lock()
+	defer s.walGate.Unlock()
+	s.mu.Lock() // want `acquiring .*Server\.mu while holding .*Server\.walGate inverts the lock order`
+	s.mu.Unlock()
+}
+
+// Handle inverts it: mu → walGate. Either order alone is fine; both
+// together are a deadlock waiting for the right interleaving.
+func (s *Server) Handle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.walGate.RLock() // want `acquiring .*Server\.walGate while holding .*Server\.mu inverts the lock order`
+	s.walGate.RUnlock()
+}
+
+// Ordered1 and Ordered2 agree on opMu → mu; a consistent order draws
+// no finding even though mu itself is tangled in the cycle above.
+func (s *Server) Ordered1() {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *Server) Ordered2() {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}

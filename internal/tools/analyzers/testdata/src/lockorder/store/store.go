@@ -1,0 +1,37 @@
+// Package store exercises the transitive half of lockorder: an
+// inversion threaded through a direct call is still an inversion.
+package store
+
+import "sync"
+
+// Queue has two locks; Push reaches smu through flushLocked while
+// holding qmu, Drain takes them the other way around.
+type Queue struct {
+	qmu sync.Mutex
+	smu sync.Mutex
+}
+
+func (q *Queue) Push() {
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	q.flushLocked() // want `acquiring .*Queue\.smu while holding .*Queue\.qmu \(via call to .*Queue\.flushLocked\)`
+}
+
+func (q *Queue) flushLocked() {
+	q.smu.Lock()
+	q.smu.Unlock()
+}
+
+func (q *Queue) Drain() {
+	q.smu.Lock()
+	defer q.smu.Unlock()
+	q.qmu.Lock() // want `acquiring .*Queue\.qmu while holding .*Queue\.smu inverts the lock order`
+	q.qmu.Unlock()
+}
+
+// Settle acquires qmu alone — participating in the graph without
+// adding edges draws nothing.
+func (q *Queue) Settle() {
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package protocol is a stand-in for ldpjoin/internal/protocol: the
+// poolown analyzer matches the pool Put functions by name on a package
+// whose import path ends in "protocol".
+package protocol
+
+// Report is one randomized client report.
+type Report struct {
+	Index uint32
+	Sign  int8
+}
+
+// GetReportBatch hands out a pooled, zero-length report slice.
+func GetReportBatch() []Report { return nil }
+
+// PutReportBatch returns a batch to the pool; the caller must not
+// touch it afterwards.
+func PutReportBatch(b []Report) {}
+
+// GetMatrixBatch hands out a pooled matrix row set.
+func GetMatrixBatch() [][]float64 { return nil }
+
+// PutMatrixBatch returns a matrix to the pool.
+func PutMatrixBatch(m [][]float64) {}

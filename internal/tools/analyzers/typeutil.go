@@ -99,12 +99,13 @@ func implementsType(t types.Type, ifaceType types.Type) bool {
 // receiverPkgLastSegment returns the last path segment of the package
 // defining fn's receiver type, or "" when unknown. Used for matching
 // "a method of some store-package type" against both the production
-// package and fixture stand-ins.
+// package and fixture stand-ins. Test-variant suffixes ("pkg
+// [pkg.test]") are stripped so the match holds under LoadTests.
 func receiverPkgLastSegment(fn *types.Func) string {
 	if fn == nil || fn.Pkg() == nil {
 		return ""
 	}
-	return lastSegment(fn.Pkg().Path())
+	return lastSegment(normPkgPath(fn.Pkg().Path()))
 }
 
 // constIntValue evaluates expr as a constant integer.

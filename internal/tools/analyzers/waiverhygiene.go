@@ -1,0 +1,28 @@
+package analyzers
+
+// hygieneName is the waiverhygiene analyzer's identifier; the runner
+// special-cases it (dead-waiver detection needs the whole run's waiver
+// accounting, so it lives in Run's final phase rather than here).
+const hygieneName = "waiverhygiene"
+
+// WaiverHygiene flags well-formed waivers that suppress nothing. A
+// `//ldpjoinvet:ignore` earns its place by excusing a specific
+// diagnostic; once the code it excused is gone the waiver is a lie —
+// it reads as "this invariant is violated here on purpose" over code
+// that violates nothing, and it would silently swallow the next,
+// unrelated finding to land on its line. Deleting burned-down waivers
+// keeps every remaining suppression attributable to live code.
+//
+// The check is a property of a whole run, not of one package: a waiver
+// is dead only relative to the set of analyzers that actually ran and
+// the diagnostics they actually produced. So Run is nil and the runner
+// performs the detection itself after waiver accounting, only for
+// waivers naming analyzers present in the run set (a poolown waiver is
+// not "dead" in a run that never executed poolown). A dead-waiver
+// finding is itself waivable with a waiverhygiene waiver, whose own
+// liveness is deliberately not checked — that ends the recursion.
+var WaiverHygiene = &Analyzer{
+	Name: hygieneName,
+	Doc:  "flag //ldpjoinvet:ignore waivers that no longer suppress any diagnostic",
+	Run:  nil,
+}

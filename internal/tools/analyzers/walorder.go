@@ -52,7 +52,7 @@ var walAppendMethods = map[string]bool{
 }
 
 func runWALOrder(pass *Pass) error {
-	if !pathHasSegment(pass.Pkg.Path(), "service") {
+	if !pathHasSegment(pass.Path(), "service") {
 		return nil
 	}
 	for _, f := range pass.Files {
